@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each ``test_figNN_*`` file regenerates one table/figure of the paper and
+prints the corresponding rows/series (captured by pytest; run with ``-s``
+to see them live).  Sweeps are memoized inside :mod:`repro.core.figures`,
+so running the whole directory in one process shares work between
+Figures 8, 9 and 10.
+
+Set ``REPRO_BENCH_DENSITY=quick|standard|full`` to trade sweep resolution
+for runtime (default: standard).
+"""
+
+import os
+
+import pytest
+
+DENSITY = os.environ.get("REPRO_BENCH_DENSITY", "standard")
+
+
+@pytest.fixture(scope="session")
+def density():
+    return DENSITY
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Figure 2: data movement overheads on MachSuite.
+
+2a: md-knn on a 16-lane baseline-DMA design spends only ~25% of cycles
+computing.  2b: across MachSuite, roughly half the benchmarks are
+compute-bound and half data-movement-bound; flush alone averages ~20%.
+"""
+
+from repro.core import figures
+from repro.core.reporting import breakdown_table
+
+from conftest import run_once
+
+
+def test_fig02a_mdknn_timeline(benchmark):
+    result = run_once(benchmark, figures.fig2a)
+    print()
+    print(breakdown_table([result], title="Figure 2a: md-knn, 16-lane "
+                                          "baseline DMA"))
+    print(f"compute fraction: {result.compute_fraction:.2f} "
+          f"(paper: ~0.25)")
+    assert 0.10 < result.compute_fraction < 0.45
+
+
+def test_fig02b_machsuite_breakdown(benchmark):
+    rows = run_once(benchmark, figures.fig2b)
+    print()
+    print(breakdown_table(rows, title="Figure 2b: 16-way designs, baseline "
+                                      "DMA flow"))
+    compute_bound = sum(1 for r in rows if r.compute_fraction > 0.5)
+    avg_flush = sum(r.breakdown_fractions()["flush_only"]
+                    for r in rows) / len(rows)
+    print(f"\ncompute-bound: {compute_bound}/{len(rows)} "
+          f"(paper: about half)")
+    print(f"average flush-only fraction: {avg_flush:.2f} (paper: ~0.20)")
+    assert 3 <= compute_bound <= 9
+    assert 0.05 < avg_flush < 0.30

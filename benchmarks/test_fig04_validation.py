@@ -1,0 +1,34 @@
+"""Figure 4: performance-model validation.
+
+Paper: gem5-Aladdin vs the Zynq Zedboard — 6.4% average DMA-model error,
+5% Aladdin (compute) error, 5% flush-model error.  Our stand-in reference
+is the detailed event-driven co-simulation (DESIGN.md substitution #2); the
+analytic phase model must stay inside the paper's error envelope.
+"""
+
+from repro.core import figures
+from repro.core.reporting import format_table, percent
+
+from conftest import run_once
+
+
+def test_fig04_validation(benchmark):
+    suite = run_once(benchmark, figures.fig4)
+    rows = [[r.workload, percent(r.total_error),
+             percent(r.component_errors["flush"]),
+             percent(r.component_errors["dma"]),
+             percent(r.component_errors["compute"])]
+            for r in suite["rows"]]
+    print()
+    print(format_table(["workload", "total_err", "flush_err", "dma_err",
+                        "compute_err"], rows))
+    avg = suite["avg_component_errors"]
+    print(f"\naverages: total={percent(suite['avg_total_error'])} "
+          f"flush={percent(avg['flush'])} dma={percent(avg['dma'])} "
+          f"compute={percent(avg['compute'])}")
+    print(f"paper (vs real hardware): dma={percent(0.064)} "
+          f"aladdin={percent(0.05)} flush={percent(0.05)}")
+    assert suite["avg_total_error"] < 0.06
+    assert avg["dma"] < 0.064
+    assert avg["flush"] < 0.05
+    assert avg["compute"] < 0.05

@@ -1,0 +1,36 @@
+"""Figure 7: datapath parallelism for cache-based accelerators.
+
+Paper: processing time decreases with parallelism; latency time *also*
+improves (more memory-level parallelism masks misses) — unlike the DMA
+case; bandwidth time does not improve and becomes a larger fraction of
+runtime in aggressively parallel designs.
+"""
+
+from repro.core import figures
+from repro.core.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig07_burger_decomposition(benchmark):
+    data = run_once(benchmark, figures.fig7)
+    print()
+    for workload, entry in data.items():
+        rows = [[r["lanes"], r["processing"] / 1e6, r["latency"] / 1e6,
+                 r["bandwidth"] / 1e6, r["total"] / 1e6]
+                for r in entry["rows"]]
+        print(format_table(
+            ["lanes", "processing_us", "latency_us", "bandwidth_us",
+             "total_us"], rows))
+        print(f"   ^ {workload}, saturating cache "
+              f"{entry['cache_size_kb']} KB\n")
+
+    for workload, entry in data.items():
+        rows = entry["rows"]
+        first, last = rows[0], rows[-1]
+        # Processing time shrinks with lanes.
+        assert last["processing"] < first["processing"], workload
+        # Bandwidth time's *fraction* of runtime grows with parallelism.
+        f_first = first["bandwidth"] / first["total"]
+        f_last = last["bandwidth"] / last["total"]
+        assert f_last >= f_first * 0.9, workload

@@ -1,0 +1,37 @@
+"""Figure 10: EDP improvement of co-designed accelerators.
+
+Paper: normalizing to how the isolated-optimal design behaves in a real
+system, co-design improves EDP on average by 1.2x (DMA), 2.2x (cache,
+32-bit bus), and 2.0x (cache, 64-bit bus), up to 7.4x; gains are larger
+for cache-based designs (multi-ported caches are expensive) and for the
+more-contended 32-bit bus than the 64-bit one.
+"""
+
+from repro.core import figures
+from repro.core.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig10_edp_improvement(benchmark, density):
+    data = run_once(benchmark, lambda: figures.fig10(density=density))
+    print()
+    rows = []
+    for workload, per_scenario in data["rows"].items():
+        rows.append([workload] + [
+            f"{per_scenario[k]['improvement']:.2f}x"
+            for k in ("dma32", "cache32", "cache64")])
+    print(format_table(["workload", "dma32", "cache32", "cache64"], rows))
+    avg, mx = data["averages"], data["maxima"]
+    print(f"\ngeomean improvement: dma32={avg['dma32']:.2f}x "
+          f"cache32={avg['cache32']:.2f}x cache64={avg['cache64']:.2f}x")
+    print(f"max improvement: {max(mx.values()):.2f}x")
+    print(f"paper:              dma32=1.2x cache32=2.2x cache64=2.0x, "
+          f"max 7.4x")
+
+    # Shape assertions.
+    assert avg["dma32"] >= 1.0
+    # Cache scenarios gain more than DMA (expensive multi-ported caches).
+    assert avg["cache32"] > avg["dma32"]
+    # Somebody gains a lot.
+    assert max(mx.values()) > 2.0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""DMA vs cache: which memory interface fits your kernel?  (Section V-A)
+
+Sweeps both design spaces for two contrasting workloads — aes-aes (tiny
+working set, regular access: the paper's DMA poster child) and spmv-crs
+(indirect accesses: the cache poster child) — and prints each side's
+Pareto frontier and EDP-optimal design.
+
+    python examples/dma_vs_cache.py [workload ...]
+"""
+
+import sys
+
+from repro import (
+    cache_design_space,
+    dma_design_space,
+    edp_optimal,
+    pareto_frontier,
+    run_sweep,
+)
+from repro.core.reporting import pareto_table
+
+
+def compare(workload):
+    print(f"=== {workload} ===")
+    dma_results = run_sweep(workload, dma_design_space("standard"))
+    cache_results = run_sweep(workload, cache_design_space("standard"))
+
+    print(pareto_table(pareto_frontier(dma_results),
+                       "DMA / scratchpad Pareto frontier:"))
+    print()
+    print(pareto_table(pareto_frontier(cache_results),
+                       "coherent-cache Pareto frontier:"))
+
+    dma_best = edp_optimal(dma_results)
+    cache_best = edp_optimal(cache_results)
+    winner = "DMA" if dma_best.edp < cache_best.edp else "cache"
+    print(f"\nEDP optima: dma={dma_best.edp:.3e}  cache={cache_best.edp:.3e}"
+          f"  ->  {winner} wins for {workload}\n")
+
+
+def main():
+    workloads = sys.argv[1:] or ["aes-aes", "spmv-crs"]
+    for workload in workloads:
+        compare(workload)
+
+
+if __name__ == "__main__":
+    main()

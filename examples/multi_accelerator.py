@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Two accelerators on one bus (Figure 3's ACCEL0 + ACCEL1).
+
+Launches a DMA-based md-knn accelerator and a cache-based spmv-crs
+accelerator concurrently on one shared platform, then compares each
+against running alone — the direct form of the paper's shared-resource-
+contention consideration (Section IV-A).
+
+    python examples/multi_accelerator.py
+"""
+
+from repro import DesignPoint
+from repro.core.multi import MultiAcceleratorSoC
+
+
+def main():
+    jobs = [
+        ("md-knn", DesignPoint(lanes=4, partitions=4, mem_interface="dma",
+                               pipelined_dma=True,
+                               dma_triggered_compute=True)),
+        ("spmv-crs", DesignPoint(lanes=4, mem_interface="cache",
+                                 cache_size_kb=8, cache_ports=2)),
+    ]
+    soc = MultiAcceleratorSoC(jobs)
+    shared = soc.run()
+    solo = soc.solo_results()
+
+    print("concurrent offloads on one shared bus/DRAM:\n")
+    print(f"{'workload':15s} {'interface':9s} {'alone':>10s} "
+          f"{'shared':>10s} {'slowdown':>9s}")
+    for (workload, design), s, a in zip(jobs, shared, solo):
+        print(f"{workload:15s} {design.mem_interface:9s} "
+              f"{a.time_us:8.1f}us {s.time_us:8.1f}us "
+              f"{s.total_ticks / a.total_ticks:8.2f}x")
+
+    print(f"\nmakespan: {soc.makespan_ticks() / 1e6:.1f} us, "
+          f"shared-bus utilization {100 * soc.bus_utilization():.0f}%")
+    print("\nThe paper's Section IV-A observation: the coarse-grained DMA "
+          "stream and fine-grained\ncache fills interleave on the bus; "
+          "both stretch, and co-design under contention\n(Figure 10's "
+          "32-bit-bus column) matters more than in a quiet system.")
+
+
+if __name__ == "__main__":
+    main()

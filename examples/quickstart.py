@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: offload one MachSuite kernel onto a configured accelerator.
+
+Runs the md-knn molecular-dynamics kernel through the full SoC flow (flush
+-> DMA -> compute -> DMA out -> completion signal) on a small DMA-based
+design, then again with the paper's two DMA optimizations, and prints the
+runtime breakdown that Figure 2a/6a plots.
+
+    python examples/quickstart.py
+"""
+
+from repro import DesignPoint, run_design
+
+
+def main():
+    workload = "md-knn"
+
+    baseline = DesignPoint(lanes=4, partitions=4, mem_interface="dma",
+                           pipelined_dma=False, dma_triggered_compute=False)
+    optimized = baseline.replace(pipelined_dma=True,
+                                 dma_triggered_compute=True)
+
+    print(f"workload: {workload}\n")
+    for label, design in (("baseline DMA", baseline),
+                          ("pipelined + triggered DMA", optimized)):
+        result = run_design(workload, design)
+        frac = result.breakdown_fractions()
+        print(f"{label}  ({design!r})")
+        print(f"  total time : {result.time_us:8.1f} us "
+              f"({result.accel_cycles} accelerator cycles)")
+        print(f"  avg power  : {result.power_mw:8.2f} mW")
+        print(f"  EDP        : {result.edp:.3e} J*s")
+        print("  cycle classes:")
+        for key in ("flush_only", "dma_flush", "compute_dma",
+                    "compute_only", "other"):
+            print(f"    {key:12s} {100 * frac[key]:5.1f}%")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — a Python reproduction of gem5-Aladdin (MICRO 2016).
+
+"Co-Designing Accelerators and SoC Interfaces using gem5-Aladdin",
+Y.S. Shao, S. Xi, V. Srinivasan, G.-Y. Wei, D. Brooks.
+
+The library couples a trace-based pre-RTL accelerator simulator (Aladdin,
+:mod:`repro.aladdin`) with an event-driven SoC substrate (gem5-like bus /
+DRAM / coherent caches / DMA / TLB / CPU driver, :mod:`repro.sim`,
+:mod:`repro.memory`, :mod:`repro.dma`, :mod:`repro.cpu`), re-implements the
+MachSuite workloads (:mod:`repro.workloads`), and layers the paper's
+co-design methodology on top (:mod:`repro.core`).
+
+Quick start::
+
+    from repro import DesignPoint, run_design
+    result = run_design("md-knn", DesignPoint(lanes=4, partitions=4))
+    print(result.time_us, result.power_mw, result.edp)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.config import DesignPoint, SoCConfig, PARAMETER_TABLE
+from repro.core.soc import SoC, run_design
+from repro.core.metrics import RunResult
+from repro.core.sweep import (
+    dma_design_space,
+    cache_design_space,
+    run_sweep,
+)
+from repro.core.pareto import pareto_frontier, edp_optimal
+from repro.core.scenarios import (
+    SCENARIOS,
+    Scenario,
+    run_isolated,
+    run_scenario_optimum,
+    edp_improvement,
+)
+from repro.core import figures
+from repro.aladdin import Accelerator, TraceBuilder, DDDG
+from repro.workloads import (
+    get_workload,
+    workload_names,
+    cached_trace,
+    cached_ddg,
+    CORE_EIGHT,
+    ALL_WORKLOADS,
+)
+from repro.errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignPoint",
+    "SoCConfig",
+    "PARAMETER_TABLE",
+    "SoC",
+    "run_design",
+    "RunResult",
+    "dma_design_space",
+    "cache_design_space",
+    "run_sweep",
+    "pareto_frontier",
+    "edp_optimal",
+    "SCENARIOS",
+    "Scenario",
+    "run_isolated",
+    "run_scenario_optimum",
+    "edp_improvement",
+    "figures",
+    "Accelerator",
+    "TraceBuilder",
+    "DDDG",
+    "get_workload",
+    "workload_names",
+    "cached_trace",
+    "cached_ddg",
+    "CORE_EIGHT",
+    "ALL_WORKLOADS",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "TraceError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Aladdin: the pre-RTL, trace-based accelerator simulator.
+
+Reimplements the Aladdin flow (Shao et al., ISCA 2014) that gem5-Aladdin
+embeds: a kernel's dynamic execution is captured as a trace of operations
+(:mod:`trace`), turned into a dynamic data dependence graph
+(:mod:`ddg`), mapped onto datapath lanes (:mod:`transforms`), and scheduled
+cycle by cycle against hardware constraints inside the SoC's event queue
+(:mod:`scheduler`).  :mod:`power` provides the 40 nm energy models.
+"""
+
+from repro.aladdin.ir import Op, OP_INFO, FuClass
+from repro.aladdin.trace import TraceBuilder, Value
+from repro.aladdin.ddg import DDDG
+from repro.aladdin.transforms import assign_lanes
+from repro.aladdin.scheduler import DatapathScheduler
+from repro.aladdin.power import PowerModel
+from repro.aladdin.accelerator import Accelerator
+
+__all__ = [
+    "Op",
+    "OP_INFO",
+    "FuClass",
+    "TraceBuilder",
+    "Value",
+    "DDDG",
+    "assign_lanes",
+    "DatapathScheduler",
+    "PowerModel",
+    "Accelerator",
+]

@@ -1,0 +1,88 @@
+"""Operation set of the accelerator IR.
+
+Aladdin's DDDG nodes are LLVM IR instructions.  Our trace builder emits the
+same kinds of operations with per-op latencies (accelerator cycles at
+100 MHz) and dynamic energies (pJ, TSMC 40 nm-class constants in line with
+Aladdin's characterization).  Address/induction arithmetic is deliberately
+*not* traced: Aladdin removes induction-variable and address-computation
+nodes as a standard optimization, so we never create them.
+"""
+
+
+class FuClass:
+    """Functional-unit classes; each datapath lane has one pipelined unit
+    (initiation interval 1) of each class that the kernel uses."""
+
+    ALU = "alu"        # integer add/sub/logic/shift/compare
+    IMUL = "imul"      # integer multiply / divide
+    FADD = "fadd"      # FP add/sub/compare
+    FMUL = "fmul"      # FP multiply
+    FDIV = "fdiv"      # FP divide / sqrt
+    MEM = "mem"        # load/store issue port
+
+    ALL = (ALU, IMUL, FADD, FMUL, FDIV, MEM)
+
+
+class Op:
+    """Opcode mnemonics."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    ICMP = "icmp"
+    SELECT = "select"
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FCMP = "fcmp"
+    LOAD = "load"
+    STORE = "store"
+
+
+class OpInfo:
+    """Static properties of one opcode."""
+
+    __slots__ = ("latency", "fu", "energy_pj")
+
+    def __init__(self, latency, fu, energy_pj):
+        self.latency = latency       # accelerator cycles (100 MHz)
+        self.fu = fu                 # FuClass
+        self.energy_pj = energy_pj   # dynamic energy per operation
+
+
+OP_INFO = {
+    Op.ADD:    OpInfo(1, FuClass.ALU, 0.10),
+    Op.SUB:    OpInfo(1, FuClass.ALU, 0.10),
+    Op.MUL:    OpInfo(3, FuClass.IMUL, 1.50),
+    Op.DIV:    OpInfo(10, FuClass.IMUL, 4.00),
+    Op.AND:    OpInfo(1, FuClass.ALU, 0.05),
+    Op.OR:     OpInfo(1, FuClass.ALU, 0.05),
+    Op.XOR:    OpInfo(1, FuClass.ALU, 0.05),
+    Op.SHL:    OpInfo(1, FuClass.ALU, 0.05),
+    Op.SHR:    OpInfo(1, FuClass.ALU, 0.05),
+    Op.ICMP:   OpInfo(1, FuClass.ALU, 0.05),
+    Op.SELECT: OpInfo(1, FuClass.ALU, 0.05),
+    Op.FADD:   OpInfo(3, FuClass.FADD, 0.90),
+    Op.FSUB:   OpInfo(3, FuClass.FADD, 0.90),
+    Op.FCMP:   OpInfo(1, FuClass.FADD, 0.30),
+    Op.FMUL:   OpInfo(4, FuClass.FMUL, 1.80),
+    Op.FDIV:   OpInfo(15, FuClass.FDIV, 5.00),
+    Op.FSQRT:  OpInfo(15, FuClass.FDIV, 5.00),
+    Op.LOAD:   OpInfo(1, FuClass.MEM, 0.0),   # memory energy modeled separately
+    Op.STORE:  OpInfo(1, FuClass.MEM, 0.0),
+}
+
+MEMORY_OPS = (Op.LOAD, Op.STORE)
+
+
+def is_memory(op):
+    """True for load/store opcodes."""
+    return op == Op.LOAD or op == Op.STORE

@@ -1,0 +1,324 @@
+"""Dynamic, resource-constrained datapath scheduling.
+
+Aladdin schedules the DDDG "through a breadth-first traversal, while
+accounting for user-defined hardware constraints" (Section III-B).  Because
+gem5-Aladdin must capture *dynamic* interactions — variable-latency cache
+accesses, DMA arrival order, bus contention — scheduling here is not a
+static pass: the scheduler is an event-driven component that issues ready
+nodes on accelerator clock edges and hears back from the memory system.
+
+Constraints modeled per cycle:
+
+* one pipelined functional unit per class per lane (II = 1);
+* one memory issue per lane, arbitrating for scratchpad bank ports or
+  cache ports;
+* round barriers: iteration rounds (see :mod:`transforms`) synchronize, but
+  within a round a lane blocked on a cache miss or an unfilled full/empty
+  bit stalls alone (Section IV-D's miss-handling scheme).
+"""
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.aladdin.ir import OP_INFO, Op, is_memory
+from repro.sim.stats import IntervalTracker
+
+
+class DatapathScheduler:
+    """Executes one DDDG on a configured datapath inside the event queue."""
+
+    def __init__(self, sim, clock, ddg, assignment, mem_if,
+                 fu_per_lane=None, on_done=None, name="accel",
+                 round_barriers=True):
+        self.sim = sim
+        self.clock = clock
+        self.ddg = ddg
+        self.trace = ddg.trace
+        self.assign = assignment
+        self.mem_if = mem_if
+        self.on_done = on_done
+        self.name = name
+        self.lanes = assignment.lanes
+        self.fu_per_lane = dict(fu_per_lane or {})
+        # Aladdin's loop pipelining: with barriers off, a node is ready as
+        # soon as its dependences complete, letting iteration rounds
+        # overlap (at the cost of deeper control logic in real hardware).
+        self.round_barriers = round_barriers
+        self._indegree = list(ddg.indegree)
+        self._ready = [deque() for _ in range(self.lanes)]
+        self._round_parked = {}
+        self._round_remaining = [0] * assignment.num_rounds
+        for node in range(ddg.num_nodes):
+            r = assignment.round[node]
+            if r >= 0:
+                self._round_remaining[r] += 1
+        self._current_round = 0
+        self._completed = 0
+        self._in_flight = 0
+        self._started = False
+        self.done = False
+        self.busy = IntervalTracker(name)
+        self.start_tick = None
+        self.done_tick = None
+        self.issued_loads = 0
+        self.issued_stores = 0
+        # Per-cycle resource state.
+        self._state_cycle = -1
+        self._fu_used = None
+        self._next_edge = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        """Begin execution (called by the SoC once the accelerator is
+        invoked — after DMA completes, or immediately for DMA-triggered
+        compute / cache-based designs)."""
+        if self._started:
+            raise SimulationError(f"{self.name}: started twice")
+        self._started = True
+        self.start_tick = self.sim.now
+        if self.ddg.num_nodes == 0:
+            self._finish()
+            return
+        for node in self.ddg.roots:
+            self._make_ready(node)
+        self._kick()
+
+    def _finish(self):
+        self.done = True
+        self.done_tick = self.sim.now
+        if self.on_done is not None:
+            self.on_done()
+
+    @property
+    def compute_ticks(self):
+        """Ticks from start to last node completion."""
+        if self.start_tick is None or self.done_tick is None:
+            return None
+        return self.done_tick - self.start_tick
+
+    # -- readiness ------------------------------------------------------------
+
+    def _make_ready(self, node):
+        r = self.assign.round[node]
+        if self.round_barriers and r > self._current_round:
+            self._round_parked.setdefault(r, []).append(node)
+            return
+        self._ready[self.assign.lane[node]].append(node)
+
+    def resume_parked(self, node):
+        """Re-queue a node that was parked on a TLB walk or full/empty bit."""
+        self._ready[self.assign.lane[node]].append(node)
+        self._kick()
+
+    def _kick(self):
+        """Ensure an issue pass is scheduled at the next accelerator edge."""
+        if not any(self._ready):
+            return
+        when = self.clock.next_edge(self.sim.now)
+        if self._next_edge is not None and self._next_edge <= when:
+            return
+        self._next_edge = when
+        self.sim.schedule_at(when, self._issue_pass)
+
+    # -- the per-cycle issue pass ----------------------------------------------
+
+    def _cycle_state(self):
+        cycle = self.sim.now // self.clock.period
+        if cycle != self._state_cycle:
+            self._state_cycle = cycle
+            self._fu_used = [{} for _ in range(self.lanes)]
+            self.mem_if.new_cycle(cycle)
+        return cycle
+
+    def _fu_limit(self, fu):
+        return self.fu_per_lane.get(fu, 1)
+
+    def _issue_pass(self):
+        self._next_edge = None
+        cycle = self._cycle_state()
+        trace = self.trace
+        for lane in range(self.lanes):
+            queue = self._ready[lane]
+            used = self._fu_used[lane]
+            for _ in range(len(queue)):
+                node = queue.popleft()
+                op = trace.node_op[node]
+                fu = OP_INFO[op].fu
+                if used.get(fu, 0) >= self._fu_limit(fu):
+                    queue.append(node)
+                    continue
+                if is_memory(op):
+                    status = self.mem_if.issue(self, node, cycle)
+                    if status == "retry":
+                        queue.append(node)
+                        continue
+                    if status == "parked":
+                        used[fu] = used.get(fu, 0) + 1
+                        continue
+                    # issued
+                    used[fu] = used.get(fu, 0) + 1
+                    self._node_launched(op)
+                else:
+                    used[fu] = used.get(fu, 0) + 1
+                    self._node_launched(op)
+                    delay = self.clock.cycles_to_ticks(OP_INFO[op].latency)
+                    self.sim.schedule(delay, self.complete_node, node)
+        # Anything still queued retries next cycle.
+        if any(self._ready):
+            when = self.clock.edge_after(self.sim.now)
+            if self._next_edge is None or self._next_edge > when:
+                self._next_edge = when
+                self.sim.schedule_at(when, self._issue_pass)
+
+    def _node_launched(self, op):
+        if self._in_flight == 0:
+            self.busy.begin(self.sim.now)
+        self._in_flight += 1
+        if op == Op.LOAD:
+            self.issued_loads += 1
+        elif op == Op.STORE:
+            self.issued_stores += 1
+
+    # -- completion -----------------------------------------------------------
+
+    def complete_node(self, node):
+        """A node's result is available (called by FUs and the memory system)."""
+        self._in_flight -= 1
+        if self._in_flight == 0:
+            self.busy.end(self.sim.now)
+        for succ in self.ddg.successors[node]:
+            self._indegree[succ] -= 1
+            if self._indegree[succ] == 0:
+                self._make_ready(succ)
+        r = self.assign.round[node]
+        if r >= 0 and self.round_barriers:
+            self._round_remaining[r] -= 1
+            self._advance_rounds()
+        self._completed += 1
+        if self._completed == self.ddg.num_nodes:
+            self._finish()
+        else:
+            self._kick()
+
+    def _advance_rounds(self):
+        while (self._current_round < len(self._round_remaining)
+               and self._round_remaining[self._current_round] == 0):
+            self._current_round += 1
+            for node in self._round_parked.pop(self._current_round, ()):
+                self._ready[self.assign.lane[node]].append(node)
+
+
+class SpadInterface:
+    """Memory interface for scratchpad (DMA-based) designs.
+
+    Loads and stores hit partitioned SRAM banks with a fixed 1-cycle access,
+    subject to per-bank port arbitration.  Arrays registered with full/empty
+    bits gate accesses at cache-line granularity for DMA-triggered compute.
+    """
+
+    def __init__(self, sim, clock, spad, ready_bits=None, latency_cycles=1):
+        self.sim = sim
+        self.clock = clock
+        self.spad = spad
+        self.ready_bits = ready_bits or {}
+        self.latency_cycles = latency_cycles
+
+    def new_cycle(self, cycle):
+        """Per-cycle reset hook (banks self-arbitrate)."""
+        pass  # the scratchpad tracks per-cycle port use itself
+
+    def issue(self, sched, node, cycle):
+        """Try to issue one memory node this cycle; returns issued/retry/parked."""
+        trace = sched.trace
+        array = trace.node_array[node]
+        index = trace.node_index[node]
+        bits = self.ready_bits.get(array)
+        if bits is not None:
+            offset = index * trace.arrays[array].word_bytes
+            if not bits.is_ready(offset):
+                bits.wait(offset, lambda: sched.resume_parked(node))
+                return "parked"
+        if not self.spad.try_access(array, index, cycle):
+            return "retry"
+        delay = self.clock.cycles_to_ticks(self.latency_cycles)
+        self.sim.schedule(delay, sched.complete_node, node)
+        return "issued"
+
+
+class CacheInterface:
+    """Memory interface for cache-based designs.
+
+    Shared (input/output) arrays go through the TLB and the coherent cache;
+    private intermediate arrays stay in scratchpads (Section IV-D).  With
+    ``perfect=True`` every shared access is a single-cycle hit — the
+    idealized memory used for the Burger-style "processing time" component
+    of Figure 7.
+    """
+
+    def __init__(self, sim, clock, cache, tlb, addr_map, phys_offset,
+                 ports, spad=None, internal_arrays=(), perfect=False):
+        self.sim = sim
+        self.clock = clock
+        self.cache = cache
+        self.tlb = tlb
+        self.addr_map = addr_map
+        self.phys_offset = phys_offset
+        self.ports = ports
+        self.spad = spad
+        self.internal = frozenset(internal_arrays)
+        self.perfect = perfect
+        self._cycle = -1
+        self._ports_used = 0
+
+    def new_cycle(self, cycle):
+        """Reset the per-cycle cache-port counter."""
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._ports_used = 0
+
+    def issue(self, sched, node, cycle):
+        """Try to issue one memory node this cycle; returns issued/retry/parked."""
+        trace = sched.trace
+        array = trace.node_array[node]
+        index = trace.node_index[node]
+        if array in self.internal:
+            if not self.spad.try_access(array, index, cycle):
+                return "retry"
+            self.sim.schedule(self.clock.period, sched.complete_node, node)
+            return "issued"
+        if self._ports_used >= self.ports:
+            return "retry"
+        self._ports_used += 1
+        if self.perfect:
+            self.sim.schedule(self.clock.period, sched.complete_node, node)
+            return "issued"
+        decl = trace.arrays[array]
+        vaddr = self.addr_map[array] + index * decl.word_bytes
+        return self._translated_access(sched, node, vaddr, decl.word_bytes,
+                                       array)
+
+    def _translated_access(self, sched, node, vaddr, size, array):
+        result = {"sync": True, "paddr": None}
+
+        def on_translated(paddr):
+            if result["sync"]:
+                result["paddr"] = paddr
+            else:
+                # Walk finished later: retry the whole access; the TLB now hits.
+                sched.resume_parked(node)
+
+        hit = self.tlb.translate(vaddr, self.phys_offset, on_translated)
+        result["sync"] = False
+        if not hit:
+            return "parked"
+        trace = sched.trace
+        is_write = trace.node_op[node] == Op.STORE
+        status = self.cache.access(
+            result["paddr"], size, is_write,
+            callback=lambda: sched.complete_node(node),
+            stream=array,
+        )
+        if status == "blocked":
+            return "retry"
+        return "issued"

@@ -1,0 +1,309 @@
+"""Dynamic trace capture.
+
+Aladdin instruments a program with an LLVM pass and records its dynamic
+execution.  Our stand-in (documented in DESIGN.md) is a *trace-builder DSL*:
+kernels are ordinary Python functions that perform their real computation
+through :class:`TraceBuilder` calls, which simultaneously
+
+* compute the functional result (so workloads are testable end to end), and
+* append one trace node per dynamic operation, with true register
+  dependences (SSA values) and memory dependences (store->load RAW and
+  store->store WAW per word).
+
+The captured trace is design-independent: lanes/partitions are applied
+later by :mod:`repro.aladdin.transforms` and the scheduler, so one trace is
+reused across an entire design sweep.
+"""
+
+import math
+
+from repro.errors import TraceError
+from repro.aladdin.ir import Op, OP_INFO
+
+
+class Value:
+    """An SSA value: the functional result plus its producing node."""
+
+    __slots__ = ("node", "value")
+
+    def __init__(self, node, value):
+        self.node = node    # producing trace node id, or None for constants
+        self.value = value  # concrete Python number
+
+    def __repr__(self):
+        return f"Value(node={self.node}, value={self.value!r})"
+
+
+class ArrayDecl:
+    """A kernel-local array: name, geometry, and role.
+
+    ``kind`` is one of ``"input"`` (DMA'd / cached in), ``"output"``
+    (DMA'd / cached out), ``"inout"`` (both — e.g. in-place sorts), or
+    ``"internal"`` (private scratchpad data that never leaves the
+    accelerator — Section IV-D keeps such data in scratchpads even for
+    cache-based designs).
+    """
+
+    __slots__ = ("name", "length", "word_bytes", "kind", "data")
+
+    def __init__(self, name, length, word_bytes, kind, data):
+        self.name = name
+        self.length = length
+        self.word_bytes = word_bytes
+        self.kind = kind
+        self.data = data
+
+    @property
+    def size_bytes(self):
+        return self.length * self.word_bytes
+
+
+class TraceBuilder:
+    """Builds the dynamic trace while executing the kernel functionally."""
+
+    def __init__(self, name=""):
+        self.name = name
+        # Parallel node arrays (struct-of-arrays keeps big traces cheap).
+        self.node_op = []
+        self.node_iter = []        # parallel-loop iteration, -1 = serial code
+        self.node_array = []       # array name for memory ops, else None
+        self.node_index = []       # word index for memory ops, else 0
+        self.deps = []             # list of tuples of predecessor node ids
+        self.arrays = {}
+        self._last_store = {}      # (array, index) -> node id
+        self._cur_iter = -1
+        self.max_iter = -1
+
+    # -- arrays ---------------------------------------------------------------
+
+    def array(self, name, length, word_bytes=4, kind="input", init=None):
+        """Declare an array; ``init`` seeds its functional contents."""
+        if name in self.arrays:
+            raise TraceError(f"array {name!r} declared twice")
+        if kind not in ("input", "output", "inout", "internal"):
+            raise TraceError(f"bad array kind {kind!r}")
+        data = list(init) if init is not None else [0] * length
+        if len(data) != length:
+            raise TraceError(
+                f"array {name!r}: init has {len(data)} elements, expected {length}")
+        decl = ArrayDecl(name, length, word_bytes, kind, data)
+        self.arrays[name] = decl
+        return decl
+
+    # -- iteration markers ------------------------------------------------------
+
+    def iteration(self, index):
+        """Enter parallel-loop iteration ``index`` (the loop whose iterations
+        map onto datapath lanes).  Returns a context manager."""
+        return _IterationScope(self, index)
+
+    # -- trace node construction --------------------------------------------------
+
+    def _emit(self, op, dep_nodes, array=None, index=0):
+        node = len(self.node_op)
+        self.node_op.append(op)
+        self.node_iter.append(self._cur_iter)
+        self.node_array.append(array)
+        self.node_index.append(index)
+        self.deps.append(tuple(d for d in dep_nodes if d is not None))
+        return node
+
+    @staticmethod
+    def _operand(value):
+        """Accept Values or plain numbers (constants have no producer)."""
+        if isinstance(value, Value):
+            return value.node, value.value
+        return None, value
+
+    def load(self, array, index):
+        """Load word ``index`` from ``array``; returns the SSA value."""
+        decl = self._check_access(array, index)
+        last_store = self._last_store.get((array, index))
+        node = self._emit(Op.LOAD, (last_store,), array=array, index=index)
+        return Value(node, decl.data[index])
+
+    def store(self, array, index, value):
+        """Store ``value`` (a Value or constant) to ``array[index]``."""
+        decl = self._check_access(array, index)
+        dep, concrete = self._operand(value)
+        prev = self._last_store.get((array, index))
+        node = self._emit(Op.STORE, (dep, prev), array=array, index=index)
+        decl.data[index] = concrete
+        self._last_store[(array, index)] = node
+        return node
+
+    def _check_access(self, array, index):
+        decl = self.arrays.get(array)
+        if decl is None:
+            raise TraceError(f"access to undeclared array {array!r}")
+        if not 0 <= index < decl.length:
+            raise TraceError(
+                f"{array}[{index}] out of bounds (length {decl.length})")
+        return decl
+
+    def op(self, opcode, *operands):
+        """Emit a compute op; computes the functional result as well."""
+        if opcode not in OP_INFO:
+            raise TraceError(f"unknown opcode {opcode!r}")
+        dep_values = [self._operand(v) for v in operands]
+        node = self._emit(opcode, tuple(d for d, _v in dep_values))
+        concrete = _evaluate(opcode, [v for _d, v in dep_values])
+        return Value(node, concrete)
+
+    # Arithmetic sugar so kernels read naturally.
+
+    def add(self, a, b):
+        """Integer add."""
+        return self.op(Op.ADD, a, b)
+
+    def sub(self, a, b):
+        """Integer subtract."""
+        return self.op(Op.SUB, a, b)
+
+    def mul(self, a, b):
+        """Integer multiply."""
+        return self.op(Op.MUL, a, b)
+
+    def xor(self, a, b):
+        """Bitwise xor."""
+        return self.op(Op.XOR, a, b)
+
+    def band(self, a, b):
+        """Bitwise and."""
+        return self.op(Op.AND, a, b)
+
+    def bor(self, a, b):
+        """Bitwise or."""
+        return self.op(Op.OR, a, b)
+
+    def shl(self, a, b):
+        """Shift left."""
+        return self.op(Op.SHL, a, b)
+
+    def shr(self, a, b):
+        """Shift right."""
+        return self.op(Op.SHR, a, b)
+
+    def icmp(self, a, b):
+        """Integer compare: 1 when a > b, else 0."""
+        return self.op(Op.ICMP, a, b)
+
+    def select(self, cond, a, b):
+        """Conditional select: a when cond is truthy, else b."""
+        return self.op(Op.SELECT, cond, a, b)
+
+    def fadd(self, a, b):
+        """Floating-point add."""
+        return self.op(Op.FADD, a, b)
+
+    def fsub(self, a, b):
+        """Floating-point subtract."""
+        return self.op(Op.FSUB, a, b)
+
+    def fmul(self, a, b):
+        """Floating-point multiply."""
+        return self.op(Op.FMUL, a, b)
+
+    def fdiv(self, a, b):
+        """Floating-point divide."""
+        return self.op(Op.FDIV, a, b)
+
+    def fsqrt(self, a):
+        """Floating-point square root of |a|."""
+        return self.op(Op.FSQRT, a)
+
+    def fcmp(self, a, b):
+        """Floating-point compare: 1 when a > b, else 0."""
+        return self.op(Op.FCMP, a, b)
+
+    # -- summary ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self):
+        return len(self.node_op)
+
+    def op_histogram(self):
+        """Dynamic op counts by opcode."""
+        hist = {}
+        for op in self.node_op:
+            hist[op] = hist.get(op, 0) + 1
+        return hist
+
+    def num_iterations(self):
+        """Number of parallel-loop iterations traced."""
+        return self.max_iter + 1
+
+    def first_use_order(self):
+        """Arrays ordered by the trace position of their first access.
+
+        The SoC issues DMA descriptors in this order, modeling a programmer
+        who places ``dmaLoad`` calls in the order the kernel consumes the
+        data — the natural way to make DMA-triggered compute effective.
+        Arrays never accessed sort last, in declaration order.
+        """
+        first = {}
+        for node, array in enumerate(self.node_array):
+            if array is not None and array not in first:
+                first[array] = node
+        names = list(self.arrays)
+        return sorted(names,
+                      key=lambda n: (first.get(n, len(self.node_array)),
+                                     names.index(n)))
+
+
+class _IterationScope:
+    def __init__(self, builder, index):
+        if index < 0:
+            raise TraceError("iteration index must be non-negative")
+        self.builder = builder
+        self.index = index
+        self._prev = None
+
+    def __enter__(self):
+        self._prev = self.builder._cur_iter
+        self.builder._cur_iter = self.index
+        self.builder.max_iter = max(self.builder.max_iter, self.index)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.builder._cur_iter = self._prev
+        return False
+
+
+def _evaluate(opcode, vals):
+    """Functional semantics of each opcode."""
+    if opcode == Op.ADD:
+        return vals[0] + vals[1]
+    if opcode == Op.SUB:
+        return vals[0] - vals[1]
+    if opcode == Op.MUL:
+        return vals[0] * vals[1]
+    if opcode == Op.DIV:
+        return vals[0] // vals[1] if vals[1] else 0
+    if opcode == Op.AND:
+        return int(vals[0]) & int(vals[1])
+    if opcode == Op.OR:
+        return int(vals[0]) | int(vals[1])
+    if opcode == Op.XOR:
+        return int(vals[0]) ^ int(vals[1])
+    if opcode == Op.SHL:
+        return int(vals[0]) << int(vals[1])
+    if opcode == Op.SHR:
+        return int(vals[0]) >> int(vals[1])
+    if opcode == Op.ICMP:
+        return 1 if vals[0] > vals[1] else 0
+    if opcode == Op.SELECT:
+        return vals[1] if vals[0] else vals[2]
+    if opcode == Op.FADD:
+        return float(vals[0]) + float(vals[1])
+    if opcode == Op.FSUB:
+        return float(vals[0]) - float(vals[1])
+    if opcode == Op.FMUL:
+        return float(vals[0]) * float(vals[1])
+    if opcode == Op.FDIV:
+        return float(vals[0]) / float(vals[1]) if vals[1] else 0.0
+    if opcode == Op.FSQRT:
+        return math.sqrt(abs(float(vals[0])))
+    if opcode == Op.FCMP:
+        return 1 if float(vals[0]) > float(vals[1]) else 0
+    raise TraceError(f"no semantics for opcode {opcode!r}")

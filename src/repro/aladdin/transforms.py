@@ -1,0 +1,81 @@
+"""Trace-to-datapath mapping transforms.
+
+Aladdin applies "common accelerator design optimizations" before scheduling
+(Section III-B).  The two that matter for the paper's sweeps are:
+
+* **Loop unrolling -> datapath lanes.**  The kernel's parallel loop is
+  unrolled by the lane count: iteration ``i`` executes on lane
+  ``i mod lanes``, and iterations are grouped into *rounds* of ``lanes``
+  consecutive iterations.  Lanes synchronize at round boundaries
+  (Section IV-D: "when lanes are finished executing, they must wait and
+  synchronize with all other lanes before the next iteration can begin"),
+  but within a round a stalled lane never blocks its peers.
+* **Array partitioning** is applied by the scratchpad model itself
+  (cyclic word interleaving — :mod:`repro.memory.sram`).
+
+Induction-variable and address-compute elimination is inherent to our trace
+format (those nodes are never emitted — see :mod:`repro.aladdin.trace`).
+"""
+
+
+class LaneAssignment:
+    """Per-node lane and round for a given lane count."""
+
+    __slots__ = ("lanes", "lane", "round", "num_rounds")
+
+    def __init__(self, lanes, lane, round_, num_rounds):
+        self.lanes = lanes
+        self.lane = lane        # list: node -> lane index
+        self.round = round_     # list: node -> round index (-1 = serial)
+        self.num_rounds = num_rounds
+
+
+def assign_lanes(trace, lanes):
+    """Map every trace node onto a (lane, round).
+
+    Serial nodes (emitted outside any parallel iteration) run on lane 0 and
+    belong to no round (round -1): they are never barrier-blocked, only
+    dependence-blocked.
+    """
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    lane = [0] * trace.num_nodes
+    round_ = [-1] * trace.num_nodes
+    num_rounds = 0
+    iters = trace.node_iter
+    for node in range(trace.num_nodes):
+        it = iters[node]
+        if it >= 0:
+            lane[node] = it % lanes
+            r = it // lanes
+            round_[node] = r
+            if r + 1 > num_rounds:
+                num_rounds = r + 1
+    return LaneAssignment(lanes, lane, round_, num_rounds)
+
+
+def validate_assignment(trace, assignment):
+    """Check that round barriers cannot deadlock the schedule.
+
+    The invariant a trace must satisfy: dependences flow from lower (or
+    serial) iterations to higher ones.  A node in round ``r`` that depends
+    — directly or through serial nodes — on a node in round ``r' > r``
+    would deadlock, because round ``r'`` cannot start until round ``r``
+    completes.  Returns normally when safe, raises ValueError otherwise.
+    """
+    rounds = assignment.round
+    # Effective round: the highest barrier round this node's completion
+    # transitively requires.  Traces are topologically ordered.
+    effective = [0] * trace.num_nodes
+    for node in range(trace.num_nodes):
+        eff = rounds[node] if rounds[node] >= 0 else -1
+        for pred in trace.deps[node]:
+            if effective[pred] > eff:
+                eff = effective[pred]
+        if rounds[node] >= 0 and eff > rounds[node]:
+            raise ValueError(
+                f"trace {trace.name!r}: node {node} in round {rounds[node]} "
+                f"depends on round {eff}; round barriers would deadlock"
+            )
+        effective[node] = eff
+

@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Mirrors how gem5-Aladdin is driven from the shell: configure a design
+point, point it at a workload, get timing/power/area and runtime
+breakdowns back.
+
+    python -m repro list
+    python -m repro run md-knn --lanes 8 --partitions 8
+    python -m repro run spmv-crs --mem cache --cache-size 8 --cache-ports 4
+    python -m repro sweep fft-transpose --density standard
+    python -m repro validate
+    python -m repro figure fig2b
+"""
+
+import argparse
+import sys
+
+from repro.core.config import DesignPoint, SoCConfig
+from repro.core.pareto import edp_optimal, pareto_frontier
+from repro.core.reporting import breakdown_table, format_table, pareto_table, percent
+from repro.core.soc import run_design
+from repro.core.sweep import cache_design_space, dma_design_space, run_sweep
+from repro.workloads import ALL_WORKLOADS, cached_ddg, get_workload, workload_names
+
+
+def build_parser():
+    """Construct the argparse CLI tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="gem5-Aladdin reproduction: SoC/accelerator co-design "
+                    "simulation (MICRO 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    run_p = sub.add_parser("run", help="run one (workload, design) offload")
+    run_p.add_argument("workload", choices=ALL_WORKLOADS)
+    _add_design_args(run_p)
+    _add_platform_args(run_p)
+
+    sweep_p = sub.add_parser("sweep",
+                             help="sweep both design spaces for a workload")
+    sweep_p.add_argument("workload", choices=ALL_WORKLOADS)
+    sweep_p.add_argument("--density", default="standard",
+                         choices=("quick", "standard", "full"))
+    sweep_p.add_argument("--json", metavar="PATH",
+                         help="write every design point as JSON")
+    sweep_p.add_argument("--csv", metavar="PATH",
+                         help="write every design point as CSV")
+    _add_platform_args(sweep_p)
+
+    val_p = sub.add_parser("validate",
+                           help="Figure 4: analytic model vs detailed sim")
+    val_p.add_argument("workloads", nargs="*", default=None)
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper figure")
+    fig_p.add_argument("name",
+                       choices=("fig1", "fig2a", "fig2b", "fig4", "fig6a",
+                                "fig6b", "fig7", "fig8", "fig9", "fig10"))
+    fig_p.add_argument("--density", default="standard",
+                       choices=("quick", "standard", "full"))
+    return parser
+
+
+def _add_design_args(parser):
+    parser.add_argument("--lanes", type=int, default=4)
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--mem", choices=("dma", "cache"), default="dma")
+    parser.add_argument("--no-pipelined-dma", action="store_true")
+    parser.add_argument("--no-triggered-compute", action="store_true")
+    parser.add_argument("--double-buffer", action="store_true")
+    parser.add_argument("--cache-size", type=int, default=8,
+                        help="cache size in KB")
+    parser.add_argument("--cache-line", type=int, default=64)
+    parser.add_argument("--cache-ports", type=int, default=2)
+    parser.add_argument("--cache-assoc", type=int, default=4)
+    parser.add_argument("--prefetcher", choices=("none", "stride"),
+                        default="stride")
+
+
+def _add_platform_args(parser):
+    parser.add_argument("--bus-width", type=int, default=32,
+                        choices=(32, 64))
+    parser.add_argument("--background-traffic", action="store_true")
+
+
+def design_from_args(args):
+    """Build a DesignPoint from parsed CLI arguments."""
+    return DesignPoint(
+        lanes=args.lanes, partitions=args.partitions,
+        mem_interface=args.mem,
+        pipelined_dma=not args.no_pipelined_dma,
+        dma_triggered_compute=not args.no_triggered_compute,
+        double_buffer=args.double_buffer,
+        cache_size_kb=args.cache_size, cache_line=args.cache_line,
+        cache_ports=args.cache_ports, cache_assoc=args.cache_assoc,
+        prefetcher=args.prefetcher)
+
+
+def config_from_args(args):
+    """Build an SoCConfig from parsed CLI arguments."""
+    return SoCConfig(bus_width_bits=args.bus_width,
+                     background_traffic=args.background_traffic)
+
+
+def cmd_list(_args, out):
+    """``repro list``: table of available workloads."""
+    rows = []
+    for name in workload_names():
+        wl = get_workload(name)
+        ddg = cached_ddg(name)
+        rows.append([name, wl.description, ddg.num_nodes,
+                     ddg.footprint_bytes()])
+    out(format_table(["workload", "description", "trace_nodes",
+                      "footprint_B"], rows))
+    return 0
+
+
+def cmd_run(args, out):
+    """``repro run``: one offload, metrics + breakdown + stats."""
+    design = design_from_args(args)
+    result = run_design(args.workload, design, config_from_args(args))
+    out(f"workload : {args.workload}")
+    out(f"design   : {design!r}")
+    out(f"time     : {result.time_us:.2f} us  "
+        f"({result.accel_cycles} accelerator cycles)")
+    out(f"power    : {result.power_mw:.3f} mW")
+    out(f"area     : {result.area_mm2:.4f} mm^2")
+    out(f"EDP      : {result.edp:.3e} J*s")
+    out("")
+    out(breakdown_table([result], title="cycle classes:"))
+    out("")
+    out("stats:")
+    for key, value in sorted(result.stats.items()):
+        if value is not None:
+            out(f"  {key:20s} {value}")
+    return 0
+
+
+def cmd_sweep(args, out):
+    """``repro sweep``: both design spaces, Pareto + optima."""
+    cfg = config_from_args(args)
+    dma = run_sweep(args.workload, dma_design_space(args.density), cfg)
+    cache = run_sweep(args.workload, cache_design_space(args.density), cfg)
+    if args.json or args.csv:
+        from repro.core.export import results_to_csv, results_to_json
+        if args.json:
+            results_to_json(dma + cache, args.json)
+            out(f"wrote {len(dma) + len(cache)} design points to {args.json}")
+        if args.csv:
+            results_to_csv(dma + cache, args.csv)
+            out(f"wrote {len(dma) + len(cache)} design points to {args.csv}")
+    out(pareto_table(pareto_frontier(dma), "DMA Pareto frontier:"))
+    out("")
+    out(pareto_table(pareto_frontier(cache), "cache Pareto frontier:"))
+    best_dma, best_cache = edp_optimal(dma), edp_optimal(cache)
+    out("")
+    out(f"DMA   EDP optimum: {best_dma.design!r}  edp={best_dma.edp:.3e}")
+    out(f"cache EDP optimum: {best_cache.design!r}  edp={best_cache.edp:.3e}")
+    winner = "DMA" if best_dma.edp <= best_cache.edp else "cache"
+    out(f"-> {winner} wins for {args.workload}")
+    return 0
+
+
+def cmd_validate(args, out):
+    """``repro validate``: Figure 4's model-vs-sim errors."""
+    from repro.core.validation import validate_suite
+    from repro.workloads import CORE_EIGHT
+    workloads = args.workloads or CORE_EIGHT
+    suite = validate_suite(workloads)
+    rows = [[r.workload, percent(r.total_error),
+             percent(r.component_errors["flush"]),
+             percent(r.component_errors["dma"]),
+             percent(r.component_errors["compute"])]
+            for r in suite["rows"]]
+    out(format_table(["workload", "total", "flush", "dma", "compute"], rows))
+    out(f"average total error: {percent(suite['avg_total_error'])} "
+        f"(paper vs hardware: 6.4% dma / 5% compute / 5% flush)")
+    return 0
+
+
+def cmd_figure(args, out):
+    """``repro figure``: regenerate one paper figure."""
+    from repro.core import figures
+    fn = getattr(figures, args.name)
+    if args.name in ("fig1", "fig8", "fig9", "fig10"):
+        data = fn(density=args.density)
+    else:
+        data = fn()
+    out(_render_figure(args.name, data))
+    return 0
+
+
+def _render_figure(name, data):
+    """A compact text rendering; the benchmarks print richer tables."""
+    from repro.core.reporting import breakdown_table
+    if name == "fig2a":
+        return breakdown_table([data], title="Figure 2a")
+    if name == "fig2b":
+        return breakdown_table(data, title="Figure 2b")
+    if name == "fig4":
+        lines = [f"{r.workload:20s} total_err={percent(r.total_error)}"
+                 for r in data["rows"]]
+        lines.append(f"avg={percent(data['avg_total_error'])}")
+        return "\n".join(lines)
+    if name == "fig10":
+        lines = []
+        for w, per in data["rows"].items():
+            vals = " ".join(f"{k}={per[k]['improvement']:.2f}x"
+                            for k in per)
+            lines.append(f"{w:20s} {vals}")
+        lines.append(f"averages: {data['averages']}")
+        return "\n".join(lines)
+    return repr(data)
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "validate": cmd_validate,
+    "figure": cmd_figure,
+}
+
+
+def main(argv=None, out=print):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

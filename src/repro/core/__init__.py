@@ -1,0 +1,45 @@
+"""The paper's primary contribution: accelerator-SoC co-design.
+
+This package composes the substrates (Aladdin datapaths, the gem5-like
+memory system, DMA, the CPU driver) into end-to-end offload flows, sweeps
+the design space of Figure 3, and reproduces every figure of the paper's
+evaluation (see DESIGN.md section 3 for the experiment index).
+"""
+
+from repro.core.config import DesignPoint, SoCConfig, PARAMETER_TABLE
+from repro.core.soc import Platform, SoC, run_design
+from repro.core.multi import MultiAcceleratorSoC
+from repro.core.metrics import RunResult, classify_breakdown
+from repro.core.sweep import (
+    dma_design_space,
+    cache_design_space,
+    run_sweep,
+)
+from repro.core.pareto import pareto_frontier, edp_optimal
+from repro.core.scenarios import (
+    Scenario,
+    SCENARIOS,
+    run_scenario_optimum,
+    edp_improvement,
+)
+
+__all__ = [
+    "DesignPoint",
+    "SoCConfig",
+    "PARAMETER_TABLE",
+    "Platform",
+    "SoC",
+    "MultiAcceleratorSoC",
+    "run_design",
+    "RunResult",
+    "classify_breakdown",
+    "dma_design_space",
+    "cache_design_space",
+    "run_sweep",
+    "pareto_frontier",
+    "edp_optimal",
+    "Scenario",
+    "SCENARIOS",
+    "run_scenario_optimum",
+    "edp_improvement",
+]

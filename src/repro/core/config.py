@@ -1,0 +1,188 @@
+"""Design-point and SoC configuration (the parameter table of Figure 3).
+
+A :class:`DesignPoint` holds the per-accelerator microarchitecture knobs
+(datapath lanes, scratchpad partitioning, memory interface, cache geometry,
+DMA optimizations); a :class:`SoCConfig` holds platform-wide parameters
+(bus width, clocks, DRAM, driver timing constants).  Both validate their
+values against the swept ranges the paper reports.
+"""
+
+from repro.errors import ConfigError
+
+# Figure 3's table, verbatim: the design space swept in this work.
+PARAMETER_TABLE = {
+    "datapath_lanes": (1, 2, 4, 8, 16),
+    "scratchpad_partitions": (1, 2, 4, 8, 16),
+    "data_transfer_mechanism": ("dma", "cache"),
+    "pipelined_dma": (False, True),
+    "dma_triggered_compute": (False, True),
+    "cache_size_kb": (2, 4, 8, 16, 32, 64),
+    "cache_line_bytes": (16, 32, 64),
+    "cache_ports": (1, 2, 4, 8),
+    "cache_assoc": (4, 8),
+    "cache_line_flush_ns": 84.0,
+    "cache_line_invalidate_ns": 71.0,
+    "hardware_prefetcher": ("none", "stride"),
+    "mshrs": 16,
+    "accelerator_tlb_entries": 8,
+    "tlb_miss_latency_ns": 200.0,
+    "system_bus_width_bits": (32, 64),
+}
+
+
+class DesignPoint:
+    """One accelerator microarchitecture configuration."""
+
+    def __init__(self, lanes=4, partitions=4, mem_interface="dma",
+                 pipelined_dma=True, dma_triggered_compute=True,
+                 double_buffer=False, loop_pipelining=False,
+                 cache_size_kb=8, cache_line=64,
+                 cache_ports=2, cache_assoc=4, prefetcher="stride",
+                 spad_ports=1, perfect_memory=False):
+        self.lanes = lanes
+        self.partitions = partitions
+        self.mem_interface = mem_interface
+        self.pipelined_dma = pipelined_dma
+        self.dma_triggered_compute = dma_triggered_compute
+        # Section IV-B2: double buffering = full/empty bits tracked at
+        # half-array granularity instead of cache-line granularity.
+        self.double_buffer = double_buffer
+        # Aladdin's loop pipelining: iteration rounds overlap instead of
+        # synchronizing at round boundaries (Section IV-D describes the
+        # synchronizing variant; pipelining is the classic-Aladdin mode).
+        self.loop_pipelining = loop_pipelining
+        self.cache_size_kb = cache_size_kb
+        self.cache_line = cache_line
+        self.cache_ports = cache_ports
+        self.cache_assoc = cache_assoc
+        self.prefetcher = prefetcher
+        self.spad_ports = spad_ports
+        # Burger-decomposition idealization (Figure 7 "processing time").
+        self.perfect_memory = perfect_memory
+        self.validate()
+
+    def validate(self):
+        """Raise ConfigError on out-of-range parameters."""
+        if self.lanes < 1 or self.partitions < 1:
+            raise ConfigError("lanes and partitions must be >= 1")
+        if self.mem_interface not in ("dma", "cache"):
+            raise ConfigError(
+                f"mem_interface must be 'dma' or 'cache', "
+                f"got {self.mem_interface!r}")
+        if self.cache_size_kb * 1024 % (self.cache_line * self.cache_assoc):
+            raise ConfigError(
+                f"cache {self.cache_size_kb}KB not divisible by "
+                f"line({self.cache_line}) x assoc({self.cache_assoc})")
+        if self.cache_ports < 1 or self.spad_ports < 1:
+            raise ConfigError("port counts must be >= 1")
+        if self.prefetcher not in ("none", "stride"):
+            raise ConfigError(f"unknown prefetcher {self.prefetcher!r}")
+
+    @property
+    def is_dma(self):
+        return self.mem_interface == "dma"
+
+    def replace(self, **kwargs):
+        """A copy with some fields changed."""
+        fields = dict(
+            lanes=self.lanes, partitions=self.partitions,
+            mem_interface=self.mem_interface,
+            pipelined_dma=self.pipelined_dma,
+            dma_triggered_compute=self.dma_triggered_compute,
+            double_buffer=self.double_buffer,
+            loop_pipelining=self.loop_pipelining,
+            cache_size_kb=self.cache_size_kb, cache_line=self.cache_line,
+            cache_ports=self.cache_ports, cache_assoc=self.cache_assoc,
+            prefetcher=self.prefetcher, spad_ports=self.spad_ports,
+            perfect_memory=self.perfect_memory,
+        )
+        fields.update(kwargs)
+        return DesignPoint(**fields)
+
+    def key(self):
+        """Hashable identity (used by sweeps and caches)."""
+        if self.is_dma:
+            return ("dma", self.lanes, self.partitions, self.pipelined_dma,
+                    self.dma_triggered_compute, self.double_buffer,
+                    self.loop_pipelining, self.spad_ports)
+        return ("cache", self.lanes, self.partitions, self.cache_size_kb,
+                self.cache_line, self.cache_ports, self.cache_assoc,
+                self.prefetcher, self.loop_pipelining, self.perfect_memory)
+
+    def __repr__(self):
+        if self.is_dma:
+            opts = []
+            if self.pipelined_dma:
+                opts.append("pipelined")
+            if self.dma_triggered_compute:
+                opts.append("triggered")
+            extra = "+".join(opts) or "baseline"
+            return (f"DesignPoint(dma lanes={self.lanes} "
+                    f"parts={self.partitions} {extra})")
+        return (f"DesignPoint(cache lanes={self.lanes} "
+                f"size={self.cache_size_kb}KB line={self.cache_line} "
+                f"ports={self.cache_ports} assoc={self.cache_assoc})")
+
+
+class SoCConfig:
+    """Platform-wide parameters shared by every accelerator on the SoC."""
+
+    def __init__(self, bus_width_bits=32, accel_clock_mhz=100,
+                 cpu_clock_mhz=667, dram_banks=8, dram_row_bytes=4096,
+                 dram_row_hit_ns=25.0, dram_row_miss_ns=50.0,
+                 flush_ns_per_line=84.0, invalidate_ns_per_line=71.0,
+                 ioctl_ns=500.0, poll_interval_ns=100.0,
+                 dma_setup_cycles=40, dma_burst_bytes=64,
+                 dma_max_outstanding=4, dma_block_bytes=4096,
+                 tlb_entries=8, tlb_miss_ns=200.0, mshrs=16,
+                 cpu_cache_kb=512, cpu_cache_line=64,
+                 background_traffic=False, traffic_interval_cycles=40,
+                 traffic_burst_bytes=64, fence_ns=50.0):
+        self.bus_width_bits = bus_width_bits
+        self.accel_clock_mhz = accel_clock_mhz
+        self.cpu_clock_mhz = cpu_clock_mhz
+        self.dram_banks = dram_banks
+        self.dram_row_bytes = dram_row_bytes
+        self.dram_row_hit_ns = dram_row_hit_ns
+        self.dram_row_miss_ns = dram_row_miss_ns
+        self.flush_ns_per_line = flush_ns_per_line
+        self.invalidate_ns_per_line = invalidate_ns_per_line
+        self.ioctl_ns = ioctl_ns
+        self.poll_interval_ns = poll_interval_ns
+        self.dma_setup_cycles = dma_setup_cycles
+        self.dma_burst_bytes = dma_burst_bytes
+        self.dma_max_outstanding = dma_max_outstanding
+        self.dma_block_bytes = dma_block_bytes
+        self.tlb_entries = tlb_entries
+        self.tlb_miss_ns = tlb_miss_ns
+        self.mshrs = mshrs
+        self.cpu_cache_kb = cpu_cache_kb
+        self.cpu_cache_line = cpu_cache_line
+        self.background_traffic = background_traffic
+        self.traffic_interval_cycles = traffic_interval_cycles
+        self.traffic_burst_bytes = traffic_burst_bytes
+        self.fence_ns = fence_ns
+        self.validate()
+
+    def validate(self):
+        """Raise ConfigError on inconsistent platform parameters."""
+        if self.bus_width_bits % 8:
+            raise ConfigError("bus width must be a whole number of bytes")
+        if self.dma_block_bytes < self.dma_burst_bytes:
+            raise ConfigError("DMA block must be at least one burst")
+        if self.accel_clock_mhz <= 0 or self.cpu_clock_mhz <= 0:
+            raise ConfigError("clock frequencies must be positive")
+        if self.background_traffic:
+            service_cycles = 1 + -(-self.traffic_burst_bytes
+                                   // (self.bus_width_bits // 8))
+            if self.traffic_interval_cycles <= service_cycles:
+                raise ConfigError(
+                    f"traffic interval ({self.traffic_interval_cycles} cy) "
+                    f"must exceed the bus service time per burst "
+                    f"({service_cycles} cy) or the bus queue diverges")
+
+    def replace(self, **kwargs):
+        """A copy with some fields changed."""
+        fields = {k: v for k, v in self.__dict__.items()}
+        fields.update(kwargs)
+        return SoCConfig(**fields)

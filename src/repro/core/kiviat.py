@@ -1,0 +1,66 @@
+"""Figure 9: microarchitectural resource comparison (Kiviat plots).
+
+The paper's Kiviat axes are datapath lanes, local SRAM size, and local
+memory bandwidth, normalized to the isolated-optimal design.  This module
+extracts those three resources from any design point and normalizes
+scenario optima against the isolated baseline.
+"""
+
+from repro.workloads import cached_trace
+
+
+def design_resources(workload, design):
+    """(lanes, sram_bytes, local_bandwidth) provisioned by ``design``.
+
+    * Scratchpad designs hold every kernel array locally; bandwidth is
+      partitions x ports (words/cycle).
+    * Cache designs hold private arrays in scratchpads plus the cache
+      itself; bandwidth is the cache port count.
+    """
+    trace = cached_trace(workload)
+    if design.mem_interface == "dma":
+        sram = sum(d.size_bytes for d in trace.arrays.values())
+        bandwidth = design.partitions * design.spad_ports
+    else:
+        internal = sum(d.size_bytes for d in trace.arrays.values()
+                       if d.kind == "internal")
+        sram = design.cache_size_kb * 1024 + internal
+        bandwidth = design.cache_ports
+    return {
+        "lanes": design.lanes,
+        "sram_bytes": sram,
+        "local_bandwidth": bandwidth,
+    }
+
+
+def kiviat_normalized(workload, optima):
+    """Normalize each scenario optimum's resources to the isolated design.
+
+    ``optima`` maps scenario key -> RunResult; must include ``"isolated"``.
+    Returns {scenario: {axis: value_normalized_to_isolated}}.
+    """
+    base = design_resources(workload, optima["isolated"].design)
+    out = {}
+    for key, result in optima.items():
+        res = design_resources(workload, result.design)
+        out[key] = {
+            axis: (res[axis] / base[axis] if base[axis] else float("nan"))
+            for axis in ("lanes", "sram_bytes", "local_bandwidth")
+        }
+    return out
+
+
+def overprovision_summary(normalized):
+    """Fraction of co-designed axes at or below the isolated provisioning —
+    the paper's 'almost every colored triangle is smaller than the baseline
+    triangle' observation."""
+    total = 0
+    leaner = 0
+    for key, axes in normalized.items():
+        if key == "isolated":
+            continue
+        for value in axes.values():
+            total += 1
+            if value <= 1.0 + 1e-9:
+                leaner += 1
+    return leaner / total if total else 0.0

@@ -1,0 +1,90 @@
+"""Multi-accelerator SoCs.
+
+Figure 3 draws two accelerators (ACCEL0, ACCEL1) on one system bus, and
+Section IV-A's fourth design consideration is behaviour under shared
+resource contention: "invariably a DMA operation or cache fill will stall
+to allow another process to make progress."  The paper proxies contention
+with bus width; this module models it directly — several accelerators,
+each running its own workload on its own design point, launched
+concurrently on one shared :class:`~repro.core.soc.Platform` (one bus, one
+DRAM, one coherence domain).
+
+Typical use::
+
+    from repro.core.multi import MultiAcceleratorSoC
+    soc = MultiAcceleratorSoC([
+        ("md-knn", DesignPoint(lanes=4, partitions=4)),
+        ("fft-transpose", DesignPoint(lanes=4, mem_interface="cache")),
+    ])
+    results = soc.run()
+    slowdowns = soc.contention_slowdowns()   # vs running alone
+"""
+
+from repro.core.config import SoCConfig
+from repro.core.soc import Platform, SoC, run_design
+
+
+class MultiAcceleratorSoC:
+    """N accelerators sharing one platform, offloaded concurrently."""
+
+    def __init__(self, jobs, cfg=None):
+        """``jobs`` is a list of (workload, DesignPoint) pairs."""
+        if not jobs:
+            raise ValueError("need at least one (workload, design) job")
+        self.cfg = cfg or SoCConfig()
+        self.platform = Platform(self.cfg)
+        self.socs = [SoC(workload, design, platform=self.platform)
+                     for workload, design in jobs]
+        self.jobs = list(jobs)
+        self._results = None
+
+    def run(self):
+        """Launch every accelerator at tick 0 and run to completion.
+
+        Returns one :class:`~repro.core.metrics.RunResult` per job, in job
+        order.  Each result's runtime includes whatever stalls the *other*
+        accelerators inflicted through the shared bus and DRAM banks.
+        """
+        for soc in self.socs:
+            soc.launch()
+        self.platform.sim.run()
+        self._results = [soc.collect() for soc in self.socs]
+        return self._results
+
+    @property
+    def results(self):
+        if self._results is None:
+            raise RuntimeError("call run() first")
+        return self._results
+
+    def makespan_ticks(self):
+        """Completion time of the slowest offload."""
+        return max(r.total_ticks for r in self.results)
+
+    def solo_results(self):
+        """Each job re-run alone on an identical (private) platform."""
+        return [run_design(workload, design, self.cfg)
+                for workload, design in self.jobs]
+
+    def contention_slowdowns(self):
+        """Per-job runtime ratio shared-platform / alone (>= ~1.0).
+
+        This is the direct measurement of the paper's shared-resource-
+        contention effect: how much each accelerator's offload stretches
+        because its neighbours occupy the bus and DRAM.
+        """
+        solo = self.solo_results()
+        return [shared.total_ticks / alone.total_ticks
+                for shared, alone in zip(self.results, solo)]
+
+    def bus_utilization(self):
+        """Shared-bus busy fraction over the makespan."""
+        return self.platform.bus.utilization(0, self.makespan_ticks())
+
+
+def run_pair(workload_a, design_a, workload_b, design_b, cfg=None):
+    """Convenience: two accelerators side by side; returns the Multi SoC."""
+    soc = MultiAcceleratorSoC([(workload_a, design_a),
+                               (workload_b, design_b)], cfg)
+    soc.run()
+    return soc

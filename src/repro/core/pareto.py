@@ -1,0 +1,36 @@
+"""Pareto frontiers and EDP-optimal selection (Figures 1 and 8).
+
+The paper plots power-vs-execution-time design spaces and stars the
+energy-delay-product optimum of each memory system.  Lower is better on
+both axes.
+"""
+
+
+def pareto_frontier(results, x=lambda r: r.total_ticks,
+                    y=lambda r: r.power_mw):
+    """The non-dominated subset of ``results``, sorted by ``x``.
+
+    A point is dominated when another point is no worse on both axes and
+    strictly better on at least one.
+    """
+    pts = sorted(results, key=lambda r: (x(r), y(r)))
+    frontier = []
+    best_y = float("inf")
+    for r in pts:
+        if y(r) < best_y:
+            frontier.append(r)
+            best_y = y(r)
+    return frontier
+
+
+def edp_optimal(results):
+    """The design with minimum energy-delay product."""
+    if not results:
+        raise ValueError("no results to select from")
+    return min(results, key=lambda r: r.edp)
+
+
+def dominates(a, b, x=lambda r: r.total_ticks, y=lambda r: r.power_mw):
+    """True when ``a`` Pareto-dominates ``b``."""
+    return (x(a) <= x(b) and y(a) <= y(b)
+            and (x(a) < x(b) or y(a) < y(b)))

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+Every figure's bench target prints the same rows/series the paper plots;
+these helpers keep that output consistent and diff-friendly.
+"""
+
+
+def format_table(headers, rows, precision=3):
+    """Render a list-of-lists as an aligned text table."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def breakdown_table(results, title=""):
+    """Cycle-class breakdown rows (Figures 2b / 6a style)."""
+    headers = ["workload", "design", "flush_only", "dma_flush",
+               "compute_dma", "compute_only", "other", "time_us"]
+    rows = []
+    for r in results:
+        frac = r.breakdown_fractions()
+        rows.append([
+            r.workload, _short_design(r.design),
+            frac["flush_only"], frac["dma_flush"], frac["compute_dma"],
+            frac["compute_only"], frac["other"], r.time_us,
+        ])
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def pareto_table(results, title=""):
+    """Time/power/EDP rows for a set of results (Figure 8 style)."""
+    headers = ["design", "time_us", "power_mw", "edp_Js"]
+    rows = [[_short_design(r.design), r.time_us, r.power_mw,
+             f"{r.edp:.3e}"] for r in results]
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def _short_design(design):
+    if design.mem_interface == "dma":
+        opts = ""
+        if design.pipelined_dma:
+            opts += "P"
+        if design.dma_triggered_compute:
+            opts += "T"
+        return f"dma L{design.lanes} x{design.partitions} {opts or 'base'}"
+    return (f"cache L{design.lanes} {design.cache_size_kb}KB "
+            f"p{design.cache_ports}")
+
+
+def percent(value):
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.1f}%"

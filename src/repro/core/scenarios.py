@@ -1,0 +1,158 @@
+"""The four design scenarios of Section V-B.
+
+1. **Baseline (isolated)**: classic Aladdin — optimize the accelerator with
+   preloaded scratchpads, no system attached.
+2. **Co-designed DMA**: scratchpads + fully-optimized DMA over a 32-bit bus.
+3. **Co-designed cache**: hardware-managed coherent cache, 32-bit bus.
+4. **Co-designed cache, 64-bit bus**: same, with doubled bus bandwidth.
+
+For each scenario we sweep the design space and take the EDP optimum.  The
+paper's Figure 10 then asks: how much better is the co-designed optimum
+than *the isolated-optimal design dropped into the same realistic system*?
+That naive design keeps the isolated optimum's parallelism and local-memory
+provisioning; for cache scenarios its cache must hold the whole footprint
+(a scratchpad-equivalent sizing) with port count matching the isolated
+memory bandwidth.
+"""
+
+from repro.aladdin.accelerator import Accelerator
+from repro.core.config import DesignPoint, PARAMETER_TABLE, SoCConfig
+from repro.core.metrics import RunResult
+from repro.core.pareto import edp_optimal
+from repro.core.soc import run_design
+from repro.core.sweep import (
+    cache_design_space,
+    dma_design_space,
+    run_sweep,
+)
+from repro.workloads import cached_ddg, cached_trace
+
+
+class Scenario:
+    """One named design scenario: a design space plus a platform config."""
+
+    def __init__(self, key, label, mem_interface, bus_width_bits=32):
+        self.key = key
+        self.label = label
+        self.mem_interface = mem_interface  # "isolated" | "dma" | "cache"
+        self.bus_width_bits = bus_width_bits
+
+    def soc_config(self, base_cfg=None):
+        """Platform config with this scenario's bus width."""
+        cfg = base_cfg or SoCConfig()
+        return cfg.replace(bus_width_bits=self.bus_width_bits)
+
+    def design_space(self, density="standard"):
+        """The design points this scenario sweeps."""
+        if self.mem_interface == "cache":
+            return cache_design_space(density)
+        return dma_design_space(density)
+
+    def __repr__(self):
+        return f"Scenario({self.key})"
+
+
+SCENARIOS = {
+    "isolated": Scenario("isolated", "Baseline (isolated)", "isolated"),
+    "dma32": Scenario("dma32", "Co-designed DMA, 32-bit bus", "dma", 32),
+    "cache32": Scenario("cache32", "Co-designed cache, 32-bit bus",
+                        "cache", 32),
+    "cache64": Scenario("cache64", "Co-designed cache, 64-bit bus",
+                        "cache", 64),
+}
+
+
+def run_isolated(workload, design):
+    """Evaluate one design in isolation (classic Aladdin) as a RunResult."""
+    trace = cached_trace(workload)
+    accel = Accelerator(trace, design.lanes, design.partitions,
+                        design.spad_ports)
+    res = accel.run_isolated()
+    breakdown = {
+        "flush_only": 0, "dma_flush": 0, "compute_dma": 0,
+        "compute_only": res.ticks, "other": 0,
+    }
+    return RunResult(workload, design, res.ticks,
+                     accel.clock.ticks_to_cycles(res.ticks),
+                     breakdown, res.energy,
+                     stats={"isolated": True})
+
+
+def isolated_sweep(workload, density="standard"):
+    """Isolated (classic-Aladdin) runs over the DMA design space."""
+    designs = dma_design_space(density)
+    return [run_isolated(workload, d) for d in designs]
+
+
+def run_scenario_optimum(workload, scenario, density="standard",
+                         base_cfg=None):
+    """Sweep the scenario's design space; return (optimum, all results)."""
+    if scenario.mem_interface == "isolated":
+        results = isolated_sweep(workload, density)
+    else:
+        cfg = scenario.soc_config(base_cfg)
+        results = run_sweep(workload, scenario.design_space(density), cfg)
+    return edp_optimal(results), results
+
+
+def naive_design_for(workload, isolated_design, scenario):
+    """The isolated-optimal design transplanted into ``scenario``.
+
+    DMA scenarios keep lanes/partitions (with the DMA optimizations on —
+    the comparison is about provisioning, not about crippling the
+    transfer).  Cache scenarios get a scratchpad-equivalent cache: sized to
+    hold the whole shared footprint, with ports matching the isolated
+    design's local memory bandwidth.
+    """
+    if scenario.mem_interface == "dma":
+        return isolated_design.replace(mem_interface="dma",
+                                       pipelined_dma=True,
+                                       dma_triggered_compute=True)
+    ddg = cached_ddg(workload)
+    footprint_kb = max(ddg.footprint_bytes() / 1024.0, 1.0)
+    sizes = [s for s in PARAMETER_TABLE["cache_size_kb"]
+             if s >= footprint_kb]
+    size = sizes[0] if sizes else PARAMETER_TABLE["cache_size_kb"][-1]
+    ports = max(p for p in PARAMETER_TABLE["cache_ports"]
+                if p <= max(isolated_design.partitions, 1))
+    return isolated_design.replace(mem_interface="cache",
+                                   cache_size_kb=size, cache_ports=ports)
+
+
+def edp_improvement(workload, scenario, density="standard", base_cfg=None,
+                    isolated_optimum=None, codesigned_optimum=None):
+    """Figure 10's metric for one (workload, scenario) pair.
+
+    Returns a dict with the naive EDP (isolated-optimal design under the
+    scenario's system), the co-designed EDP (scenario optimum), and their
+    ratio (improvement; > 1 means co-design wins).  Precomputed optima can
+    be passed in to reuse sweep work.
+    """
+    if isolated_optimum is None:
+        isolated_optimum, _ = run_scenario_optimum(
+            workload, SCENARIOS["isolated"], density)
+    cfg = scenario.soc_config(base_cfg)
+    naive = naive_design_for(workload, isolated_optimum.design, scenario)
+    naive_result = run_design(workload, naive, cfg)
+    if codesigned_optimum is not None:
+        codesigned, results = codesigned_optimum, []
+    else:
+        codesigned, results = run_scenario_optimum(workload, scenario,
+                                                   density, base_cfg)
+    # The co-design space is a superset of the naive point, but a
+    # sub-sampled sweep grid may miss it; the optimum over the union keeps
+    # the metric well defined (improvement >= 1 by construction).
+    if naive_result.edp < codesigned.edp:
+        codesigned = naive_result
+    return {
+        "workload": workload,
+        "scenario": scenario.key,
+        "naive_design": naive,
+        "naive_edp": naive_result.edp,
+        "codesigned_design": codesigned.design,
+        "codesigned_edp": codesigned.edp,
+        "improvement": naive_result.edp / codesigned.edp,
+        "codesigned_result": codesigned,
+        "naive_result": naive_result,
+        "sweep": results,
+    }

@@ -1,0 +1,72 @@
+"""Design-space sweeps (the engine behind Figures 1, 8, 9, 10).
+
+Generators produce the DMA-side and cache-side design spaces of Figure 3;
+:func:`run_sweep` evaluates each point end to end.  Traces are cached per
+workload (see :mod:`repro.workloads.registry`), so a sweep pays the trace
+capture once and the scheduling per point.
+
+``density`` trades sweep resolution for runtime: ``"full"`` is the paper's
+complete cross-product, ``"standard"`` a representative subset (default),
+``"quick"`` a coarse grid for tests.
+"""
+
+from repro.core.config import DesignPoint, PARAMETER_TABLE
+from repro.core.soc import run_design
+
+_LANES = PARAMETER_TABLE["datapath_lanes"]
+_PARTS = PARAMETER_TABLE["scratchpad_partitions"]
+_SIZES = PARAMETER_TABLE["cache_size_kb"]
+_PORTS = PARAMETER_TABLE["cache_ports"]
+_ASSOC = PARAMETER_TABLE["cache_assoc"]
+
+_DENSITIES = {
+    "quick": dict(lanes=(1, 4, 16), parts=(1, 4, 16), sizes=(4, 16),
+                  ports=(1, 4), assoc=(4,)),
+    "standard": dict(lanes=_LANES, parts=(1, 4, 16), sizes=(2, 8, 16, 32),
+                     ports=(1, 4), assoc=(4,)),
+    "full": dict(lanes=_LANES, parts=_PARTS, sizes=_SIZES, ports=_PORTS,
+                 assoc=_ASSOC),
+}
+
+
+def _grid(density):
+    try:
+        return _DENSITIES[density]
+    except KeyError:
+        raise ValueError(
+            f"density must be one of {sorted(_DENSITIES)}, got {density!r}")
+
+
+def dma_design_space(density="standard", pipelined=True, triggered=True):
+    """DMA/scratchpad design points: lanes x partitions."""
+    g = _grid(density)
+    return [
+        DesignPoint(lanes=lanes, partitions=parts, mem_interface="dma",
+                    pipelined_dma=pipelined, dma_triggered_compute=triggered)
+        for lanes in g["lanes"]
+        for parts in g["parts"]
+    ]
+
+
+def cache_design_space(density="standard"):
+    """Cache design points: lanes x size x ports x assoc."""
+    g = _grid(density)
+    return [
+        DesignPoint(lanes=lanes, partitions=min(lanes, 4),
+                    mem_interface="cache", cache_size_kb=size,
+                    cache_ports=ports, cache_assoc=assoc)
+        for lanes in g["lanes"]
+        for size in g["sizes"]
+        for ports in g["ports"]
+        for assoc in g["assoc"]
+    ]
+
+
+def run_sweep(workload, designs, cfg=None, progress=None):
+    """Evaluate every design point; returns the list of RunResults."""
+    results = []
+    for i, design in enumerate(designs):
+        results.append(run_design(workload, design, cfg))
+        if progress is not None:
+            progress(i + 1, len(designs))
+    return results

@@ -1,0 +1,12 @@
+"""CPU-side driver model.
+
+The paper's CPU work is the accelerator *device driver*: generating data,
+flushing/invalidating caches, programming the DMA engine, invoking the
+accelerator via ioctl, and spin-waiting on the completion flag (Sections
+III-C, III-E).  gem5-Aladdin characterizes these interactions with measured
+constants; we do the same, driven by a timed driver component.
+"""
+
+from repro.cpu.driver import CPUDriver, DriverTimings
+
+__all__ = ["CPUDriver", "DriverTimings"]

@@ -1,0 +1,12 @@
+"""DMA subsystem: descriptors and the bulk-transfer engine.
+
+Implements the paper's baseline DMA flow plus the two latency optimizations
+of Section IV-B: pipelined DMA (page-sized flush/transfer overlap, driven by
+the SoC flow in :mod:`repro.core.soc`) and DMA-triggered computation (the
+engine sets full/empty bits as bursts land).
+"""
+
+from repro.dma.descriptor import DMADescriptor
+from repro.dma.engine import DMAEngine
+
+__all__ = ["DMADescriptor", "DMAEngine"]

@@ -1,0 +1,41 @@
+"""DMA transfer descriptors.
+
+Section III-C: "the programmer constructs a DMA transfer descriptor that
+contains the source and destination memory addresses along with the size of
+the transfer.  Multiple descriptors can be constructed and connected through
+a linked list."  A transaction is a chain of descriptors serviced in order.
+"""
+
+from repro.errors import ConfigError
+
+
+class DMADescriptor:
+    """One contiguous copy: memory region <-> scratchpad array slice."""
+
+    __slots__ = ("mem_addr", "array", "array_offset", "size", "to_accel")
+
+    def __init__(self, mem_addr, array, array_offset, size, to_accel):
+        if size <= 0:
+            raise ConfigError(f"DMA descriptor size must be positive, got {size}")
+        self.mem_addr = mem_addr
+        self.array = array          # scratchpad array name
+        self.array_offset = array_offset
+        self.size = size
+        self.to_accel = to_accel    # True: dmaLoad (mem -> spad)
+
+    def split(self, block_bytes):
+        """Split into page-sized descriptors for pipelined DMA."""
+        out = []
+        done = 0
+        while done < self.size:
+            chunk = min(block_bytes, self.size - done)
+            out.append(DMADescriptor(self.mem_addr + done, self.array,
+                                     self.array_offset + done, chunk,
+                                     self.to_accel))
+            done += chunk
+        return out
+
+    def __repr__(self):
+        direction = "load" if self.to_accel else "store"
+        return (f"DMADescriptor({direction} {self.array}+{self.array_offset} "
+                f"<-> 0x{self.mem_addr:x}, {self.size}B)")

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid design point or SoC configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (e.g. deadlock)."""
+
+
+class TraceError(ReproError):
+    """A kernel produced an invalid dynamic trace."""
+
+
+class WorkloadError(ReproError):
+    """A workload was requested that does not exist or failed validation."""

@@ -1,0 +1,29 @@
+"""Memory-system components of the gem5-like SoC substrate.
+
+Everything the paper's Figure 3 draws between the datapath lanes and DRAM
+lives here: the shared system bus, the banked DRAM model, coherent caches
+with MSHRs and a strided prefetcher, partitioned scratchpads, the
+accelerator TLB, full/empty ready bits, and a background-traffic injector
+used for shared-resource-contention studies.
+"""
+
+from repro.memory.bus import SystemBus
+from repro.memory.dram import DRAM
+from repro.memory.sram import Scratchpad
+from repro.memory.cache import Cache
+from repro.memory.coherence import CoherenceDomain, LineState
+from repro.memory.tlb import AcceleratorTLB
+from repro.memory.fullempty import ReadyBits
+from repro.memory.traffic import TrafficGenerator
+
+__all__ = [
+    "SystemBus",
+    "DRAM",
+    "Scratchpad",
+    "Cache",
+    "CoherenceDomain",
+    "LineState",
+    "AcceleratorTLB",
+    "ReadyBits",
+    "TrafficGenerator",
+]

@@ -1,0 +1,243 @@
+"""Set-associative, write-back, coherent cache.
+
+Models gem5's "classic cache" as used by gem5-Aladdin for accelerator-side
+caches (Section III-D): configurable size / line size / associativity /
+ports, MSHRs for hit-under-miss, LRU replacement, write-allocate, and an
+optional strided prefetcher.  Coherence state per line is MOESI, managed
+through the :class:`~repro.memory.coherence.CoherenceDomain`.
+
+The cache is timing-only: data values flow through the functional execution
+of the kernel trace, so lines carry state but no bytes.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+from repro.memory.coherence import LineState
+from repro.memory.mshr import MSHRFile
+from repro.memory.prefetch import NullPrefetcher, StridePrefetcher
+
+
+class Cache:
+    """One coherent cache (used for both the accelerator and the CPU side)."""
+
+    def __init__(self, sim, clock, name, size_bytes, line_size, assoc,
+                 mshrs=16, hit_latency_cycles=2, prefetcher="none",
+                 prefetch_degree=2):
+        if size_bytes % (line_size * assoc):
+            raise ConfigError(
+                f"cache size {size_bytes} not divisible by line*assoc "
+                f"({line_size}x{assoc})"
+            )
+        self.sim = sim
+        self.clock = clock
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_size = line_size
+        self.assoc = assoc
+        self.num_sets = size_bytes // (line_size * assoc)
+        self.hit_latency = hit_latency_cycles
+        self.mshrs = MSHRFile(mshrs)
+        # set index -> OrderedDict(line_addr -> state), LRU order (oldest first)
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.domain = None  # set by CoherenceDomain.register
+        if prefetcher == "stride":
+            self.prefetcher = StridePrefetcher(degree=prefetch_degree)
+        else:
+            self.prefetcher = NullPrefetcher()
+        self.hits = 0
+        self.misses = 0          # primary demand misses (fills issued)
+        self.merged = 0          # secondary misses absorbed by an MSHR
+        self.blocked = 0         # rejected attempts (MSHRs full)
+        self.writebacks = 0
+        self.fills = 0           # lines actually installed (demand)
+        self.prefetch_fills = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- address helpers ---------------------------------------------------
+
+    def line_addr(self, addr):
+        """The line-aligned base address containing ``addr``."""
+        return addr - (addr % self.line_size)
+
+    def _set_index(self, line_addr):
+        return (line_addr // self.line_size) % self.num_sets
+
+    def _set_of(self, line_addr):
+        return self._sets[self._set_index(line_addr)]
+
+    # -- snooping interface (called by the coherence domain) ----------------
+
+    def peek_state(self, line_addr):
+        """MOESI state of a line without touching LRU (snoop view)."""
+        return self._set_of(line_addr).get(line_addr, LineState.INVALID)
+
+    def snoop_invalidate(self, line_addr):
+        """A peer is taking ownership: drop the line.
+
+        Dirty data is forwarded cache-to-cache by the domain, so no
+        writeback traffic is generated here.
+        """
+        self._set_of(line_addr).pop(line_addr, None)
+
+    def snoop_downgrade(self, line_addr):
+        """A peer read a line we own: M/E -> O/S (we keep responsibility
+        for dirty data in the O state)."""
+        cache_set = self._set_of(line_addr)
+        state = cache_set.get(line_addr)
+        if state == LineState.MODIFIED:
+            cache_set[line_addr] = LineState.OWNED
+        elif state == LineState.EXCLUSIVE:
+            cache_set[line_addr] = LineState.SHARED
+
+    # -- direct state manipulation (preload / flush engines) ----------------
+
+    def preload(self, start, size, state=LineState.MODIFIED):
+        """Install every line of [start, start+size) — e.g. CPU-generated
+        input data sitting dirty in the CPU's cache before offload."""
+        line = self.line_addr(start)
+        while line < start + size:
+            self._install(line, state, count_fill=False)
+            line += self.line_size
+
+    def flush_line(self, line_addr):
+        """Software flush (writeback + invalidate) of one line.
+
+        Returns True when the line was dirty (a writeback was generated).
+        """
+        cache_set = self._set_of(line_addr)
+        state = cache_set.pop(line_addr, LineState.INVALID)
+        if state in LineState.DIRTY_STATES:
+            self.writebacks += 1
+            if self.domain is not None:
+                self.domain.writeback(self, line_addr)
+            return True
+        return False
+
+    def extract_line(self, line_addr):
+        """Remove a line without generating traffic; returns True when it
+        was dirty.  Used by flush engines that own their writeback path
+        (the CPU reaches DRAM through its own port, not the accelerator
+        fabric)."""
+        state = self._set_of(line_addr).pop(line_addr, LineState.INVALID)
+        if state in LineState.DIRTY_STATES:
+            self.writebacks += 1
+            return True
+        return False
+
+    def invalidate_line(self, line_addr):
+        """Software invalidate (no writeback — used for DMA return regions)."""
+        self._set_of(line_addr).pop(line_addr, None)
+
+    # -- the access path -----------------------------------------------------
+
+    def access(self, addr, size, is_write, callback, stream=None):
+        """Attempt one demand access.
+
+        Returns ``"hit"``, ``"miss"`` (accepted, fill in flight) or
+        ``"blocked"`` (MSHRs exhausted — caller must retry).  ``callback()``
+        fires once the data is available (after the hit latency, or after
+        the fill plus hit latency).
+        """
+        line = self.line_addr(addr)
+        if self.line_addr(addr + size - 1) != line:
+            raise ConfigError(
+                f"access at 0x{addr:x} size {size} spans cache lines"
+            )
+        cache_set = self._set_of(line)
+        state = cache_set.get(line, LineState.INVALID)
+        hit = state != LineState.INVALID and (
+            not is_write or state in (LineState.MODIFIED, LineState.EXCLUSIVE)
+        )
+        if hit:
+            self._count_access(is_write, addr, stream)
+            self.hits += 1
+            cache_set.move_to_end(line)
+            if is_write:
+                cache_set[line] = LineState.MODIFIED
+            self.sim.schedule(
+                self.clock.cycles_to_ticks(self.hit_latency), callback)
+            return "hit"
+
+        # Miss (or write upgrade, which we conservatively treat as a miss).
+        if self.mshrs.lookup(line):
+            self._count_access(is_write, addr, stream)
+            self.merged += 1
+            self.mshrs.merge(line, (callback, is_write))
+            return "miss"
+        if not self.mshrs.allocate(line):
+            # Rejected: the caller retries, so count nothing yet.
+            self.blocked += 1
+            return "blocked"
+        self._count_access(is_write, addr, stream)
+        self.misses += 1
+        self.mshrs.merge(line, (callback, is_write))
+        self.domain.fetch_line(
+            self, line, for_write=is_write,
+            callback=lambda fill_state, _line=line: self._fill(_line, fill_state),
+        )
+        return "miss"
+
+    def _count_access(self, is_write, addr, stream):
+        """Per accepted access: stats plus one prefetcher observation."""
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        for target in self.prefetcher.observe(stream or "anon", addr,
+                                              self.line_size):
+            self._try_prefetch(target)
+
+    def _try_prefetch(self, line_addr):
+        """Issue a prefetch fill if the line is absent and MSHRs allow."""
+        if self.peek_state(line_addr) != LineState.INVALID:
+            return
+        if self.mshrs.lookup(line_addr) or self.mshrs.full():
+            return
+        self.mshrs.allocate(line_addr)
+        self.domain.fetch_line(
+            self, line_addr, for_write=False,
+            callback=lambda st, _line=line_addr: self._fill(_line, st,
+                                                            prefetch=True),
+        )
+
+    def _fill(self, line_addr, fill_state, prefetch=False):
+        waiters = self.mshrs.release(line_addr)
+        # A waiter that wrote forces the installed state to M.
+        if any(w_is_write for _cb, w_is_write in waiters):
+            fill_state = LineState.MODIFIED
+        self._install(line_addr, fill_state)
+        if prefetch:
+            self.prefetch_fills += 1
+        else:
+            self.fills += 1
+        delay = self.clock.cycles_to_ticks(self.hit_latency)
+        for cb, _is_write in waiters:
+            self.sim.schedule(delay, cb)
+
+    def _install(self, line_addr, state, count_fill=True):
+        cache_set = self._set_of(line_addr)
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            cache_set[line_addr] = state
+            return
+        if len(cache_set) >= self.assoc:
+            victim, victim_state = cache_set.popitem(last=False)
+            if victim_state in LineState.DIRTY_STATES:
+                self.writebacks += 1
+                if count_fill and self.domain is not None:
+                    self.domain.writeback(self, victim)
+        cache_set[line_addr] = state
+
+    # -- stats ----------------------------------------------------------------
+
+    def miss_rate(self):
+        """Primary demand misses over accepted accesses (merged secondary
+        misses count as neither hit nor miss, matching gem5's convention)."""
+        total = self.hits + self.misses + self.merged
+        return self.misses / total if total else 0.0
+
+    def resident_lines(self):
+        """Number of valid lines currently installed."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,115 @@
+"""MOESI snooping coherence over the system bus.
+
+gem5-Aladdin attaches the accelerator cache to gem5's classic memory system
+with "a basic MOESI cache coherence protocol" (Section III-D).  We model a
+snooping domain: a missing cache broadcasts a probe; if a peer owns the line
+(M/O/E) it forwards the data cache-to-cache, otherwise the fill comes from
+DRAM through the bus.  Writes invalidate peer copies.
+
+This is what lets cache-based accelerators skip the explicit software flush
+that DMA-based designs must pay for: the CPU's dirty input data is pulled
+on demand, line by line.
+"""
+
+from repro.sim.ports import MemRequest
+from repro.units import ns_to_ticks
+
+
+class LineState:
+    """MOESI states, stored per cache line."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    OWNER_STATES = ("M", "O", "E")
+    DIRTY_STATES = ("M", "O")
+
+
+class _ForwardResponder:
+    """Terminates a cache-to-cache transfer: the owning cache supplies the
+    data directly on the bus, so the request never reaches DRAM."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.forwards = 0
+
+    def handle(self, req):
+        self.forwards += 1
+        req.complete(self.sim.now)
+
+
+class CoherenceDomain:
+    """The set of caches snooping one bus, plus the path to memory."""
+
+    def __init__(self, sim, bus, snoop_ns=20.0):
+        self.sim = sim
+        self.bus = bus
+        self.snoop_ticks = ns_to_ticks(snoop_ns)
+        self.caches = []
+        self._responder = _ForwardResponder(sim)
+        self.cache_to_cache_transfers = 0
+        self.memory_fetches = 0
+        self.invalidations = 0
+
+    def register(self, cache):
+        """Attach a cache to this snooping domain."""
+        self.caches.append(cache)
+        cache.domain = self
+
+    def _peers(self, requester):
+        return [c for c in self.caches if c is not requester]
+
+    def fetch_line(self, requester, line_addr, for_write, callback):
+        """Fetch a line on behalf of ``requester``.
+
+        ``callback(fill_state)`` fires when the data arrives, where
+        ``fill_state`` is the MOESI state the requester should install.
+        """
+        owner = None
+        sharers = []
+        for peer in self._peers(requester):
+            state = peer.peek_state(line_addr)
+            if state in LineState.OWNER_STATES:
+                owner = peer
+            elif state == LineState.SHARED:
+                sharers.append(peer)
+
+        if for_write:
+            # Read-for-ownership: every other copy dies.
+            for peer in self._peers(requester):
+                if peer.peek_state(line_addr) != LineState.INVALID:
+                    peer.snoop_invalidate(line_addr)
+                    self.invalidations += 1
+            fill_state = LineState.MODIFIED
+        elif owner is not None:
+            # Owner keeps a copy and becomes responsible for the dirty data.
+            owner.snoop_downgrade(line_addr)
+            fill_state = LineState.SHARED
+        elif sharers:
+            fill_state = LineState.SHARED
+        else:
+            fill_state = LineState.EXCLUSIVE
+
+        line_size = requester.line_size
+        req = MemRequest(
+            line_addr, line_size, is_write=False,
+            requester=requester.name,
+            callback=lambda _req: callback(fill_state),
+        )
+        if owner is not None:
+            # Cache-to-cache transfer: data moves over the bus but skips DRAM.
+            self.cache_to_cache_transfers += 1
+            self.bus.request(req, target=self._responder,
+                             extra_delay=self.snoop_ticks)
+        else:
+            self.memory_fetches += 1
+            self.bus.request(req, extra_delay=self.snoop_ticks)
+
+    def writeback(self, cache, line_addr):
+        """Evict dirty data to memory (fire-and-forget for timing)."""
+        req = MemRequest(line_addr, cache.line_size, is_write=True,
+                         requester=f"{cache.name}-wb")
+        self.bus.request(req)

@@ -1,0 +1,72 @@
+"""Full/empty ("ready") bits for DMA-triggered computation.
+
+Section IV-B2: the accelerator starts executing as soon as the DMA is
+*programmed*; every scratchpad load first checks a full/empty bit tracked at
+cache-line granularity.  If the bit is clear, only that load's lane stalls;
+the DMA engine sets bits as data lands and wakes the stalled loads.
+"""
+
+from repro.errors import SimulationError
+
+
+class ReadyBits:
+    """Line-granularity full/empty bits for one scratchpad array."""
+
+    def __init__(self, array_name, size_bytes, granularity=64):
+        self.array = array_name
+        self.size_bytes = size_bytes
+        self.granularity = granularity
+        self.num_bits = -(-size_bytes // granularity) if size_bytes else 0
+        self._ready = bytearray(self.num_bits)
+        self._waiters = {}  # bit index -> list of callbacks
+        self.stalls = 0
+
+    def _bit(self, offset):
+        if not 0 <= offset < max(self.size_bytes, 1):
+            raise SimulationError(
+                f"ready-bit offset {offset} outside array {self.array!r} "
+                f"of {self.size_bytes} bytes"
+            )
+        return offset // self.granularity
+
+    def is_ready(self, offset):
+        """True when the line covering ``offset`` has arrived."""
+        return bool(self._ready[self._bit(offset)])
+
+    def wait(self, offset, callback):
+        """Invoke ``callback`` when the line covering ``offset`` is filled.
+
+        Fires immediately if already ready; otherwise the caller's lane is
+        considered stalled until the DMA engine fills the line.
+        """
+        bit = self._bit(offset)
+        if self._ready[bit]:
+            callback()
+            return False
+        self.stalls += 1
+        self._waiters.setdefault(bit, []).append(callback)
+        return True
+
+    def set_range(self, offset, size):
+        """Mark [offset, offset+size) ready and wake any waiters."""
+        if size <= 0:
+            return
+        first = self._bit(offset)
+        last = self._bit(min(offset + size, self.size_bytes) - 1)
+        for bit in range(first, last + 1):
+            if not self._ready[bit]:
+                self._ready[bit] = 1
+                for callback in self._waiters.pop(bit, ()):
+                    callback()
+
+    def set_all(self):
+        """Mark the whole array ready (preloaded scratchpads)."""
+        self.set_range(0, self.size_bytes)
+
+    def all_ready(self):
+        """True when every line has arrived."""
+        return all(self._ready) if self.num_bits else True
+
+    def pending_waiters(self):
+        """Number of callbacks still blocked on unfilled lines."""
+        return sum(len(v) for v in self._waiters.values())

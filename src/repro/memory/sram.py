@@ -1,0 +1,89 @@
+"""Partitioned scratchpad memories.
+
+Aladdin-style accelerators keep data in software-managed scratchpads.  Each
+array may be *cyclically partitioned* into P banks (word i lives in bank
+i mod P); every bank sustains ``ports`` accesses per accelerator cycle.
+Partitioning is the paper's local-memory-bandwidth knob (Figure 3 sweeps
+1..16 partitions).
+"""
+
+from repro.errors import ConfigError
+
+
+class ArraySpec:
+    """Static description of one accelerator-local array."""
+
+    __slots__ = ("name", "size_bytes", "word_bytes")
+
+    def __init__(self, name, size_bytes, word_bytes=4):
+        self.name = name
+        self.size_bytes = size_bytes
+        self.word_bytes = word_bytes
+
+    @property
+    def num_words(self):
+        return self.size_bytes // self.word_bytes
+
+
+class Scratchpad:
+    """All local arrays of one accelerator, with per-bank port arbitration.
+
+    The datapath scheduler calls :meth:`try_access` once per candidate memory
+    op per cycle; an access is accepted if the target bank still has a free
+    port in that cycle.  Bank conflicts are therefore visible to the
+    scheduler, which retries the op on a later cycle.
+    """
+
+    def __init__(self, arrays, partitions, ports_per_partition=1):
+        if partitions < 1:
+            raise ConfigError(f"partitions must be >= 1, got {partitions}")
+        if ports_per_partition < 1:
+            raise ConfigError("ports_per_partition must be >= 1")
+        self.arrays = {a.name: a for a in arrays}
+        self.partitions = partitions
+        self.ports = ports_per_partition
+        # Per (array, bank): [cycle, uses_in_cycle]
+        self._bank_use = {
+            (name, bank): [-1, 0]
+            for name in self.arrays
+            for bank in range(partitions)
+        }
+        self.accesses = 0
+        self.conflicts = 0
+        self.access_by_array = {name: 0 for name in self.arrays}
+
+    def bank_of(self, array, word_index):
+        """Cyclic partitioning: bank = word index mod partitions."""
+        return word_index % self.partitions
+
+    def try_access(self, array, word_index, cycle):
+        """Attempt an access in ``cycle``.  Returns True when a port was won."""
+        if array not in self.arrays:
+            raise ConfigError(f"unknown scratchpad array {array!r}")
+        slot = self._bank_use[(array, self.bank_of(array, word_index))]
+        if slot[0] != cycle:
+            slot[0] = cycle
+            slot[1] = 0
+        if slot[1] >= self.ports:
+            self.conflicts += 1
+            return False
+        slot[1] += 1
+        self.accesses += 1
+        self.access_by_array[array] += 1
+        return True
+
+    @property
+    def total_bytes(self):
+        """Total SRAM capacity (all arrays); the paper's "SRAM size" axis."""
+        return sum(a.size_bytes for a in self.arrays.values())
+
+    def partition_bytes(self, array):
+        """Capacity of one bank of ``array`` (used by the energy model)."""
+        spec = self.arrays[array]
+        words_per_bank = -(-spec.num_words // self.partitions)
+        return max(words_per_bank * spec.word_bytes, spec.word_bytes)
+
+    @property
+    def bandwidth_words_per_cycle(self):
+        """Peak local-memory bandwidth: one word per port per bank per cycle."""
+        return self.partitions * self.ports

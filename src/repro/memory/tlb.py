@@ -1,0 +1,76 @@
+"""Accelerator TLB.
+
+gem5-Aladdin implements a custom TLB (Section III-D) because (1) gem5's TLBs
+are ISA-specific and (2) Aladdin's *trace* addresses must be translated into
+the simulated virtual and then physical address space.  We reproduce both
+functions: a translation map from trace arrays to simulated addresses, and
+an 8-entry fully-associative page TLB with a pre-characterized 200 ns miss
+penalty (Figure 3), with a single page-table walker serializing misses.
+"""
+
+from collections import OrderedDict
+
+from repro.units import ns_to_ticks
+
+PAGE_SIZE = 4096
+
+
+class AcceleratorTLB:
+    """Fully-associative, LRU page TLB with one walker."""
+
+    def __init__(self, sim, entries=8, miss_latency_ns=200.0,
+                 page_size=PAGE_SIZE, name="accel-tlb"):
+        self.sim = sim
+        self.entries = entries
+        self.page_size = page_size
+        self.miss_ticks = ns_to_ticks(miss_latency_ns)
+        self.name = name
+        self._tlb = OrderedDict()  # vpn -> ppn
+        self._pending = {}         # vpn -> list of (callback, offset)
+        self._walker_free = 0
+        self.hits = 0
+        self.misses = 0
+        self.walks = 0
+
+    def _vpn(self, vaddr):
+        return vaddr // self.page_size
+
+    def translate(self, vaddr, phys_offset, callback):
+        """Translate ``vaddr``; ``callback(paddr)`` fires when done.
+
+        Hits complete immediately (the lookup is folded into the cache hit
+        latency, as in the paper); misses pay the walk latency, serialized
+        through the single walker.
+        """
+        vpn = self._vpn(vaddr)
+        offset = vaddr % self.page_size
+        if vpn in self._tlb:
+            self.hits += 1
+            self._tlb.move_to_end(vpn)
+            callback(self._tlb[vpn] * self.page_size + offset)
+            return True
+        self.misses += 1
+        if vpn in self._pending:
+            # A walk for this page is already in flight: coalesce.
+            self._pending[vpn].append((callback, offset))
+            return False
+        self._pending[vpn] = [(callback, offset)]
+        self.walks += 1
+        start = max(self.sim.now, self._walker_free)
+        done = start + self.miss_ticks
+        self._walker_free = done
+        ppn = (vaddr + phys_offset) // self.page_size
+        self.sim.schedule_at(done, self._finish_walk, vpn, ppn)
+        return False
+
+    def _finish_walk(self, vpn, ppn):
+        if vpn not in self._tlb and len(self._tlb) >= self.entries:
+            self._tlb.popitem(last=False)
+        self._tlb[vpn] = ppn
+        for callback, offset in self._pending.pop(vpn):
+            callback(ppn * self.page_size + offset)
+
+    def miss_rate(self):
+        """TLB misses over all translations."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

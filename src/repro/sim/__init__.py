@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel (the gem5-like substrate core).
+
+Exposes the event queue, clock domains, memory request plumbing, and
+statistics primitives that every other subsystem builds on.
+"""
+
+from repro.sim.kernel import EventQueue, Simulator
+from repro.sim.clock import ClockDomain
+from repro.sim.ports import MemRequest, ReadResp
+from repro.sim.stats import IntervalTracker, merge_intervals, total_covered
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "ClockDomain",
+    "MemRequest",
+    "ReadResp",
+    "IntervalTracker",
+    "merge_intervals",
+    "total_covered",
+]

@@ -1,0 +1,50 @@
+"""Clock domains.
+
+The SoC modeled in the paper mixes clock domains: the Zedboard's Cortex-A9
+runs at 667 MHz while the accelerators and AXI fabric run at 100 MHz (chosen
+so a 4 KB flush and a 4 KB DMA take equal time — Section IV-B1).  A
+:class:`ClockDomain` converts between cycles and ticks and aligns events to
+clock edges.
+"""
+
+from repro.units import freq_mhz_to_period_ticks
+
+
+class ClockDomain:
+    """A fixed-frequency clock.
+
+    >>> accel = ClockDomain(100)     # 100 MHz -> 10 ns period
+    >>> accel.period
+    10000
+    >>> accel.cycles_to_ticks(3)
+    30000
+    """
+
+    def __init__(self, freq_mhz):
+        self.freq_mhz = freq_mhz
+        self.period = freq_mhz_to_period_ticks(freq_mhz)
+
+    def cycles_to_ticks(self, cycles):
+        """Ticks spanned by ``cycles`` clock cycles (rounded per cycle)."""
+        return int(round(cycles * self.period))
+
+    def ticks_to_cycles(self, ticks):
+        """Whole cycles elapsed in ``ticks`` (floor)."""
+        return ticks // self.period
+
+    def next_edge(self, now):
+        """The first clock edge at or after tick ``now``."""
+        remainder = now % self.period
+        if remainder == 0:
+            return now
+        return now + (self.period - remainder)
+
+    def edge_after(self, now):
+        """The first clock edge strictly after tick ``now``."""
+        return self.next_edge(now + 1)
+
+
+# Default domains used throughout the paper's experiments.
+CPU_CLOCK_MHZ = 667
+ACCEL_CLOCK_MHZ = 100
+BUS_CLOCK_MHZ = 100

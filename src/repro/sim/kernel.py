@@ -1,0 +1,134 @@
+"""Event queue and simulator driver.
+
+This is the heart of the gem5-like substrate: a single global event queue
+ordered by (tick, sequence).  Every component — the accelerator datapath,
+caches, DMA engine, bus, DRAM, CPU driver — schedules callbacks on the same
+queue, which is what lets the simulator capture the *dynamic interactions*
+between accelerators and the SoC that the paper is about.
+
+Ticks are picoseconds (see :mod:`repro.units`).
+"""
+
+import heapq
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """A monotonically ordered callback queue.
+
+    Events scheduled at the same tick fire in scheduling order (a stable
+    sequence number breaks ties), which keeps simulations deterministic.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self.now = 0
+
+    def schedule(self, delay, callback, *args):
+        """Run ``callback(*args)`` ``delay`` ticks from now.
+
+        ``delay`` must be non-negative; zero-delay events run later in the
+        current tick, after all previously scheduled same-tick events.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, when, callback, *args):
+        """Run ``callback(*args)`` at absolute tick ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event at tick {when}, now is {self.now}"
+            )
+        heapq.heappush(self._heap, (when, self._seq, callback, args))
+        self._seq += 1
+
+    def empty(self):
+        """True when no events remain."""
+        return not self._heap
+
+    def peek_time(self):
+        """Tick of the next pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self):
+        """Pop and run the next event.  Returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._heap)
+        self.now = when
+        callback(*args)
+        return True
+
+    def run(self, max_events=50_000_000, until=None):
+        """Drain the queue.
+
+        ``max_events`` guards against livelock (a runaway simulation raises
+        :class:`SimulationError` rather than spinning forever).  ``until``
+        optionally stops the simulation once the next event would fire past
+        that tick.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return executed
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events} events): likely livelock"
+                )
+        return executed
+
+
+class Simulator:
+    """Owns an event queue plus end-of-simulation bookkeeping.
+
+    Components register completion flags through :meth:`add_done_dependency`;
+    the simulation is *done* when every registered dependency reports done.
+    This mirrors gem5's exit-event idiom without global state.
+    """
+
+    def __init__(self):
+        self.queue = EventQueue()
+        self._done_checks = []
+
+    @property
+    def now(self):
+        return self.queue.now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule a relative-delay event on the queue."""
+        self.queue.schedule(delay, callback, *args)
+
+    def schedule_at(self, when, callback, *args):
+        """Schedule an absolute-tick event on the queue."""
+        self.queue.schedule_at(when, callback, *args)
+
+    def add_done_dependency(self, check):
+        """Register a zero-arg callable that returns True once its component
+        has finished all its work."""
+        self._done_checks.append(check)
+
+    def all_done(self):
+        """True when every registered component reports done."""
+        return all(check() for check in self._done_checks)
+
+    def run(self, max_events=50_000_000):
+        """Run until the event queue drains, then verify completion.
+
+        Raises :class:`SimulationError` if the queue drained while some
+        component still had outstanding work — that is a deadlock (e.g. a
+        load waiting on a full/empty bit that no DMA will ever set).
+        """
+        executed = self.queue.run(max_events=max_events)
+        if not self.all_done():
+            pending = [check for check in self._done_checks if not check()]
+            raise SimulationError(
+                f"simulation deadlocked: {len(pending)} component(s) still busy "
+                f"at tick {self.now} with an empty event queue"
+            )
+        return executed

@@ -1,0 +1,68 @@
+"""Memory request/response plumbing.
+
+All memory-side components (bus, DRAM, caches, DMA) exchange
+:class:`MemRequest` objects and deliver results through callbacks, mirroring
+gem5's port/packet architecture in a lightweight way.
+"""
+
+import itertools
+
+_req_ids = itertools.count()
+
+
+class MemRequest:
+    """One memory transaction.
+
+    Attributes:
+        addr: physical byte address.
+        size: transfer size in bytes.
+        is_write: write vs read.
+        requester: name of the issuing component (for stats/debug).
+        callback: invoked as ``callback(req)`` when the request completes.
+        is_prefetch: demand miss vs prefetcher-issued.
+    """
+
+    __slots__ = (
+        "req_id",
+        "addr",
+        "size",
+        "is_write",
+        "requester",
+        "callback",
+        "is_prefetch",
+        "issue_tick",
+        "complete_tick",
+    )
+
+    def __init__(self, addr, size, is_write, requester="", callback=None,
+                 is_prefetch=False):
+        self.req_id = next(_req_ids)
+        self.addr = addr
+        self.size = size
+        self.is_write = is_write
+        self.requester = requester
+        self.callback = callback
+        self.is_prefetch = is_prefetch
+        self.issue_tick = None
+        self.complete_tick = None
+
+    def complete(self, now):
+        """Mark completion at ``now`` and fire the callback, if any."""
+        self.complete_tick = now
+        if self.callback is not None:
+            self.callback(self)
+
+    def __repr__(self):
+        kind = "W" if self.is_write else "R"
+        return (f"MemRequest(#{self.req_id} {kind} addr=0x{self.addr:x} "
+                f"size={self.size} from={self.requester})")
+
+
+class ReadResp:
+    """Completion record handed to accelerator-side callbacks."""
+
+    __slots__ = ("addr", "latency_ticks")
+
+    def __init__(self, addr, latency_ticks):
+        self.addr = addr
+        self.latency_ticks = latency_ticks

@@ -1,0 +1,72 @@
+"""Unit conventions and conversion helpers.
+
+The simulator follows gem5's convention of integer *ticks*; one tick is one
+picosecond.  Energies are tracked in picojoules, power in milliwatts.
+
+All public functions are pure and accept/return plain numbers so they are
+trivially testable.
+"""
+
+# One simulator tick is one picosecond.
+TICKS_PER_SECOND = 10**12
+TICKS_PER_NS = 1000
+TICKS_PER_US = 10**6
+
+
+def ns_to_ticks(ns):
+    """Convert nanoseconds to integer ticks (rounding to nearest)."""
+    return int(round(ns * TICKS_PER_NS))
+
+
+def us_to_ticks(us):
+    """Convert microseconds to integer ticks (rounding to nearest)."""
+    return int(round(us * TICKS_PER_US))
+
+
+def ticks_to_ns(ticks):
+    """Convert ticks to nanoseconds (float)."""
+    return ticks / TICKS_PER_NS
+
+
+def ticks_to_us(ticks):
+    """Convert ticks to microseconds (float)."""
+    return ticks / TICKS_PER_US
+
+
+def ticks_to_seconds(ticks):
+    """Convert ticks to seconds (float)."""
+    return ticks / TICKS_PER_SECOND
+
+
+def freq_mhz_to_period_ticks(freq_mhz):
+    """Clock period in ticks for a frequency given in MHz.
+
+    >>> freq_mhz_to_period_ticks(100)
+    10000
+    """
+    return int(round(TICKS_PER_SECOND / (freq_mhz * 10**6)))
+
+
+def pj_to_joules(pj):
+    """Convert picojoules to joules."""
+    return pj * 1e-12
+
+
+def power_mw(energy_pj, ticks):
+    """Average power in milliwatts of ``energy_pj`` spent over ``ticks``.
+
+    Returns 0.0 for a zero-length interval rather than dividing by zero.
+    """
+    if ticks <= 0:
+        return 0.0
+    seconds = ticks_to_seconds(ticks)
+    return pj_to_joules(energy_pj) / seconds * 1e3
+
+
+def edp(energy_pj, ticks):
+    """Energy-delay product in joule-seconds.
+
+    EDP is the figure of merit used throughout the paper to pick "optimal"
+    design points (lower is better).
+    """
+    return pj_to_joules(energy_pj) * ticks_to_seconds(ticks)

@@ -1,0 +1,31 @@
+"""MachSuite workloads, re-implemented against the trace-builder DSL.
+
+MachSuite (Reagen et al., IISWC 2014) is the benchmark suite used throughout
+the paper.  Each kernel here preserves the original's memory access pattern
+(strides, indirection, loop-carried dependences) and compute mix at reduced
+problem sizes (see DESIGN.md substitution #4).
+
+The eight kernels of Figures 6-10 are: aes-aes, nw-nw, gemm-ncubed,
+stencil-stencil2d, stencil-stencil3d, md-knn, spmv-crs, fft-transpose.
+Four more (bfs-bulk, kmp, sort-merge, viterbi) provide Figure 2b's breadth.
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    get_workload,
+    workload_names,
+    cached_trace,
+    cached_ddg,
+    CORE_EIGHT,
+    ALL_WORKLOADS,
+)
+
+__all__ = [
+    "Workload",
+    "get_workload",
+    "workload_names",
+    "cached_trace",
+    "cached_ddg",
+    "CORE_EIGHT",
+    "ALL_WORKLOADS",
+]

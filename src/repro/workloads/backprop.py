@@ -1,0 +1,153 @@
+"""backprop: one epoch of stochastic gradient descent on a small MLP.
+
+MachSuite's backprop kernel.  Sequential SGD creates a dependence chain
+through the weight arrays across samples, while the per-layer neuron
+updates within a sample are parallel — a mixed-parallelism workload with a
+moderate working set (weights + activations).
+
+The activation is the softsign x / (1 + |x|), whose derivative
+1 / (1 + |x|)^2 the backward pass recomputes — matching MachSuite's style
+of keeping the math on the accelerator.
+"""
+
+from repro.workloads.registry import Workload, register
+
+IN = 8
+HID = 8
+OUT = 4
+SAMPLES = 6
+LR = 0.05
+
+
+@register
+class Backprop(Workload):
+    name = "backprop"
+    description = f"MLP {IN}-{HID}-{OUT} SGD, {SAMPLES} samples"
+
+    def _data(self):
+        rng = self.rng()
+        w1 = [rng.uniform(-0.5, 0.5) for _ in range(IN * HID)]
+        w2 = [rng.uniform(-0.5, 0.5) for _ in range(HID * OUT)]
+        xs = [[rng.uniform(-1, 1) for _ in range(IN)]
+              for _ in range(SAMPLES)]
+        ys = [[rng.uniform(0, 1) for _ in range(OUT)]
+              for _ in range(SAMPLES)]
+        return w1, w2, xs, ys
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        w1, w2, xs, ys = self._data()
+        tb = TraceBuilder(self.name)
+        tb.array("w1", IN * HID, word_bytes=8, kind="inout", init=w1)
+        tb.array("w2", HID * OUT, word_bytes=8, kind="inout", init=w2)
+        tb.array("samples", SAMPLES * IN, word_bytes=8, kind="input",
+                 init=[v for row in xs for v in row])
+        tb.array("targets", SAMPLES * OUT, word_bytes=8, kind="input",
+                 init=[v for row in ys for v in row])
+        tb.array("hidden", HID, word_bytes=8, kind="internal")
+        tb.array("delta_h", HID, word_bytes=8, kind="internal")
+
+        def softsign(v):
+            mag = tb.select(tb.fcmp(v, 0.0), v, tb.fsub(0.0, v))
+            return tb.fdiv(v, tb.fadd(1.0, mag))
+
+        def softsign_deriv(v):
+            mag = tb.select(tb.fcmp(v, 0.0), v, tb.fsub(0.0, v))
+            denom = tb.fadd(1.0, mag)
+            return tb.fdiv(1.0, tb.fmul(denom, denom))
+
+        # Iteration numbering: each sample gets a contiguous band of
+        # phases so all dependences flow forward.
+        phases_per_sample = HID + OUT + HID
+        for s in range(SAMPLES):
+            band = s * phases_per_sample
+            x = [tb.load("samples", s * IN + i) for i in range(IN)]
+            # Forward hidden layer (parallel over hidden neurons).
+            h_pre = [None] * HID
+            h_act = [None] * HID
+            for hn in range(HID):
+                with tb.iteration(band + hn):
+                    acc = 0.0
+                    for i in range(IN):
+                        w = tb.load("w1", i * HID + hn)
+                        acc = tb.fadd(acc, tb.fmul(w, x[i]))
+                    h_pre[hn] = acc
+                    h_act[hn] = softsign(acc)
+                    tb.store("hidden", hn, h_act[hn])
+            # Forward output + output delta + w2 update (parallel over
+            # output neurons; each owns its column of w2).
+            deltas = [None] * OUT
+            for on in range(OUT):
+                with tb.iteration(band + HID + on):
+                    acc = 0.0
+                    for hn in range(HID):
+                        w = tb.load("w2", hn * OUT + on)
+                        acc = tb.fadd(acc, tb.fmul(w, h_act[hn]))
+                    out = softsign(acc)
+                    target = tb.load("targets", s * OUT + on)
+                    err = tb.fsub(out, target)
+                    deltas[on] = tb.fmul(err, softsign_deriv(acc))
+                    for hn in range(HID):
+                        w = tb.load("w2", hn * OUT + on)
+                        grad = tb.fmul(deltas[on], h_act[hn])
+                        tb.store("w2", hn * OUT + on,
+                                 tb.fsub(w, tb.fmul(LR, grad)))
+            # Backward hidden + w1 update (parallel over hidden neurons).
+            # Note: uses the *pre-update* w2 values via SSA registers —
+            # matching the reference, which computes all deltas before
+            # applying updates would; MachSuite updates w2 first, so we
+            # reload the updated weights to match it exactly.
+            for hn in range(HID):
+                with tb.iteration(band + HID + OUT + hn):
+                    acc = 0.0
+                    for on in range(OUT):
+                        w = tb.load("w2", hn * OUT + on)
+                        acc = tb.fadd(acc, tb.fmul(w, deltas[on]))
+                    dh = tb.fmul(acc, softsign_deriv(h_pre[hn]))
+                    tb.store("delta_h", hn, dh)
+                    for i in range(IN):
+                        w = tb.load("w1", i * HID + hn)
+                        grad = tb.fmul(dh, x[i])
+                        tb.store("w1", i * HID + hn,
+                                 tb.fsub(w, tb.fmul(LR, grad)))
+        return tb
+
+    def _reference(self):
+        w1, w2, xs, ys = self._data()
+        w1 = list(w1)
+        w2 = list(w2)
+
+        def act(v):
+            return v / (1.0 + abs(v))
+
+        def deriv(v):
+            return 1.0 / (1.0 + abs(v)) ** 2
+
+        for s in range(SAMPLES):
+            x, y = xs[s], ys[s]
+            h_pre = [sum(w1[i * HID + hn] * x[i] for i in range(IN))
+                     for hn in range(HID)]
+            h_act = [act(v) for v in h_pre]
+            o_pre = [sum(w2[hn * OUT + on] * h_act[hn]
+                         for hn in range(HID)) for on in range(OUT)]
+            deltas = [(act(o_pre[on]) - y[on]) * deriv(o_pre[on])
+                      for on in range(OUT)]
+            for on in range(OUT):
+                for hn in range(HID):
+                    w2[hn * OUT + on] -= LR * deltas[on] * h_act[hn]
+            for hn in range(HID):
+                acc = sum(w2[hn * OUT + on] * deltas[on]
+                          for on in range(OUT))
+                dh = acc * deriv(h_pre[hn])
+                for i in range(IN):
+                    w1[i * HID + hn] -= LR * dh * x[i]
+        return w1, w2
+
+    def verify(self, trace):
+        ref_w1, ref_w2 = self._reference()
+        for name, ref in (("w1", ref_w1), ("w2", ref_w2)):
+            got = trace.arrays[name].data
+            for k, (r, g) in enumerate(zip(ref, got)):
+                if abs(r - g) > 1e-9 * max(1.0, abs(r)):
+                    raise AssertionError(f"{name}[{k}] = {g}, want {r}")

@@ -1,0 +1,94 @@
+"""bfs-bulk: breadth-first search, level-synchronous ("bulk") form.
+
+MachSuite's bfs/bulk: each horizon sweeps all nodes, expanding those at the
+current level.  Edge-list indirection and the data-dependent trace length
+make this one of the irregular kernels motivating on-demand memory systems
+(Section II-B).
+"""
+
+from repro.workloads.registry import Workload, register
+
+NODES = 128
+AVG_DEGREE = 4
+MAX_HORIZON = 16
+
+
+@register
+class BfsBulk(Workload):
+    name = "bfs-bulk"
+    description = f"level-synchronous BFS, {NODES} nodes"
+
+    def _graph(self):
+        rng = self.rng()
+        adj = [set() for _ in range(NODES)]
+        # A connected backbone plus random extra edges (undirected).
+        for n in range(1, NODES):
+            other = rng.randrange(n)
+            adj[n].add(other)
+            adj[other].add(n)
+        extra = NODES * AVG_DEGREE // 2 - (NODES - 1)
+        for _ in range(max(extra, 0)):
+            a = rng.randrange(NODES)
+            b = rng.randrange(NODES)
+            if a != b:
+                adj[a].add(b)
+                adj[b].add(a)
+        offsets = [0]
+        edges = []
+        for n in range(NODES):
+            edges.extend(sorted(adj[n]))
+            offsets.append(len(edges))
+        return offsets, edges
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        offsets, edges = self._graph()
+        tb = TraceBuilder(self.name)
+        tb.array("nodes", NODES + 1, word_bytes=4, kind="input", init=offsets)
+        tb.array("edges", len(edges), word_bytes=4, kind="input", init=edges)
+        tb.array("level", NODES, word_bytes=4, kind="inout",
+                 init=[0] + [127] * (NODES - 1))  # 127 = unvisited sentinel
+        it = 0
+        for horizon in range(MAX_HORIZON):
+            changed = False
+            for n in range(NODES):
+                with tb.iteration(it):
+                    lvl = tb.load("level", n)
+                    tb.icmp(lvl, horizon)  # the frontier membership test
+                    if int(lvl.value) == horizon:
+                        begin = tb.load("nodes", n)
+                        end = tb.load("nodes", n + 1)
+                        for e in range(int(begin.value), int(end.value)):
+                            tgt = tb.load("edges", e)
+                            tgt_lvl = tb.load("level", int(tgt.value))
+                            tb.icmp(tgt_lvl, 126)  # unvisited test
+                            if int(tgt_lvl.value) == 127:
+                                tb.store("level", int(tgt.value), horizon + 1)
+                                changed = True
+                it += 1
+            if not changed:
+                break
+        return tb
+
+    def verify(self, trace):
+        offsets, edges = self._graph()
+        # Reference BFS from node 0.
+        ref = [127] * NODES
+        ref[0] = 0
+        frontier = [0]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt = []
+            for n in frontier:
+                for e in range(offsets[n], offsets[n + 1]):
+                    t = edges[e]
+                    if ref[t] == 127:
+                        ref[t] = depth
+                        nxt.append(t)
+            frontier = nxt
+        got = trace.arrays["level"].data
+        if got != ref:
+            bad = [i for i in range(NODES) if got[i] != ref[i]]
+            raise AssertionError(f"BFS levels differ at nodes {bad[:10]}")

@@ -1,0 +1,81 @@
+"""bfs-queue: worklist-driven breadth-first search.
+
+MachSuite's second BFS variant: instead of sweeping all nodes per horizon
+(bfs-bulk), a FIFO queue holds the frontier.  The trace is shorter (no
+wasted sweeps) but serial — each dequeue depends on queue state — making
+it another irregular, latency-sensitive kernel.
+"""
+
+from repro.workloads.registry import Workload, register
+from repro.workloads.bfs import BfsBulk
+
+NODES = 128
+
+
+@register
+class BfsQueue(Workload):
+    name = "bfs-queue"
+    description = f"queue-based BFS, {NODES} nodes"
+
+    def _graph(self):
+        # Share bfs-bulk's deterministic graph so the two variants are
+        # directly comparable (their rngs are seeded per-name, so reuse
+        # the bulk generator explicitly).
+        return BfsBulk()._graph()
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        offsets, edges = self._graph()
+        tb = TraceBuilder(self.name)
+        tb.array("nodes", NODES + 1, word_bytes=4, kind="input", init=offsets)
+        tb.array("edges", len(edges), word_bytes=4, kind="input", init=edges)
+        tb.array("level", NODES, word_bytes=4, kind="inout",
+                 init=[0] + [127] * (NODES - 1))
+        tb.array("queue", NODES, word_bytes=4, kind="internal")
+
+        tb.store("queue", 0, 0)
+        head, tail = 0, 1
+        it = 0
+        while head < tail:
+            with tb.iteration(it):
+                n_val = tb.load("queue", head)
+                n = int(n_val.value)
+                lvl = tb.load("level", n)
+                begin = tb.load("nodes", n)
+                end = tb.load("nodes", n + 1)
+                tb.icmp(end, begin)
+                for e in range(int(begin.value), int(end.value)):
+                    tgt = tb.load("edges", e)
+                    tgt_lvl = tb.load("level", int(tgt.value))
+                    tb.icmp(tgt_lvl, 126)
+                    if int(tgt_lvl.value) == 127:
+                        new_lvl = tb.add(lvl, 1)
+                        tb.store("level", int(tgt.value), new_lvl)
+                        tb.store("queue", tail, tgt)
+                        tail += 1
+            head += 1
+            it += 1
+        return tb
+
+    def verify(self, trace):
+        # Same reference as bfs-bulk: levels must match true BFS depths.
+        offsets, edges = self._graph()
+        ref = [127] * NODES
+        ref[0] = 0
+        frontier = [0]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt = []
+            for n in frontier:
+                for e in range(offsets[n], offsets[n + 1]):
+                    t = edges[e]
+                    if ref[t] == 127:
+                        ref[t] = depth
+                        nxt.append(t)
+            frontier = nxt
+        got = trace.arrays["level"].data
+        if got != ref:
+            bad = [i for i in range(NODES) if got[i] != ref[i]]
+            raise AssertionError(f"BFS levels differ at nodes {bad[:10]}")

@@ -1,0 +1,101 @@
+"""fft-strided: iterative radix-2 FFT with strided butterflies.
+
+MachSuite's first FFT variant: log2(N) stages over the whole array, the
+butterfly span doubling each stage.  Early stages touch neighbours; late
+stages stride half the array — a progressively worsening access pattern
+for line-granularity memory systems.
+"""
+
+import cmath
+
+from repro.workloads.registry import Workload, register
+
+POINTS = 256  # MachSuite uses 1024; scaled per DESIGN.md
+STAGES = POINTS.bit_length() - 1  # 8
+
+
+def _bit_reverse(i, bits):
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+@register
+class FftStrided(Workload):
+    name = "fft-strided"
+    description = f"iterative radix-2 FFT, {POINTS} points"
+
+    def _input(self):
+        rng = self.rng()
+        return ([rng.uniform(-1.0, 1.0) for _ in range(POINTS)],
+                [rng.uniform(-1.0, 1.0) for _ in range(POINTS)])
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        re, im = self._input()
+        # Twiddle table: W_N^k for k in [0, N/2).
+        tw = [cmath.exp(-2j * cmath.pi * k / POINTS)
+              for k in range(POINTS // 2)]
+        tb = TraceBuilder(self.name)
+        tb.array("real", POINTS, word_bytes=8, kind="inout", init=re)
+        tb.array("img", POINTS, word_bytes=8, kind="inout", init=im)
+        tb.array("real_twid", POINTS // 2, word_bytes=8, kind="input",
+                 init=[t.real for t in tw])
+        tb.array("img_twid", POINTS // 2, word_bytes=8, kind="input",
+                 init=[t.imag for t in tw])
+
+        # Bit-reversal permutation (serial prologue), swap via registers.
+        for i in range(POINTS):
+            j = _bit_reverse(i, STAGES)
+            if i < j:
+                xr = tb.load("real", i)
+                xi = tb.load("img", i)
+                yr = tb.load("real", j)
+                yi = tb.load("img", j)
+                tb.store("real", i, yr)
+                tb.store("img", i, yi)
+                tb.store("real", j, xr)
+                tb.store("img", j, xi)
+
+        # Stages: iteration = (stage, butterfly index).
+        it = 0
+        for stage in range(1, STAGES + 1):
+            span = 1 << stage          # butterfly group size
+            half = span >> 1
+            tw_stride = POINTS // span
+            for base in range(0, POINTS, span):
+                with tb.iteration(it):
+                    for t in range(half):
+                        idx_a = base + t
+                        idx_b = base + t + half
+                        wr = tb.load("real_twid", t * tw_stride)
+                        wi = tb.load("img_twid", t * tw_stride)
+                        ar = tb.load("real", idx_a)
+                        ai = tb.load("img", idx_a)
+                        br = tb.load("real", idx_b)
+                        bi = tb.load("img", idx_b)
+                        # t = W * b
+                        tr = tb.fsub(tb.fmul(wr, br), tb.fmul(wi, bi))
+                        ti = tb.fadd(tb.fmul(wr, bi), tb.fmul(wi, br))
+                        tb.store("real", idx_a, tb.fadd(ar, tr))
+                        tb.store("img", idx_a, tb.fadd(ai, ti))
+                        tb.store("real", idx_b, tb.fsub(ar, tr))
+                        tb.store("img", idx_b, tb.fsub(ai, ti))
+                it += 1
+        return tb
+
+    def verify(self, trace):
+        re, im = self._input()
+        x = [complex(r, i) for r, i in zip(re, im)]
+        # O(n^2) DFT reference.
+        ref = [sum(x[n] * cmath.exp(-2j * cmath.pi * k * n / POINTS)
+                   for n in range(POINTS)) for k in range(POINTS)]
+        got_r = trace.arrays["real"].data
+        got_i = trace.arrays["img"].data
+        for k in range(POINTS):
+            got = complex(got_r[k], got_i[k])
+            if abs(got - ref[k]) > 1e-6 * max(1.0, abs(ref[k])):
+                raise AssertionError(f"X[{k}] = {got}, want {ref[k]}")

@@ -1,0 +1,130 @@
+"""fft-transpose: the strided radix-8 stage of a 512-point transposed FFT.
+
+"The parallel implementation of this benchmark possesses a stride length of
+512 bytes, meaning that each loop iteration (aka datapath lane) only reads
+eight bytes per 512 bytes of data.  As a result, even with full/empty bits,
+a DMA system must supply nearly all of the data before the computation can
+begin, whereas this is not a problem for the cache system" (Section V-A).
+
+Each of the 64 work items loads 8 complex doubles at stride 64 elements
+(64 x 8 B = 512 B), runs an 8-point DIT FFT, applies per-element twiddles
+from a precomputed table, and stores back in the same strided layout.
+"""
+
+import cmath
+
+from repro.workloads.registry import Workload, register
+
+POINTS = 512
+RADIX = 8
+GROUPS = POINTS // RADIX  # 64 work items, stride 64 elements
+
+_SQ2 = 0.7071067811865476
+# W8^k for k = 0..7.
+_W8 = [cmath.exp(-2j * cmath.pi * k / 8) for k in range(8)]
+
+
+def _twiddles():
+    """W512^(g*k) table, laid out [group * 8 + k]."""
+    out = []
+    for g in range(GROUPS):
+        for k in range(RADIX):
+            out.append(cmath.exp(-2j * cmath.pi * g * k / POINTS))
+    return out
+
+
+def _fft8_ref(x):
+    """Direct 8-point DFT (reference)."""
+    return [sum(x[n] * cmath.exp(-2j * cmath.pi * k * n / 8)
+                for n in range(8)) for k in range(8)]
+
+
+@register
+class FftTranspose(Workload):
+    name = "fft-transpose"
+    description = "strided radix-8 stage of a 512-point transposed FFT"
+
+    def _input(self):
+        rng = self.rng()
+        return ([rng.uniform(-1.0, 1.0) for _ in range(POINTS)],
+                [rng.uniform(-1.0, 1.0) for _ in range(POINTS)])
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        re, im = self._input()
+        tw = _twiddles()
+        tb = TraceBuilder(self.name)
+        tb.array("work_x", POINTS, word_bytes=8, kind="inout", init=re)
+        tb.array("work_y", POINTS, word_bytes=8, kind="inout", init=im)
+        tb.array("tw_x", POINTS, word_bytes=8, kind="input",
+                 init=[t.real for t in tw])
+        tb.array("tw_y", POINTS, word_bytes=8, kind="input",
+                 init=[t.imag for t in tw])
+
+        def cadd(a, b):
+            return (tb.fadd(a[0], b[0]), tb.fadd(a[1], b[1]))
+
+        def csub(a, b):
+            return (tb.fsub(a[0], b[0]), tb.fsub(a[1], b[1]))
+
+        def cmul(a, b):
+            real = tb.fsub(tb.fmul(a[0], b[0]), tb.fmul(a[1], b[1]))
+            imag = tb.fadd(tb.fmul(a[0], b[1]), tb.fmul(a[1], b[0]))
+            return (real, imag)
+
+        def cmul_w8(a, k):
+            """Multiply by W8^k, exploiting the trivial constants."""
+            k %= 8
+            if k == 0:
+                return a
+            if k == 2:  # -j
+                return (a[1], tb.fsub(0.0, a[0]))
+            if k == 4:  # -1
+                return (tb.fsub(0.0, a[0]), tb.fsub(0.0, a[1]))
+            if k == 6:  # +j
+                return (tb.fsub(0.0, a[1]), a[0])
+            w = _W8[k]
+            return cmul(a, (w.real, w.imag))
+
+        for g in range(GROUPS):
+            with tb.iteration(g):
+                x = [(tb.load("work_x", g + s * GROUPS),
+                      tb.load("work_y", g + s * GROUPS))
+                     for s in range(RADIX)]
+                # Radix-2 DIT, 3 stages, inputs in bit-reversed order.
+                order = [0, 4, 2, 6, 1, 5, 3, 7]
+                v = [x[i] for i in order]
+                for stage, half in ((1, 1), (2, 2), (3, 4)):
+                    step = 8 >> stage          # twiddle stride for W8
+                    out = [None] * 8
+                    for base in range(0, 8, half * 2):
+                        for t in range(half):
+                            a = v[base + t]
+                            b = cmul_w8(v[base + half + t], t * step)
+                            out[base + t] = cadd(a, b)
+                            out[base + half + t] = csub(a, b)
+                    v = out
+                for k in range(RADIX):
+                    twr = tb.load("tw_x", g * RADIX + k)
+                    twi = tb.load("tw_y", g * RADIX + k)
+                    res = cmul(v[k], (twr, twi))
+                    tb.store("work_x", g + k * GROUPS, res[0])
+                    tb.store("work_y", g + k * GROUPS, res[1])
+        return tb
+
+    def verify(self, trace):
+        re, im = self._input()
+        tw = _twiddles()
+        got_x = trace.arrays["work_x"].data
+        got_y = trace.arrays["work_y"].data
+        for g in range(GROUPS):
+            x = [complex(re[g + s * GROUPS], im[g + s * GROUPS])
+                 for s in range(RADIX)]
+            ref = _fft8_ref(x)
+            for k in range(RADIX):
+                expect = ref[k] * tw[g * RADIX + k]
+                got = complex(got_x[g + k * GROUPS], got_y[g + k * GROUPS])
+                if abs(expect - got) > 1e-9 * max(1.0, abs(expect)):
+                    raise AssertionError(
+                        f"group {g}, k={k}: got {got}, want {expect}")

@@ -1,0 +1,51 @@
+"""gemm-ncubed: dense matrix-matrix multiply, naive O(n^3).
+
+MachSuite's gemm/ncubed.  Regular streaming access with a high
+compute-to-memory ratio; in the paper it matches DMA performance with a
+cache but needs more power to do so (Section V-A).  The parallel loop is
+the (i, j) output element; each iteration runs the length-n dot product.
+"""
+
+from repro.workloads.registry import Workload, register
+
+N = 16  # matrix dimension (MachSuite uses 64; scaled per DESIGN.md)
+
+
+@register
+class Gemm(Workload):
+    name = "gemm-ncubed"
+    description = f"{N}x{N} double-precision matrix multiply"
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        rng = self.rng()
+        a = [rng.uniform(-1.0, 1.0) for _ in range(N * N)]
+        b = [rng.uniform(-1.0, 1.0) for _ in range(N * N)]
+        tb = TraceBuilder(self.name)
+        tb.array("m1", N * N, word_bytes=8, kind="input", init=a)
+        tb.array("m2", N * N, word_bytes=8, kind="input", init=b)
+        tb.array("prod", N * N, word_bytes=8, kind="output")
+        for i in range(N):
+            for j in range(N):
+                with tb.iteration(i * N + j):
+                    acc = 0.0
+                    for k in range(N):
+                        x = tb.load("m1", i * N + k)
+                        y = tb.load("m2", k * N + j)
+                        mul = tb.fmul(x, y)
+                        acc = tb.fadd(acc, mul)
+                    tb.store("prod", i * N + j, acc)
+        return tb
+
+    def verify(self, trace):
+        a = trace.arrays["m1"].data
+        b = trace.arrays["m2"].data
+        prod = trace.arrays["prod"].data
+        for i in range(N):
+            for j in range(N):
+                ref = sum(a[i * N + k] * b[k * N + j] for k in range(N))
+                got = prod[i * N + j]
+                if abs(ref - got) > 1e-9:
+                    raise AssertionError(
+                        f"prod[{i},{j}] = {got}, expected {ref}")

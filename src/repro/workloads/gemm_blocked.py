@@ -1,0 +1,59 @@
+"""gemm-blocked: cache-blocked matrix multiply.
+
+MachSuite's second gemm variant.  Same arithmetic as gemm-ncubed but
+iterating over BxB tiles, which changes the reuse pattern the local memory
+sees: each tile of the output accumulates across the k-blocks, so partial
+sums live in memory rather than in registers.
+"""
+
+from repro.workloads.registry import Workload, register
+
+N = 16
+B = 4  # tile edge
+
+
+@register
+class GemmBlocked(Workload):
+    name = "gemm-blocked"
+    description = f"{N}x{N} blocked matrix multiply, {B}x{B} tiles"
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        rng = self.rng()
+        a = [rng.uniform(-1.0, 1.0) for _ in range(N * N)]
+        b = [rng.uniform(-1.0, 1.0) for _ in range(N * N)]
+        tb = TraceBuilder(self.name)
+        tb.array("m1", N * N, word_bytes=8, kind="input", init=a)
+        tb.array("m2", N * N, word_bytes=8, kind="input", init=b)
+        tb.array("prod", N * N, word_bytes=8, kind="output",
+                 init=[0.0] * (N * N))
+        blocks = N // B
+        it = 0
+        # jj/kk tile loops outside; the parallel iteration is one (i, j-tile)
+        # strip of the k-block, numbered so accumulation into prod[i][j]
+        # always flows from lower to higher iterations.
+        for jj in range(blocks):
+            for kk in range(blocks):
+                for i in range(N):
+                    with tb.iteration(it):
+                        for j in range(jj * B, (jj + 1) * B):
+                            acc = tb.load("prod", i * N + j)
+                            for k in range(kk * B, (kk + 1) * B):
+                                x = tb.load("m1", i * N + k)
+                                y = tb.load("m2", k * N + j)
+                                acc = tb.fadd(acc, tb.fmul(x, y))
+                            tb.store("prod", i * N + j, acc)
+                    it += 1
+        return tb
+
+    def verify(self, trace):
+        a = trace.arrays["m1"].data
+        b = trace.arrays["m2"].data
+        prod = trace.arrays["prod"].data
+        for i in range(N):
+            for j in range(N):
+                ref = sum(a[i * N + k] * b[k * N + j] for k in range(N))
+                if abs(ref - prod[i * N + j]) > 1e-9:
+                    raise AssertionError(
+                        f"prod[{i},{j}] = {prod[i * N + j]}, want {ref}")

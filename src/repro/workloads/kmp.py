@@ -1,0 +1,95 @@
+"""kmp: Knuth-Morris-Pratt substring search.
+
+MachSuite's kmp.  The matcher state ``q`` is loop-carried across every text
+character, so the main loop is a long serial chain — another data-movement-
+bound, parallelism-resistant workload for Figure 2b.
+"""
+
+from repro.workloads.registry import Workload, register
+
+TEXT_LEN = 512   # MachSuite scans 32 KB of text; scaled
+PATTERN = [0, 1, 0, 2]  # "ABAC" over a 4-letter alphabet
+ALPHA = 4
+
+
+@register
+class Kmp(Workload):
+    name = "kmp"
+    description = f"KMP search of a {len(PATTERN)}-char pattern in "\
+                  f"{TEXT_LEN} chars"
+
+    def _text(self):
+        rng = self.rng()
+        return [rng.randrange(ALPHA) for _ in range(TEXT_LEN)]
+
+    @staticmethod
+    def _failure_table():
+        k = 0
+        table = [0] * len(PATTERN)
+        for q in range(1, len(PATTERN)):
+            while k > 0 and PATTERN[k] != PATTERN[q]:
+                k = table[k - 1]
+            if PATTERN[k] == PATTERN[q]:
+                k += 1
+            table[q] = k
+        return table
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        text = self._text()
+        tb = TraceBuilder(self.name)
+        tb.array("pattern", len(PATTERN), word_bytes=1, kind="input",
+                 init=PATTERN)
+        tb.array("input", TEXT_LEN, word_bytes=1, kind="input", init=text)
+        tb.array("kmpNext", len(PATTERN), word_bytes=4, kind="internal")
+        tb.array("n_matches", 1, word_bytes=4, kind="output")
+
+        # Failure-table construction (serial prologue), traced.
+        k = 0
+        tb.store("kmpNext", 0, 0)
+        for q in range(1, len(PATTERN)):
+            pq = tb.load("pattern", q)
+            while k > 0 and PATTERN[k] != int(pq.value):
+                nxt = tb.load("kmpNext", k - 1)
+                k = int(nxt.value)
+            pk = tb.load("pattern", k)
+            tb.icmp(pk, pq)
+            if int(pk.value) == int(pq.value):
+                k += 1
+            tb.store("kmpNext", q, k)
+
+        # Matcher: q is loop-carried; every state update is a traced chain.
+        matches = 0
+        q = 0
+        count = tb.op("add", 0, 0)  # the match counter register
+        for i in range(TEXT_LEN):
+            with tb.iteration(i):
+                c = tb.load("input", i)
+                while q > 0 and PATTERN[q] != text[i]:
+                    nxt = tb.load("kmpNext", q - 1)
+                    pq = tb.load("pattern", q)
+                    tb.icmp(pq, c)
+                    q = int(nxt.value)
+                pq = tb.load("pattern", q)
+                tb.icmp(pq, c)
+                if PATTERN[q] == text[i]:
+                    q += 1
+                if q == len(PATTERN):
+                    count = tb.add(count, 1)
+                    matches += 1
+                    nxt = tb.load("kmpNext", q - 1)
+                    q = int(nxt.value)
+        tb.store("n_matches", 0, count)
+        self._expected = matches
+        return tb
+
+    def verify(self, trace):
+        text = self._text()
+        # Reference: naive scan.
+        plen = len(PATTERN)
+        ref = sum(1 for i in range(TEXT_LEN - plen + 1)
+                  if text[i:i + plen] == PATTERN)
+        got = trace.arrays["n_matches"].data[0]
+        if got != ref:
+            raise AssertionError(f"n_matches = {got}, want {ref}")

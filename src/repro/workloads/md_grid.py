@@ -1,0 +1,143 @@
+"""md-grid: molecular dynamics with cell lists.
+
+MachSuite's second MD variant: space is divided into a 3D grid of cells;
+each cell computes LJ interactions against its 27-neighbourhood.  Compared
+to md-knn the neighbour structure is positional rather than a precomputed
+index list, and work per iteration varies with cell occupancy.
+"""
+
+from repro.workloads.registry import Workload, register
+
+CELLS = 3                # 3x3x3 grid (MachSuite: 4x4x4)
+ATOMS_PER_CELL = 2
+N_CELLS = CELLS ** 3
+LJ1 = 1.5
+LJ2 = 2.0
+
+
+def _cell_idx(x, y, z):
+    return (x * CELLS + y) * CELLS + z
+
+
+@register
+class MdGrid(Workload):
+    name = "md-grid"
+    description = (f"cell-list LJ forces, {CELLS}^3 cells x "
+                   f"{ATOMS_PER_CELL} atoms")
+
+    def _positions(self):
+        rng = self.rng()
+        pos = []
+        for cx in range(CELLS):
+            for cy in range(CELLS):
+                for cz in range(CELLS):
+                    for _a in range(ATOMS_PER_CELL):
+                        pos.append((cx + rng.random(),
+                                    cy + rng.random(),
+                                    cz + rng.random()))
+        return pos
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        pos = self._positions()
+        n_atoms = len(pos)
+        tb = TraceBuilder(self.name)
+        for axis, idx in (("x", 0), ("y", 1), ("z", 2)):
+            tb.array(f"p_{axis}", n_atoms, word_bytes=8, kind="input",
+                     init=[p[idx] for p in pos])
+            tb.array(f"f_{axis}", n_atoms, word_bytes=8, kind="output")
+
+        it = 0
+        for cx in range(CELLS):
+            for cy in range(CELLS):
+                for cz in range(CELLS):
+                    cell = _cell_idx(cx, cy, cz)
+                    with tb.iteration(it):
+                        self._cell_forces(tb, cell, cx, cy, cz)
+                    it += 1
+        return tb
+
+    def _cell_forces(self, tb, cell, cx, cy, cz):
+        base = cell * ATOMS_PER_CELL
+        for a in range(ATOMS_PER_CELL):
+            i = base + a
+            xi = tb.load("p_x", i)
+            yi = tb.load("p_y", i)
+            zi = tb.load("p_z", i)
+            fx = 0.0
+            fy = 0.0
+            fz = 0.0
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for dz in (-1, 0, 1):
+                        nx, ny, nz = cx + dx, cy + dy, cz + dz
+                        if not (0 <= nx < CELLS and 0 <= ny < CELLS
+                                and 0 <= nz < CELLS):
+                            continue
+                        nbase = _cell_idx(nx, ny, nz) * ATOMS_PER_CELL
+                        for b in range(ATOMS_PER_CELL):
+                            j = nbase + b
+                            if j == i:
+                                continue
+                            xj = tb.load("p_x", j)
+                            yj = tb.load("p_y", j)
+                            zj = tb.load("p_z", j)
+                            rx = tb.fsub(xi, xj)
+                            ry = tb.fsub(yi, yj)
+                            rz = tb.fsub(zi, zj)
+                            r2 = tb.fadd(
+                                tb.fadd(tb.fmul(rx, rx), tb.fmul(ry, ry)),
+                                tb.fmul(rz, rz))
+                            r2inv = tb.fdiv(1.0, r2)
+                            r6inv = tb.fmul(tb.fmul(r2inv, r2inv), r2inv)
+                            pot = tb.fmul(
+                                r6inv, tb.fsub(tb.fmul(LJ1, r6inv), LJ2))
+                            force = tb.fmul(r2inv, pot)
+                            fx = tb.fadd(fx, tb.fmul(force, rx))
+                            fy = tb.fadd(fy, tb.fmul(force, ry))
+                            fz = tb.fadd(fz, tb.fmul(force, rz))
+            tb.store("f_x", i, fx)
+            tb.store("f_y", i, fy)
+            tb.store("f_z", i, fz)
+
+    def verify(self, trace):
+        pos = self._positions()
+        for cx in range(CELLS):
+            for cy in range(CELLS):
+                for cz in range(CELLS):
+                    cell = _cell_idx(cx, cy, cz)
+                    for a in range(ATOMS_PER_CELL):
+                        i = cell * ATOMS_PER_CELL + a
+                        fx = fy = fz = 0.0
+                        for dx in (-1, 0, 1):
+                            for dy in (-1, 0, 1):
+                                for dz in (-1, 0, 1):
+                                    nx, ny, nz = cx + dx, cy + dy, cz + dz
+                                    if not (0 <= nx < CELLS
+                                            and 0 <= ny < CELLS
+                                            and 0 <= nz < CELLS):
+                                        continue
+                                    nb = _cell_idx(nx, ny, nz) \
+                                        * ATOMS_PER_CELL
+                                    for b in range(ATOMS_PER_CELL):
+                                        j = nb + b
+                                        if j == i:
+                                            continue
+                                        rx = pos[i][0] - pos[j][0]
+                                        ry = pos[i][1] - pos[j][1]
+                                        rz = pos[i][2] - pos[j][2]
+                                        r2 = rx * rx + ry * ry + rz * rz
+                                        r2inv = 1.0 / r2
+                                        r6inv = r2inv ** 3
+                                        force = r2inv * (
+                                            r6inv * (LJ1 * r6inv - LJ2))
+                                        fx += force * rx
+                                        fy += force * ry
+                                        fz += force * rz
+                        for name, ref in (("f_x", fx), ("f_y", fy),
+                                          ("f_z", fz)):
+                            got = trace.arrays[name].data[i]
+                            if abs(ref - got) > 1e-6 * max(1.0, abs(ref)):
+                                raise AssertionError(
+                                    f"{name}[{i}] = {got}, want {ref}")

@@ -1,0 +1,109 @@
+"""md-knn: k-nearest-neighbour molecular dynamics (Lennard-Jones forces).
+
+The paper's running example (Figures 2a, 6, 8, 9).  "There are 12 FP
+multiplies per atom-to-atom interaction, so the power consumption of this
+benchmark is dominated by functional units rather than memory"
+(Section V-A).  Positions stream in atom order, so full/empty bits overlap
+nearly all DMA with compute; the neighbour list adds indirection on the
+position loads.
+"""
+
+from repro.workloads.registry import Workload, register
+
+ATOMS = 64
+NEIGHBOURS = 16  # MachSuite uses 256 atoms x 16 neighbours; scaled
+
+LJ1 = 1.5
+LJ2 = 2.0
+
+
+@register
+class MdKnn(Workload):
+    name = "md-knn"
+    description = f"LJ force kernel, {ATOMS} atoms x {NEIGHBOURS} neighbours"
+
+    def _neighbour_list(self, rng, positions):
+        """k nearest neighbours by actual distance (as MachSuite's input
+        generator does), flattened to ATOMS*NEIGHBOURS."""
+        nl = []
+        for i in range(ATOMS):
+            xi, yi, zi = positions[i]
+            dist = sorted(
+                (((positions[j][0] - xi) ** 2 + (positions[j][1] - yi) ** 2
+                  + (positions[j][2] - zi) ** 2), j)
+                for j in range(ATOMS) if j != i
+            )
+            nl.extend(j for _d, j in dist[:NEIGHBOURS])
+        return nl
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        rng = self.rng()
+        positions = [(rng.uniform(0, 10), rng.uniform(0, 10),
+                      rng.uniform(0, 10)) for _ in range(ATOMS)]
+        nl = self._neighbour_list(rng, positions)
+        tb = TraceBuilder(self.name)
+        tb.array("x", ATOMS, word_bytes=8, kind="input",
+                 init=[p[0] for p in positions])
+        tb.array("y", ATOMS, word_bytes=8, kind="input",
+                 init=[p[1] for p in positions])
+        tb.array("z", ATOMS, word_bytes=8, kind="input",
+                 init=[p[2] for p in positions])
+        tb.array("nl", ATOMS * NEIGHBOURS, word_bytes=4, kind="input", init=nl)
+        tb.array("fx", ATOMS, word_bytes=8, kind="output")
+        tb.array("fy", ATOMS, word_bytes=8, kind="output")
+        tb.array("fz", ATOMS, word_bytes=8, kind="output")
+        for i in range(ATOMS):
+            with tb.iteration(i):
+                xi = tb.load("x", i)
+                yi = tb.load("y", i)
+                zi = tb.load("z", i)
+                fx = 0.0
+                fy = 0.0
+                fz = 0.0
+                for k in range(NEIGHBOURS):
+                    jv = tb.load("nl", i * NEIGHBOURS + k)
+                    j = int(jv.value)
+                    xj = tb.load("x", j)
+                    yj = tb.load("y", j)
+                    zj = tb.load("z", j)
+                    dx = tb.fsub(xi, xj)
+                    dy = tb.fsub(yi, yj)
+                    dz = tb.fsub(zi, zj)
+                    r2 = tb.fadd(tb.fadd(tb.fmul(dx, dx), tb.fmul(dy, dy)),
+                                 tb.fmul(dz, dz))
+                    r2inv = tb.fdiv(1.0, r2)
+                    r6inv = tb.fmul(tb.fmul(r2inv, r2inv), r2inv)
+                    pot = tb.fmul(r6inv,
+                                  tb.fsub(tb.fmul(LJ1, r6inv), LJ2))
+                    force = tb.fmul(r2inv, pot)
+                    fx = tb.fadd(fx, tb.fmul(force, dx))
+                    fy = tb.fadd(fy, tb.fmul(force, dy))
+                    fz = tb.fadd(fz, tb.fmul(force, dz))
+                tb.store("fx", i, fx)
+                tb.store("fy", i, fy)
+                tb.store("fz", i, fz)
+        return tb
+
+    def verify(self, trace):
+        x = trace.arrays["x"].data
+        y = trace.arrays["y"].data
+        z = trace.arrays["z"].data
+        nl = trace.arrays["nl"].data
+        for i in range(ATOMS):
+            fx = fy = fz = 0.0
+            for k in range(NEIGHBOURS):
+                j = nl[i * NEIGHBOURS + k]
+                dx, dy, dz = x[i] - x[j], y[i] - y[j], z[i] - z[j]
+                r2 = dx * dx + dy * dy + dz * dz
+                r2inv = 1.0 / r2
+                r6inv = r2inv ** 3
+                force = r2inv * (r6inv * (LJ1 * r6inv - LJ2))
+                fx += force * dx
+                fy += force * dy
+                fz += force * dz
+            for name, ref in (("fx", fx), ("fy", fy), ("fz", fz)):
+                got = trace.arrays[name].data[i]
+                if abs(ref - got) > 1e-6 * max(1.0, abs(ref)):
+                    raise AssertionError(f"{name}[{i}] = {got}, want {ref}")

@@ -1,0 +1,138 @@
+"""nw-nw: Needleman-Wunsch DNA sequence alignment.
+
+The paper's archetypal serial kernel: the score-matrix wavefront carries a
+dependence from every cell to its left neighbour, so nw is "so serial that
+[it doesn't] benefit from data parallelism in the first place" (Section
+IV-C2).  The score matrix is private intermediate data and stays in a local
+scratchpad even for cache-based designs (Section IV-D); only the sequences
+(in) and alignments (out) cross the system interface.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SEQ_LEN = 40  # MachSuite aligns 128-char sequences; scaled per DESIGN.md
+MATCH = 1
+MISMATCH = -1
+GAP = -1
+ALPHABET = "ACGT"
+
+M = SEQ_LEN + 1  # score matrix dimension
+
+
+@register
+class NeedlemanWunsch(Workload):
+    name = "nw-nw"
+    description = f"Needleman-Wunsch alignment of two {SEQ_LEN}-char sequences"
+
+    def _sequences(self):
+        rng = self.rng()
+        seqa = [ALPHABET.index(rng.choice(ALPHABET)) for _ in range(SEQ_LEN)]
+        seqb = [ALPHABET.index(rng.choice(ALPHABET)) for _ in range(SEQ_LEN)]
+        return seqa, seqb
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        seqa, seqb = self._sequences()
+        tb = TraceBuilder(self.name)
+        tb.array("seqA", SEQ_LEN, word_bytes=1, kind="input", init=seqa)
+        tb.array("seqB", SEQ_LEN, word_bytes=1, kind="input", init=seqb)
+        tb.array("matrix", M * M, word_bytes=4, kind="internal")
+        tb.array("alignedA", 2 * SEQ_LEN, word_bytes=1, kind="output")
+        tb.array("alignedB", 2 * SEQ_LEN, word_bytes=1, kind="output")
+
+        # Boundary conditions (serial prologue).
+        for j in range(M):
+            tb.store("matrix", j, tb.op("mul", j, GAP))
+        for i in range(1, M):
+            tb.store("matrix", i * M, tb.op("mul", i, GAP))
+
+        # Wavefront fill: iteration = row-major cell index; the dependence
+        # on the left neighbour serializes cells within a row.
+        it = 0
+        for i in range(1, M):
+            for j in range(1, M):
+                with tb.iteration(it):
+                    a = tb.load("seqA", i - 1)
+                    b = tb.load("seqB", j - 1)
+                    diff = tb.xor(a, b)
+                    is_match = tb.icmp(1, diff)  # 1 if diff < 1, i.e. equal
+                    score = tb.select(is_match, MATCH, MISMATCH)
+                    diag = tb.add(tb.load("matrix", (i - 1) * M + (j - 1)),
+                                  score)
+                    up = tb.add(tb.load("matrix", (i - 1) * M + j), GAP)
+                    left = tb.add(tb.load("matrix", i * M + (j - 1)), GAP)
+                    best = tb.select(tb.icmp(up, diag), up, diag)
+                    best = tb.select(tb.icmp(left, best), left, best)
+                    tb.store("matrix", i * M + j, best)
+                it += 1
+
+        # Traceback (serial epilogue): control flow is resolved functionally,
+        # and the compares/loads it performs are traced.
+        i, j = SEQ_LEN, SEQ_LEN
+        pos = 0
+        while i > 0 and j > 0:
+            here = tb.load("matrix", i * M + j)
+            diag = tb.load("matrix", (i - 1) * M + (j - 1))
+            a = tb.load("seqA", i - 1)
+            b = tb.load("seqB", j - 1)
+            score = MATCH if seqa[i - 1] == seqb[j - 1] else MISMATCH
+            tb.icmp(here, diag)  # the hardware's direction compare
+            if here.value == diag.value + score:
+                tb.store("alignedA", pos, a)
+                tb.store("alignedB", pos, b)
+                i -= 1
+                j -= 1
+            elif here.value == tb.arrays["matrix"].data[(i - 1) * M + j] + GAP:
+                tb.store("alignedA", pos, a)
+                tb.store("alignedB", pos, 4)  # gap symbol
+                i -= 1
+            else:
+                tb.store("alignedA", pos, 4)
+                tb.store("alignedB", pos, b)
+                j -= 1
+            pos += 1
+        while i > 0:
+            tb.store("alignedA", pos, tb.load("seqA", i - 1))
+            tb.store("alignedB", pos, 4)
+            i -= 1
+            pos += 1
+        while j > 0:
+            tb.store("alignedA", pos, 4)
+            tb.store("alignedB", pos, tb.load("seqB", j - 1))
+            j -= 1
+            pos += 1
+        return tb
+
+    def _reference_matrix(self, seqa, seqb):
+        mat = [[0] * M for _ in range(M)]
+        for j in range(M):
+            mat[0][j] = j * GAP
+        for i in range(M):
+            mat[i][0] = i * GAP
+        for i in range(1, M):
+            for j in range(1, M):
+                score = MATCH if seqa[i - 1] == seqb[j - 1] else MISMATCH
+                mat[i][j] = max(mat[i - 1][j - 1] + score,
+                                mat[i - 1][j] + GAP,
+                                mat[i][j - 1] + GAP)
+        return mat
+
+    def verify(self, trace):
+        seqa, seqb = self._sequences()
+        ref = self._reference_matrix(seqa, seqb)
+        got = trace.arrays["matrix"].data
+        for i in range(M):
+            for j in range(M):
+                if got[i * M + j] != ref[i][j]:
+                    raise AssertionError(
+                        f"matrix[{i},{j}] = {got[i * M + j]}, want {ref[i][j]}")
+        # The traceback must describe a valid alignment of the two sequences.
+        aligned_a = trace.arrays["alignedA"].data
+        aligned_b = trace.arrays["alignedB"].data
+        recovered_a = [c for c in aligned_a if c != 4][::-1]
+        recovered_b = [c for c in aligned_b if c != 4][::-1]
+        if recovered_a[-len(seqa):] != seqa and recovered_a[:len(seqa)] != seqa:
+            # Alignment is emitted back-to-front; non-gap symbols must be
+            # exactly the input sequence.
+            raise AssertionError("alignedA does not reproduce seqA")

@@ -1,0 +1,107 @@
+"""Workload registry with trace caching.
+
+Traces are design-independent (lanes and partitions are applied at schedule
+time), so one captured trace per kernel is reused across every design point
+of a sweep — this is what keeps full Figure 8 sweeps tractable in Python.
+"""
+
+import random
+
+from repro.errors import WorkloadError
+from repro.aladdin.ddg import DDDG
+
+
+class Workload:
+    """Base class: a named kernel that builds (and can verify) its trace."""
+
+    name = None
+    description = ""
+
+    def rng(self):
+        """Deterministic per-workload random source."""
+        return random.Random(f"repro-{self.name}")
+
+    def build(self):
+        """Execute the kernel through a TraceBuilder; returns the builder."""
+        raise NotImplementedError
+
+    def verify(self, trace):
+        """Check the functional outputs captured in ``trace`` against a
+        plain-Python reference computation.  Raises on mismatch."""
+        raise NotImplementedError
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator adding a workload to the registry."""
+    if cls.name is None:
+        raise WorkloadError(f"{cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_loaded():
+    # Import kernel modules lazily to avoid import cycles; each module
+    # registers its workload class at import time.
+    from repro.workloads import (  # noqa: F401
+        aes, backprop, bfs, bfs_queue, fft_strided, fft_transpose, gemm,
+        gemm_blocked, kmp, md_grid, md_knn, nw, sort_merge, sort_radix,
+        spmv_crs, spmv_ellpack, stencil2d, stencil3d, viterbi,
+    )
+
+
+def get_workload(name):
+    """Instantiate a workload by registry name."""
+    _ensure_loaded()
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}")
+    return cls()
+
+
+def workload_names():
+    """Sorted names of every registered workload."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+_TRACE_CACHE = {}
+_DDG_CACHE = {}
+
+
+def cached_trace(name):
+    """The workload's captured trace (built once per process)."""
+    if name not in _TRACE_CACHE:
+        _TRACE_CACHE[name] = get_workload(name).build()
+    return _TRACE_CACHE[name]
+
+
+def cached_ddg(name):
+    """The workload's DDDG over the cached trace."""
+    if name not in _DDG_CACHE:
+        _DDG_CACHE[name] = DDDG(cached_trace(name))
+    return _DDG_CACHE[name]
+
+
+CORE_EIGHT = [
+    "aes-aes",
+    "nw-nw",
+    "gemm-ncubed",
+    "stencil-stencil2d",
+    "stencil-stencil3d",
+    "md-knn",
+    "spmv-crs",
+    "fft-transpose",
+]
+
+# The full 19-kernel MachSuite sweep (Figure 2b runs "all the MachSuite
+# benchmarks"); CORE_EIGHT are the ones Figures 6-10 analyze in depth.
+ALL_WORKLOADS = CORE_EIGHT + [
+    "backprop", "bfs-bulk", "bfs-queue", "fft-strided", "gemm-blocked",
+    "kmp", "md-grid", "sort-merge", "sort-radix", "spmv-ellpack", "viterbi",
+]

@@ -1,0 +1,65 @@
+"""sort-merge: bottom-up merge sort.
+
+MachSuite's sort/merge.  Pure data movement with almost no arithmetic — the
+canonical low compute-to-memory-ratio workload.  The array is sorted in
+place (``inout``); the merge buffer is private scratchpad data.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SIZE = 256  # MachSuite sorts 2048 ints; scaled per DESIGN.md
+
+
+@register
+class SortMerge(Workload):
+    name = "sort-merge"
+    description = f"bottom-up merge sort of {SIZE} ints"
+
+    def _input(self):
+        rng = self.rng()
+        return [rng.randrange(1 << 16) for _ in range(SIZE)]
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        data = self._input()
+        tb = TraceBuilder(self.name)
+        tb.array("a", SIZE, word_bytes=4, kind="inout", init=data)
+        tb.array("temp", SIZE, word_bytes=4, kind="internal")
+
+        it = 0
+        width = 1
+        while width < SIZE:
+            for start in range(0, SIZE, 2 * width):
+                with tb.iteration(it):
+                    mid = min(start + width, SIZE)
+                    end = min(start + 2 * width, SIZE)
+                    i, j = start, mid
+                    # Merge [start, mid) and [mid, end) into temp.
+                    for k in range(start, end):
+                        if i < mid and (j >= end or
+                                        tb.arrays["a"].data[i]
+                                        <= tb.arrays["a"].data[j]):
+                            v = tb.load("a", i)
+                            if j < end:
+                                w = tb.load("a", j)
+                                tb.icmp(w, v)  # the hardware compare
+                            i += 1
+                        else:
+                            v = tb.load("a", j)
+                            if i < mid:
+                                w = tb.load("a", i)
+                                tb.icmp(w, v)
+                            j += 1
+                        tb.store("temp", k, v)
+                    for k in range(start, end):
+                        tb.store("a", k, tb.load("temp", k))
+                it += 1
+            width *= 2
+        return tb
+
+    def verify(self, trace):
+        ref = sorted(self._input())
+        got = trace.arrays["a"].data
+        if got != ref:
+            raise AssertionError("array not sorted correctly")

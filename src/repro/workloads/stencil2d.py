@@ -1,0 +1,58 @@
+"""stencil-stencil2d: 3x3 convolution filter over a 2D grid.
+
+Row-major streaming: "stencil2d uses a 3x3 kernel and thus only requires the
+first three rows of the input matrix to arrive before it can start
+computation, so ready bits recover a significant amount of performance"
+(Section IV-C1).  The parallel loop is the output cell in row-major order,
+which preserves exactly that property.
+"""
+
+from repro.workloads.registry import Workload, register
+
+ROWS = 32
+COLS = 32  # MachSuite uses 64x128; scaled per DESIGN.md
+
+
+@register
+class Stencil2D(Workload):
+    name = "stencil-stencil2d"
+    description = f"3x3 stencil over a {ROWS}x{COLS} grid"
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        rng = self.rng()
+        orig = [rng.uniform(0.0, 1.0) for _ in range(ROWS * COLS)]
+        filt = [rng.uniform(-1.0, 1.0) for _ in range(9)]
+        tb = TraceBuilder(self.name)
+        tb.array("orig", ROWS * COLS, word_bytes=4, kind="input", init=orig)
+        tb.array("filter", 9, word_bytes=4, kind="input", init=filt)
+        tb.array("sol", ROWS * COLS, word_bytes=4, kind="output")
+        it = 0
+        for r in range(ROWS - 2):
+            for c in range(COLS - 2):
+                with tb.iteration(it):
+                    acc = 0.0
+                    for k1 in range(3):
+                        for k2 in range(3):
+                            f = tb.load("filter", k1 * 3 + k2)
+                            x = tb.load("orig", (r + k1) * COLS + (c + k2))
+                            mul = tb.fmul(f, x)
+                            acc = tb.fadd(acc, mul)
+                    tb.store("sol", r * COLS + c, acc)
+                it += 1
+        return tb
+
+    def verify(self, trace):
+        orig = trace.arrays["orig"].data
+        filt = trace.arrays["filter"].data
+        sol = trace.arrays["sol"].data
+        for r in range(ROWS - 2):
+            for c in range(COLS - 2):
+                ref = sum(
+                    filt[k1 * 3 + k2] * orig[(r + k1) * COLS + (c + k2)]
+                    for k1 in range(3) for k2 in range(3)
+                )
+                got = sol[r * COLS + c]
+                if abs(ref - got) > 1e-6:
+                    raise AssertionError(f"sol[{r},{c}] = {got}, want {ref}")

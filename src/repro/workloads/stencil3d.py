@@ -1,0 +1,70 @@
+"""stencil-stencil3d: 7-point stencil over a 3D grid.
+
+The paper's motivating kernel (Figure 1).  "The kernel's three-dimensional
+memory access pattern creates nonuniform stride lengths, which are
+gracefully handled by the on-demand nature of a cache" (Section V-A): every
+cell touches neighbours one k-plane away (a stride of ROWS*COLS words), so
+full/empty bits must wait for a whole plane before an iteration can start.
+"""
+
+from repro.workloads.registry import Workload, register
+
+NX = 12
+NY = 12
+NZ = 12  # MachSuite uses 32x32x16; scaled per DESIGN.md
+
+C0 = 0.5
+C1 = 0.25
+
+
+def _idx(i, j, k):
+    return (i * NY + j) * NZ + k
+
+
+@register
+class Stencil3D(Workload):
+    name = "stencil-stencil3d"
+    description = f"7-point stencil over a {NX}x{NY}x{NZ} grid"
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        rng = self.rng()
+        orig = [rng.uniform(0.0, 1.0) for _ in range(NX * NY * NZ)]
+        tb = TraceBuilder(self.name)
+        tb.array("orig", NX * NY * NZ, word_bytes=4, kind="input", init=orig)
+        tb.array("sol", NX * NY * NZ, word_bytes=4, kind="output")
+        it = 0
+        for i in range(1, NX - 1):
+            for j in range(1, NY - 1):
+                for k in range(1, NZ - 1):
+                    with tb.iteration(it):
+                        center = tb.load("orig", _idx(i, j, k))
+                        acc = 0.0
+                        for di, dj, dk in ((1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                                           (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+                            nb = tb.load("orig", _idx(i + di, j + dj, k + dk))
+                            acc = tb.fadd(acc, nb)
+                        term0 = tb.fmul(center, C0)
+                        term1 = tb.fmul(acc, C1)
+                        result = tb.fadd(term0, term1)
+                        tb.store("sol", _idx(i, j, k), result)
+                    it += 1
+        return tb
+
+    def verify(self, trace):
+        orig = trace.arrays["orig"].data
+        sol = trace.arrays["sol"].data
+        for i in range(1, NX - 1):
+            for j in range(1, NY - 1):
+                for k in range(1, NZ - 1):
+                    nbsum = sum(
+                        orig[_idx(i + di, j + dj, k + dk)]
+                        for di, dj, dk in ((1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                                           (0, -1, 0), (0, 0, 1), (0, 0, -1))
+                    )
+                    ref = C0 * orig[_idx(i, j, k)] + C1 * nbsum
+                    got = sol[_idx(i, j, k)]
+                    if abs(ref - got) > 1e-6:
+                        raise AssertionError(
+                            f"sol[{i},{j},{k}] = {got}, want {ref}")

@@ -1,0 +1,120 @@
+"""viterbi: Viterbi decoding of a hidden Markov model.
+
+MachSuite's viterbi (min-sum form over negative log-likelihoods).  The
+per-step, per-state minimum over predecessors gives moderate parallelism
+within a time step, with a serial dependence across steps.
+"""
+
+from repro.workloads.registry import Workload, register
+
+STATES = 12
+STEPS = 24
+ALPHABET = 8
+
+
+@register
+class Viterbi(Workload):
+    name = "viterbi"
+    description = f"Viterbi decode, {STATES} states x {STEPS} steps"
+
+    def _model(self):
+        rng = self.rng()
+        obs = [rng.randrange(ALPHABET) for _ in range(STEPS)]
+        init = [rng.uniform(0.1, 2.0) for _ in range(STATES)]
+        transition = [rng.uniform(0.1, 2.0) for _ in range(STATES * STATES)]
+        emission = [rng.uniform(0.1, 2.0) for _ in range(STATES * ALPHABET)]
+        return obs, init, transition, emission
+
+    def build(self):
+        from repro.aladdin.trace import TraceBuilder
+
+        obs, init, transition, emission = self._model()
+        tb = TraceBuilder(self.name)
+        tb.array("obs", STEPS, word_bytes=4, kind="input", init=obs)
+        tb.array("init", STATES, word_bytes=8, kind="input", init=init)
+        tb.array("transition", STATES * STATES, word_bytes=8, kind="input",
+                 init=transition)
+        tb.array("emission", STATES * ALPHABET, word_bytes=8, kind="input",
+                 init=emission)
+        tb.array("llike", STEPS * STATES, word_bytes=8, kind="internal")
+        tb.array("path", STEPS, word_bytes=4, kind="output")
+
+        # t = 0 (serial prologue).
+        o0 = tb.load("obs", 0)
+        for s in range(STATES):
+            pi = tb.load("init", s)
+            em = tb.load("emission", s * ALPHABET + int(o0.value))
+            tb.store("llike", s, tb.fadd(pi, em))
+
+        # Forward pass: iteration = (t-1) * STATES + s.
+        for t in range(1, STEPS):
+            for s in range(STATES):
+                with tb.iteration((t - 1) * STATES + s):
+                    ot = tb.load("obs", t)
+                    em = tb.load("emission",
+                                 s * ALPHABET + int(ot.value))
+                    best = None
+                    for p in range(STATES):
+                        prev = tb.load("llike", (t - 1) * STATES + p)
+                        tr = tb.load("transition", p * STATES + s)
+                        cand = tb.fadd(prev, tr)
+                        if best is None:
+                            best = cand
+                        else:
+                            worse = tb.fcmp(best, cand)  # 1 if best > cand
+                            best = tb.select(worse, cand, best)
+                    tb.store("llike", t * STATES + s,
+                             tb.fadd(best, em))
+
+        # Backtrack (serial epilogue): pick argmin at the last step, then
+        # trace the minimizing predecessor chain.
+        last = [tb.load("llike", (STEPS - 1) * STATES + s)
+                for s in range(STATES)]
+        best_state = min(range(STATES), key=lambda s: last[s].value)
+        for s in range(1, STATES):
+            tb.fcmp(last[s - 1], last[s])
+        tb.store("path", STEPS - 1, best_state)
+        state = best_state
+        for t in range(STEPS - 1, 0, -1):
+            cands = []
+            for p in range(STATES):
+                prev = tb.load("llike", (t - 1) * STATES + p)
+                tr = tb.load("transition", p * STATES + state)
+                cands.append(tb.fadd(prev, tr))
+                if p > 0:
+                    tb.fcmp(cands[p - 1], cands[p])
+            state = min(range(STATES), key=lambda p: cands[p].value)
+            tb.store("path", t - 1, state)
+        return tb
+
+    def _reference(self):
+        obs, init, transition, emission = self._model()
+        llike = [[0.0] * STATES for _ in range(STEPS)]
+        for s in range(STATES):
+            llike[0][s] = init[s] + emission[s * ALPHABET + obs[0]]
+        for t in range(1, STEPS):
+            for s in range(STATES):
+                best = min(llike[t - 1][p] + transition[p * STATES + s]
+                           for p in range(STATES))
+                llike[t][s] = best + emission[s * ALPHABET + obs[t]]
+        path = [0] * STEPS
+        path[-1] = min(range(STATES), key=lambda s: llike[-1][s])
+        for t in range(STEPS - 1, 0, -1):
+            s = path[t]
+            path[t - 1] = min(
+                range(STATES),
+                key=lambda p: llike[t - 1][p] + transition[p * STATES + s])
+        return llike, path
+
+    def verify(self, trace):
+        llike_ref, path_ref = self._reference()
+        got_llike = trace.arrays["llike"].data
+        for t in range(STEPS):
+            for s in range(STATES):
+                ref = llike_ref[t][s]
+                got = got_llike[t * STATES + s]
+                if abs(ref - got) > 1e-9 * max(1.0, abs(ref)):
+                    raise AssertionError(
+                        f"llike[{t},{s}] = {got}, want {ref}")
+        if trace.arrays["path"].data != path_ref:
+            raise AssertionError("decoded path differs from reference")

@@ -1,0 +1,57 @@
+"""Standalone (isolated) accelerator runs — classic Aladdin."""
+
+import pytest
+
+from repro.aladdin.accelerator import Accelerator, make_scratchpad
+
+from tests.conftest import make_linear_trace, make_serial_trace
+
+
+class TestIsolatedRuns:
+    def test_result_fields(self):
+        res = Accelerator(make_linear_trace(16), 4, 4).run_isolated()
+        assert res.cycles > 0
+        assert res.ticks == res.cycles * 10_000
+        assert res.energy_pj > 0
+        assert res.power_mw > 0
+        assert res.edp > 0
+
+    def test_cycles_scale_with_lanes(self):
+        tb = make_linear_trace(64)
+        c = {lanes: Accelerator(tb, lanes, lanes).run_isolated().cycles
+             for lanes in (1, 4, 16)}
+        assert c[1] == 4 * c[4] == 16 * c[16]
+
+    def test_isolated_edp_prefers_parallel_designs(self):
+        """The paper's central observation: in isolation, leakage grows
+        linearly with lanes but time shrinks ~linearly, so aggressive
+        parallelism looks EDP-optimal."""
+        tb = make_linear_trace(64)
+        edps = [Accelerator(tb, lanes, lanes).run_isolated().edp
+                for lanes in (1, 4, 16)]
+        assert edps[2] < edps[1] < edps[0]
+
+    def test_power_grows_with_parallelism(self):
+        tb = make_linear_trace(64)
+        p = [Accelerator(tb, lanes, lanes).run_isolated().power_mw
+             for lanes in (1, 16)]
+        assert p[1] > p[0]
+
+    def test_deterministic(self):
+        tb = make_linear_trace(32)
+        a = Accelerator(tb, 4, 4).run_isolated()
+        b = Accelerator(tb, 4, 4).run_isolated()
+        assert a.cycles == b.cycles
+        assert a.energy_pj == pytest.approx(b.energy_pj)
+
+
+class TestScratchpadFactory:
+    def test_all_arrays_by_default(self):
+        tb = make_linear_trace(8)
+        spad = make_scratchpad(tb, 2)
+        assert set(spad.arrays) == {"a", "out"}
+
+    def test_kind_filter(self):
+        tb = make_linear_trace(8)
+        spad = make_scratchpad(tb, 2, kinds=("output",))
+        assert set(spad.arrays) == {"out"}

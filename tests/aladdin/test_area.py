@@ -1,0 +1,93 @@
+"""Area models."""
+
+import pytest
+
+from repro.aladdin.area import AreaModel, sram_area_um2
+from repro.aladdin.ir import FuClass, Op
+from repro.aladdin.power import PowerModel
+from repro.memory.sram import ArraySpec, Scratchpad
+
+
+class TestSramArea:
+    def test_zero_capacity(self):
+        assert sram_area_um2(0) == 0.0
+
+    def test_grows_with_capacity(self):
+        assert sram_area_um2(8192) > sram_area_um2(1024)
+
+    def test_banking_costs_area(self):
+        assert sram_area_um2(8192, banks=16) > sram_area_um2(8192, banks=1)
+
+    def test_roughly_linear_in_bits_at_scale(self):
+        # Large arrays are cell-dominated: 4x capacity ~ 3-4x area.
+        ratio = sram_area_um2(64 * 1024) / sram_area_um2(16 * 1024)
+        assert 3.0 < ratio < 4.5
+
+
+class TestAreaModel:
+    def _model(self, lanes=4):
+        pm = PowerModel(lanes, {Op.FMUL: 10, Op.LOAD: 10})
+        return AreaModel.from_power_model(pm)
+
+    def test_fu_area_scales_with_lanes(self):
+        assert self._model(8).fu_area_um2() == 2 * self._model(4).fu_area_um2()
+
+    def test_only_used_fu_classes_counted(self):
+        just_alu = AreaModel(1, {FuClass.ALU})
+        alu_and_fp = AreaModel(1, {FuClass.ALU, FuClass.FMUL})
+        assert alu_and_fp.fu_area_um2() > just_alu.fu_area_um2()
+
+    def test_breakdown_total(self):
+        spad = Scratchpad([ArraySpec("a", 4096, 4)], 4)
+        bd = self._model().area(spad=spad)
+        assert bd.total_um2 == pytest.approx(
+            bd.fu + bd.registers + bd.spad)
+        assert bd.total_mm2 == pytest.approx(bd.total_um2 / 1e6)
+
+    def test_cache_area_grows_with_ports(self):
+        from repro.memory.cache import Cache
+        from repro.sim.clock import ClockDomain
+        from repro.sim.kernel import Simulator
+        cache = Cache(Simulator(), ClockDomain(100), "c", 8192, 64, 4)
+        m = self._model()
+        assert m.cache_area_um2(cache, ports=8) > \
+            2 * m.cache_area_um2(cache, ports=1)
+
+    def test_multiported_cache_beats_partitioned_scratchpad(self):
+        """The paper's Figure 10 asymmetry, in area terms."""
+        from repro.memory.cache import Cache
+        from repro.sim.clock import ClockDomain
+        from repro.sim.kernel import Simulator
+        m = self._model()
+        cache = Cache(Simulator(), ClockDomain(100), "c", 16 * 1024, 64, 4)
+        spad = Scratchpad([ArraySpec("a", 16 * 1024, 4)], 16)
+        assert m.cache_area_um2(cache, ports=8) > m.spad_area_um2(spad)
+
+
+class TestIntegration:
+    def test_isolated_run_reports_area(self):
+        from repro.aladdin.accelerator import Accelerator
+        from tests.conftest import make_linear_trace
+        res = Accelerator(make_linear_trace(16), 4, 4).run_isolated()
+        assert res.area_mm2 > 0
+        assert res.area.fu > 0
+        assert res.area.spad > 0
+        assert res.area.cache == 0
+
+    def test_soc_run_reports_area(self):
+        from repro.core.config import DesignPoint
+        from repro.core.soc import run_design
+        dma = run_design("aes-aes", DesignPoint(lanes=2, partitions=2))
+        cache = run_design("aes-aes", DesignPoint(lanes=2,
+                                                  mem_interface="cache"))
+        assert dma.area_mm2 > 0
+        assert cache.area.cache > 0
+        assert cache.area.tlb > 0
+        assert dma.area.cache == 0
+
+    def test_area_scales_with_design_aggressiveness(self):
+        from repro.core.config import DesignPoint
+        from repro.core.soc import run_design
+        small = run_design("gemm-ncubed", DesignPoint(lanes=1, partitions=1))
+        big = run_design("gemm-ncubed", DesignPoint(lanes=16, partitions=16))
+        assert big.area_mm2 > small.area_mm2

@@ -1,0 +1,75 @@
+"""DDDG construction and analysis."""
+
+import pytest
+
+from repro.aladdin.ddg import DDDG
+from repro.aladdin.trace import TraceBuilder
+
+from tests.conftest import make_linear_trace, make_serial_trace
+
+
+class TestConstruction:
+    def test_counts(self):
+        tb = make_linear_trace(n=4)
+        ddg = DDDG(tb)
+        assert ddg.num_nodes == 12  # 4 x (load, fmul, store)
+        assert ddg.num_edges == 8   # load->fmul, fmul->store per iteration
+
+    def test_roots(self):
+        tb = make_linear_trace(n=4)
+        ddg = DDDG(tb)
+        # Every load is a root (no prior stores to 'a').
+        assert len(ddg.roots) == 4
+
+    def test_successors_inverse_of_deps(self):
+        tb = make_serial_trace(4)
+        ddg = DDDG(tb)
+        for node, preds in enumerate(tb.deps):
+            for pred in preds:
+                assert node in ddg.successors[pred]
+
+    def test_empty_trace(self):
+        ddg = DDDG(TraceBuilder())
+        assert ddg.num_nodes == 0
+        assert ddg.critical_path() == 0
+
+
+class TestCriticalPath:
+    def test_parallel_trace_path_is_one_chain(self):
+        ddg = DDDG(make_linear_trace(n=16))
+        # load(1) + fmul(4) + store(1)
+        assert ddg.critical_path() == 6
+
+    def test_serial_chain_accumulates(self):
+        ddg = DDDG(make_serial_trace(n=8))
+        # load(1) then 8 chained fadds(3) + final store(1);
+        # the loads are parallel, so: 1 + 8*3 + 1
+        assert ddg.critical_path() == 1 + 8 * 3 + 1
+
+    def test_lower_bounds_any_schedule(self):
+        from repro.aladdin.accelerator import Accelerator
+        tb = make_serial_trace(8)
+        ddg = DDDG(tb)
+        res = Accelerator(tb, lanes=16, partitions=16).run_isolated()
+        assert res.cycles >= ddg.critical_path()
+
+
+class TestWorkloadProperties:
+    def test_compute_to_memory_ratio(self):
+        ddg = DDDG(make_linear_trace(8))
+        # 8 fmul / 16 mem ops
+        assert ddg.compute_to_memory_ratio() == pytest.approx(0.5)
+
+    def test_footprint_excludes_internal(self):
+        tb = TraceBuilder()
+        tb.array("in", 8, 4, kind="input", init=[0] * 8)
+        tb.array("scratch", 100, 4, kind="internal")
+        tb.array("out", 8, 4, kind="output")
+        ddg = DDDG(tb)
+        assert ddg.footprint_bytes() == 64
+        assert ddg.footprint_bytes(kinds=("internal",)) == 400
+
+    def test_memory_nodes(self):
+        tb = make_linear_trace(4)
+        ddg = DDDG(tb)
+        assert len(ddg.memory_nodes()) == 8

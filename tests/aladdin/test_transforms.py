@@ -1,0 +1,88 @@
+"""Lane assignment and round barriers."""
+
+import pytest
+
+from repro.aladdin.trace import TraceBuilder
+from repro.aladdin.transforms import assign_lanes, validate_assignment
+
+from tests.conftest import make_linear_trace
+
+
+class TestAssignLanes:
+    def test_modulo_mapping(self):
+        tb = make_linear_trace(8)
+        a = assign_lanes(tb, 4)
+        for node in range(tb.num_nodes):
+            it = tb.node_iter[node]
+            assert a.lane[node] == it % 4
+            assert a.round[node] == it // 4
+        assert a.num_rounds == 2
+
+    def test_single_lane_serializes_rounds(self):
+        tb = make_linear_trace(8)
+        a = assign_lanes(tb, 1)
+        assert a.num_rounds == 8
+
+    def test_more_lanes_than_iterations(self):
+        tb = make_linear_trace(4)
+        a = assign_lanes(tb, 16)
+        assert a.num_rounds == 1
+
+    def test_serial_nodes_unassigned(self):
+        tb = TraceBuilder()
+        tb.array("a", 4, 4, kind="input", init=[0] * 4)
+        v = tb.load("a", 0)
+        a = assign_lanes(tb, 4)
+        assert a.round[v.node] == -1
+        assert a.lane[v.node] == 0
+
+    def test_invalid_lanes(self):
+        tb = make_linear_trace(4)
+        with pytest.raises(ValueError):
+            assign_lanes(tb, 0)
+
+
+class TestValidation:
+    def test_forward_deps_pass(self):
+        tb = make_linear_trace(16)
+        for lanes in (1, 2, 4, 8, 16):
+            validate_assignment(tb, assign_lanes(tb, lanes))
+
+    def test_backward_dep_detected(self):
+        tb = TraceBuilder("bad")
+        tb.array("a", 4, 4, kind="input", init=[0] * 4)
+        with tb.iteration(1):
+            v = tb.load("a", 0)
+        with tb.iteration(0):
+            tb.fadd(v, 1.0)  # iteration 0 depends on iteration 1
+        with pytest.raises(ValueError, match="deadlock"):
+            validate_assignment(tb, assign_lanes(tb, 1))
+
+    def test_backward_dep_through_serial_node(self):
+        tb = TraceBuilder("bad-serial")
+        tb.array("a", 4, 4, kind="input", init=[0] * 4)
+        with tb.iteration(1):
+            v = tb.load("a", 0)
+        u = tb.fadd(v, 1.0)  # serial node depending on iteration 1
+        with tb.iteration(0):
+            tb.fadd(u, 1.0)  # iteration 0 <- serial <- iteration 1
+        with pytest.raises(ValueError, match="deadlock"):
+            validate_assignment(tb, assign_lanes(tb, 1))
+
+    def test_same_round_cross_iteration_ok_with_enough_lanes(self):
+        tb = TraceBuilder("cross")
+        tb.array("a", 4, 4, kind="input", init=[0] * 4)
+        with tb.iteration(1):
+            v = tb.load("a", 0)
+        with tb.iteration(0):
+            tb.load("a", 1)
+        with tb.iteration(2):
+            tb.fadd(v, 1.0)  # iteration 2 <- iteration 1: fine
+        validate_assignment(tb, assign_lanes(tb, 2))
+
+    def test_all_workloads_validate_at_all_lane_counts(self):
+        from repro.workloads import ALL_WORKLOADS, cached_trace
+        for name in ALL_WORKLOADS:
+            trace = cached_trace(name)
+            for lanes in (1, 3, 16):
+                validate_assignment(trace, assign_lanes(trace, lanes))

@@ -1,0 +1,80 @@
+"""Analytic phase model and the Figure 4 validation harness."""
+
+import pytest
+
+from repro.core.analytic import (
+    dma_transfer_ticks,
+    predict_phases,
+    predict_total,
+)
+from repro.core.config import DesignPoint, SoCConfig
+from repro.core.validation import PAPER_ERRORS, validate_suite, validate_workload
+from repro.units import ns_to_ticks
+
+
+def baseline_design():
+    return DesignPoint(lanes=4, partitions=4, mem_interface="dma",
+                       pipelined_dma=False, dma_triggered_compute=False)
+
+
+class TestAnalyticModel:
+    def test_dma_transfer_scales_with_bytes(self):
+        cfg = SoCConfig()
+        assert dma_transfer_ticks(8192, cfg) > dma_transfer_ticks(4096, cfg)
+
+    def test_dma_transfer_wider_bus_faster(self):
+        assert dma_transfer_ticks(4096, SoCConfig(bus_width_bits=64)) < \
+            dma_transfer_ticks(4096, SoCConfig(bus_width_bits=32))
+
+    def test_setup_cost_per_transaction(self):
+        cfg = SoCConfig()
+        one = dma_transfer_ticks(4096, cfg, transactions=1)
+        four = dma_transfer_ticks(4096, cfg, transactions=4)
+        assert four - one == 3 * 40 * 10_000
+
+    def test_flush_phase_uses_measured_constant(self):
+        phases = predict_phases("aes-aes", baseline_design())
+        # aes inputs: sbox(4 lines) + key(1) + buf(1) = 6 lines.
+        assert phases.flush == ns_to_ticks(6 * 84.0)
+
+    def test_compute_phase_matches_isolated_aladdin(self):
+        from repro.aladdin.accelerator import Accelerator
+        from repro.workloads import cached_trace
+        design = baseline_design()
+        phases = predict_phases("gemm-ncubed", design)
+        iso = Accelerator(cached_trace("gemm-ncubed"), design.lanes,
+                          design.partitions).run_isolated()
+        assert phases.compute == iso.ticks
+
+    def test_total_baseline_is_sum_of_phases(self):
+        p = predict_phases("aes-aes", baseline_design())
+        assert p.total_baseline == (p.flush + p.invalidate + p.driver
+                                    + p.dma_in + p.compute + p.dma_out)
+
+    def test_pipelined_prediction_not_longer(self):
+        piped = baseline_design().replace(pipelined_dma=True)
+        assert predict_total("spmv-crs", piped) <= \
+            predict_total("spmv-crs", baseline_design())
+
+
+class TestValidationHarness:
+    def test_single_workload_row(self):
+        row = validate_workload("aes-aes")
+        assert row.workload == "aes-aes"
+        assert row.total_error < 0.10
+        assert set(row.component_errors) == {"flush", "dma", "compute"}
+
+    def test_suite_meets_paper_error_bounds(self):
+        """Our model-vs-simulation errors must be within the paper's
+        model-vs-hardware bounds (6.4% DMA, 5% compute, 5% flush)."""
+        suite = validate_suite(["aes-aes", "gemm-ncubed", "md-knn",
+                                "spmv-crs"])
+        assert suite["avg_total_error"] < 0.06
+        assert suite["avg_component_errors"]["dma"] < 0.064
+        assert suite["avg_component_errors"]["flush"] < 0.05
+        assert suite["avg_component_errors"]["compute"] < 0.05
+
+    def test_paper_reference_numbers_recorded(self):
+        assert PAPER_ERRORS["dma_model_avg"] == 0.064
+        assert PAPER_ERRORS["aladdin_avg"] == 0.05
+        assert PAPER_ERRORS["flush_model_avg"] == 0.05

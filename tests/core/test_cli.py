@@ -1,0 +1,73 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, design_from_args, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(line) for line in lines)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent-kernel"])
+
+    def test_design_from_args(self):
+        args = build_parser().parse_args(
+            ["run", "aes-aes", "--lanes", "8", "--mem", "cache",
+             "--cache-size", "16", "--no-pipelined-dma"])
+        design = design_from_args(args)
+        assert design.lanes == 8
+        assert design.mem_interface == "cache"
+        assert design.cache_size_kb == 16
+        assert not design.pipelined_dma
+
+
+class TestCommands:
+    def test_list(self):
+        code, text = run_cli(["list"])
+        assert code == 0
+        assert "aes-aes" in text
+        assert "fft-transpose" in text
+
+    def test_run_dma(self):
+        code, text = run_cli(["run", "aes-aes", "--lanes", "2",
+                              "--partitions", "2"])
+        assert code == 0
+        assert "EDP" in text
+        assert "flush_only" in text
+        assert "mm^2" in text
+
+    def test_run_cache(self):
+        code, text = run_cli(["run", "aes-aes", "--mem", "cache",
+                              "--cache-size", "4"])
+        assert code == 0
+        assert "cache_miss_rate" in text
+
+    def test_run_with_platform_flags(self):
+        code, text = run_cli(["run", "kmp", "--bus-width", "64"])
+        assert code == 0
+
+    def test_sweep_quick(self):
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick"])
+        assert code == 0
+        assert "Pareto" in text
+        assert "wins for aes-aes" in text
+
+    def test_validate_subset(self):
+        code, text = run_cli(["validate", "aes-aes"])
+        assert code == 0
+        assert "average total error" in text
+
+    def test_figure_fig2a(self):
+        code, text = run_cli(["figure", "fig2a"])
+        assert code == 0
+        assert "md-knn" in text

@@ -1,0 +1,110 @@
+"""Design points, SoC configuration, and the Figure 3 parameter table."""
+
+import pytest
+
+from repro.core.config import PARAMETER_TABLE, DesignPoint, SoCConfig
+from repro.errors import ConfigError
+
+
+class TestParameterTable:
+    """The table on the right of Figure 3, verbatim."""
+
+    def test_lanes(self):
+        assert PARAMETER_TABLE["datapath_lanes"] == (1, 2, 4, 8, 16)
+
+    def test_partitions(self):
+        assert PARAMETER_TABLE["scratchpad_partitions"] == (1, 2, 4, 8, 16)
+
+    def test_transfer_mechanisms(self):
+        assert PARAMETER_TABLE["data_transfer_mechanism"] == ("dma", "cache")
+
+    def test_cache_geometry(self):
+        assert PARAMETER_TABLE["cache_size_kb"] == (2, 4, 8, 16, 32, 64)
+        assert PARAMETER_TABLE["cache_line_bytes"] == (16, 32, 64)
+        assert PARAMETER_TABLE["cache_ports"] == (1, 2, 4, 8)
+        assert PARAMETER_TABLE["cache_assoc"] == (4, 8)
+
+    def test_measured_constants(self):
+        assert PARAMETER_TABLE["cache_line_flush_ns"] == 84.0
+        assert PARAMETER_TABLE["cache_line_invalidate_ns"] == 71.0
+        assert PARAMETER_TABLE["mshrs"] == 16
+        assert PARAMETER_TABLE["accelerator_tlb_entries"] == 8
+        assert PARAMETER_TABLE["tlb_miss_latency_ns"] == 200.0
+
+    def test_bus_widths(self):
+        assert PARAMETER_TABLE["system_bus_width_bits"] == (32, 64)
+
+
+class TestDesignPoint:
+    def test_defaults_valid(self):
+        d = DesignPoint()
+        assert d.is_dma
+
+    def test_invalid_interface(self):
+        with pytest.raises(ConfigError):
+            DesignPoint(mem_interface="nvlink")
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ConfigError):
+            DesignPoint(lanes=0)
+
+    def test_invalid_cache_geometry(self):
+        with pytest.raises(ConfigError):
+            DesignPoint(mem_interface="cache", cache_size_kb=2,
+                        cache_line=24, cache_assoc=4)
+
+    def test_invalid_prefetcher(self):
+        with pytest.raises(ConfigError):
+            DesignPoint(prefetcher="oracle")
+
+    def test_replace_copies(self):
+        d = DesignPoint(lanes=4)
+        d2 = d.replace(lanes=8)
+        assert d.lanes == 4
+        assert d2.lanes == 8
+        assert d2.partitions == d.partitions
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigError):
+            DesignPoint().replace(lanes=-1)
+
+    def test_key_distinguishes_interfaces(self):
+        dma = DesignPoint(mem_interface="dma")
+        cache = DesignPoint(mem_interface="cache")
+        assert dma.key() != cache.key()
+
+    def test_key_ignores_irrelevant_fields(self):
+        a = DesignPoint(mem_interface="dma", cache_size_kb=2)
+        b = DesignPoint(mem_interface="dma", cache_size_kb=64)
+        assert a.key() == b.key()
+
+    def test_repr_readable(self):
+        assert "dma" in repr(DesignPoint())
+        assert "cache" in repr(DesignPoint(mem_interface="cache"))
+
+
+class TestSoCConfig:
+    def test_defaults(self):
+        cfg = SoCConfig()
+        assert cfg.bus_width_bits == 32
+        assert cfg.flush_ns_per_line == 84.0
+        assert cfg.invalidate_ns_per_line == 71.0
+        assert cfg.dma_setup_cycles == 40
+        assert cfg.dma_block_bytes == 4096
+
+    def test_bad_bus_width(self):
+        with pytest.raises(ConfigError):
+            SoCConfig(bus_width_bits=12)
+
+    def test_block_smaller_than_burst(self):
+        with pytest.raises(ConfigError):
+            SoCConfig(dma_block_bytes=32, dma_burst_bytes=64)
+
+    def test_unstable_traffic_rejected(self):
+        with pytest.raises(ConfigError):
+            SoCConfig(background_traffic=True, traffic_interval_cycles=4)
+
+    def test_replace(self):
+        cfg = SoCConfig().replace(bus_width_bits=64)
+        assert cfg.bus_width_bits == 64
+        assert cfg.flush_ns_per_line == 84.0

@@ -1,0 +1,125 @@
+"""Smoke tests for every figure entry point (quick densities / subsets).
+
+The full-fidelity runs live in benchmarks/; here we check that each figure
+produces structurally complete data and that its headline *qualitative*
+claim holds.
+"""
+
+import pytest
+
+from repro.core import figures
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    figures.clear_memo()
+    yield
+    figures.clear_memo()
+
+
+class TestFig2:
+    def test_fig2a_mdknn_compute_is_minor_fraction(self):
+        """Figure 2a: md-knn at 16 lanes, baseline DMA — compute is ~25%
+        of total cycles, the rest is data preparation and movement."""
+        r = figures.fig2a()
+        assert 0.10 < r.compute_fraction < 0.45
+        assert r.breakdown["flush_only"] > 0
+
+    def test_fig2b_covers_all_workloads(self):
+        rows = figures.fig2b(["aes-aes", "kmp"])
+        assert [r.workload for r in rows] == ["aes-aes", "kmp"]
+
+    def test_fig2b_has_compute_and_data_bound_kernels(self):
+        rows = figures.fig2b(["nw-nw", "fft-transpose"])
+        fracs = {r.workload: r.compute_fraction for r in rows}
+        assert fracs["nw-nw"] > 0.5            # compute-bound
+        assert fracs["fft-transpose"] < 0.5    # data-movement-bound
+
+    def test_fig2b_suite_splits_roughly_in_half(self):
+        """'About half of them are compute-bound and the other half
+        data-movement-bound.'"""
+        rows = figures.fig2b()
+        compute_bound = sum(1 for r in rows if r.compute_fraction > 0.5)
+        assert 0.2 <= compute_bound / len(rows) <= 0.7
+
+
+class TestFig4:
+    def test_validation_under_paper_bounds(self):
+        suite = figures.fig4(["aes-aes", "md-knn"])
+        assert suite["avg_total_error"] < 0.06
+
+
+class TestFig6:
+    def test_fig6a_optimizations_monotonic(self):
+        data = figures.fig6a(["md-knn"], lanes=4)
+        times = [r.total_ticks for _label, r in data["md-knn"]]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_fig6a_pipelining_kills_flush_time(self):
+        data = figures.fig6a(["md-knn"], lanes=4)
+        rows = dict(data["md-knn"])
+        assert rows["+pipelined"].breakdown["flush_only"] < \
+            rows["baseline"].breakdown["flush_only"] / 2
+
+    def test_fig6b_speedup_saturates(self):
+        """More lanes cannot beat the data-movement bound."""
+        data = figures.fig6b(["md-knn"], lanes_list=(1, 4, 16))
+        rows = data["md-knn"]
+        t1, t4, t16 = (r.total_ticks for _l, r in rows)
+        assert t4 < t1
+        # Saturation: 4 -> 16 gains far less than the 4x lane increase.
+        assert t4 / t16 < 2.5
+
+
+class TestFig7:
+    def test_decomposition_structure(self):
+        data = figures.fig7(["gemm-ncubed"], lanes_list=(1, 4))
+        rows = data["gemm-ncubed"]["rows"]
+        for row in rows:
+            assert row["total"] >= row["processing"]
+            assert row["processing"] > 0
+            assert row["latency"] >= 0
+            assert row["bandwidth"] >= 0
+
+    def test_processing_time_shrinks_with_lanes(self):
+        data = figures.fig7(["gemm-ncubed"], lanes_list=(1, 8))
+        rows = data["gemm-ncubed"]["rows"]
+        assert rows[1]["processing"] < rows[0]["processing"]
+
+
+class TestFig8:
+    def test_structure(self):
+        data = figures.fig8(["aes-aes"], density="quick")
+        entry = data["aes-aes"]
+        assert entry["dma_optimum"].edp <= min(r.edp for r in entry["dma"])
+        assert set(entry["dma_pareto"]) <= set(entry["dma"])
+
+    def test_aes_prefers_dma(self):
+        """Figure 8's left edge: aes unambiguously prefers DMA."""
+        data = figures.fig8(["aes-aes"], density="quick")
+        entry = data["aes-aes"]
+        assert entry["dma_optimum"].edp < entry["cache_optimum"].edp
+
+    def test_spmv_prefers_cache(self):
+        """Figure 8's right edge: spmv prefers a cache (indirect loads)."""
+        data = figures.fig8(["spmv-crs"], density="standard")
+        entry = data["spmv-crs"]
+        assert entry["cache_optimum"].edp < entry["dma_optimum"].edp
+
+
+class TestFig9And10:
+    def test_scenario_optima_all_present(self):
+        optima = figures.scenario_optima("aes-aes", density="quick")
+        assert set(optima) == {"isolated", "dma32", "cache32", "cache64"}
+
+    def test_fig9_codesigned_leaner_than_isolated(self):
+        """'Almost every colored triangle is smaller than the baseline.'"""
+        data = figures.fig9(["spmv-crs"], density="quick")
+        assert data["spmv-crs"]["leaner_fraction"] > 0.5
+
+    def test_fig10_improvements_positive(self):
+        data = figures.fig10(["spmv-crs"], density="quick")
+        for key in ("dma32", "cache32", "cache64"):
+            assert data["averages"][key] > 0.8
+        assert data["paper_averages"] == {"dma32": 1.2, "cache32": 2.2,
+                                          "cache64": 2.0}

@@ -1,0 +1,72 @@
+"""Figure 9 resource extraction and normalization."""
+
+import pytest
+
+from repro.core.config import DesignPoint
+from repro.core.kiviat import (
+    design_resources,
+    kiviat_normalized,
+    overprovision_summary,
+)
+from repro.core.scenarios import run_isolated
+from repro.workloads import cached_trace
+
+
+class TestDesignResources:
+    def test_dma_design_holds_all_arrays(self):
+        res = design_resources("gemm-ncubed",
+                               DesignPoint(lanes=4, partitions=8))
+        trace = cached_trace("gemm-ncubed")
+        assert res["sram_bytes"] == sum(a.size_bytes
+                                        for a in trace.arrays.values())
+        assert res["local_bandwidth"] == 8
+        assert res["lanes"] == 4
+
+    def test_cache_design_counts_cache_plus_internal(self):
+        d = DesignPoint(lanes=2, mem_interface="cache", cache_size_kb=8,
+                        cache_ports=4)
+        res = design_resources("nw-nw", d)
+        internal = cached_trace("nw-nw").arrays["matrix"].size_bytes
+        assert res["sram_bytes"] == 8 * 1024 + internal
+        assert res["local_bandwidth"] == 4
+
+    def test_cache_smaller_than_scratchpad_when_it_caches(self):
+        """The paper: caches 'can often afford to be smaller than a
+        scratchpad that must hold all the data'."""
+        dma = design_resources("spmv-crs", DesignPoint(lanes=4))
+        cache = design_resources(
+            "spmv-crs", DesignPoint(lanes=4, mem_interface="cache",
+                                    cache_size_kb=2))
+        assert cache["sram_bytes"] < dma["sram_bytes"]
+
+
+class TestNormalization:
+    def _optima(self):
+        return {
+            "isolated": run_isolated("gemm-ncubed",
+                                     DesignPoint(lanes=16, partitions=16)),
+            "dma32": run_isolated("gemm-ncubed",
+                                  DesignPoint(lanes=4, partitions=4)),
+        }
+
+    def test_isolated_normalizes_to_one(self):
+        norm = kiviat_normalized("gemm-ncubed", self._optima())
+        assert norm["isolated"] == {"lanes": 1.0, "sram_bytes": 1.0,
+                                    "local_bandwidth": 1.0}
+
+    def test_leaner_design_below_one(self):
+        norm = kiviat_normalized("gemm-ncubed", self._optima())
+        assert norm["dma32"]["lanes"] == 0.25
+        assert norm["dma32"]["local_bandwidth"] == 0.25
+
+    def test_overprovision_summary(self):
+        norm = kiviat_normalized("gemm-ncubed", self._optima())
+        assert overprovision_summary(norm) == 1.0
+
+    def test_overprovision_partial(self):
+        norm = {
+            "isolated": {"lanes": 1.0, "sram_bytes": 1.0,
+                         "local_bandwidth": 1.0},
+            "x": {"lanes": 2.0, "sram_bytes": 0.5, "local_bandwidth": 0.5},
+        }
+        assert overprovision_summary(norm) == pytest.approx(2 / 3)

@@ -1,0 +1,78 @@
+"""Cycle-class breakdowns and run metrics."""
+
+import pytest
+
+from repro.aladdin.power import EnergyBreakdown
+from repro.core.config import DesignPoint
+from repro.core.metrics import RunResult, classify_breakdown
+
+
+class TestClassifyBreakdown:
+    def test_disjoint_phases(self):
+        bd = classify_breakdown(
+            100,
+            flush_intervals=[(0, 20)],
+            dma_intervals=[(20, 60)],
+            compute_intervals=[(60, 90)],
+        )
+        assert bd == {"flush_only": 20, "dma_flush": 40, "compute_dma": 0,
+                      "compute_only": 30, "other": 10}
+
+    def test_flush_overlapping_dma_counts_as_dma(self):
+        bd = classify_breakdown(100, [(0, 50)], [(25, 75)], [])
+        assert bd["flush_only"] == 25
+        assert bd["dma_flush"] == 50
+        assert bd["other"] == 25
+
+    def test_compute_dma_overlap(self):
+        bd = classify_breakdown(100, [], [(0, 60)], [(40, 100)])
+        assert bd["compute_dma"] == 20
+        assert bd["dma_flush"] == 40
+        assert bd["compute_only"] == 40
+
+    def test_compute_trumps_flush(self):
+        bd = classify_breakdown(50, [(0, 50)], [], [(0, 50)])
+        assert bd["compute_only"] == 50
+        assert bd["flush_only"] == 0
+
+    def test_sums_to_total(self):
+        bd = classify_breakdown(200, [(0, 30), (50, 90)], [(20, 120)],
+                                [(100, 180)])
+        assert sum(bd.values()) == 200
+
+    def test_empty_everything_is_other(self):
+        bd = classify_breakdown(42, [], [], [])
+        assert bd["other"] == 42
+
+
+def make_result(total=1_000_000):
+    bd = classify_breakdown(total, [(0, total // 4)],
+                            [(total // 4, total // 2)],
+                            [(total // 2, total)])
+    energy = EnergyBreakdown()
+    energy.fu_dynamic = 1000.0
+    return RunResult("toy", DesignPoint(), total, total // 10_000, bd,
+                     energy)
+
+
+class TestRunResult:
+    def test_fractions_sum_to_one(self):
+        r = make_result()
+        assert sum(r.breakdown_fractions().values()) == pytest.approx(1.0)
+
+    def test_compute_fraction(self):
+        r = make_result()
+        assert r.compute_fraction == pytest.approx(0.5)
+
+    def test_power_and_edp_consistent(self):
+        r = make_result()
+        # P = E/t; EDP = E*t.
+        assert r.edp == pytest.approx(
+            r.power_mw * 1e-3 * (r.total_ticks / 1e12) ** 2)
+
+    def test_time_us(self):
+        assert make_result(2_000_000).time_us == pytest.approx(2.0)
+
+    def test_summary_string(self):
+        s = make_result().summary()
+        assert "toy" in s and "edp" in s

@@ -1,0 +1,87 @@
+"""Pareto frontier and EDP-optimal selection."""
+
+import pytest
+
+from repro.core.pareto import dominates, edp_optimal, pareto_frontier
+
+
+class FakeResult:
+    def __init__(self, ticks, power):
+        self.total_ticks = ticks
+        self.power_mw = power
+        self.edp = power * 1e-3 * (ticks / 1e12) ** 2 * 1e12  # arbitrary units
+
+    def __repr__(self):
+        return f"({self.total_ticks}, {self.power_mw})"
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        a = FakeResult(10, 1.0)
+        b = FakeResult(20, 2.0)   # dominated by a
+        front = pareto_frontier([a, b])
+        assert front == [a]
+
+    def test_tradeoff_points_kept(self):
+        fast_hot = FakeResult(10, 5.0)
+        slow_cool = FakeResult(50, 1.0)
+        front = pareto_frontier([fast_hot, slow_cool])
+        assert set(front) == {fast_hot, slow_cool}
+
+    def test_sorted_by_time(self):
+        pts = [FakeResult(t, 100.0 / t) for t in (30, 10, 20)]
+        front = pareto_frontier(pts)
+        assert [p.total_ticks for p in front] == [10, 20, 30]
+
+    def test_equal_points_keep_one(self):
+        a = FakeResult(10, 1.0)
+        b = FakeResult(10, 1.0)
+        assert len(pareto_frontier([a, b])) == 1
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_frontier_members_mutually_nondominated(self):
+        import random
+        rng = random.Random(7)
+        pts = [FakeResult(rng.randint(1, 100), rng.uniform(0.1, 10))
+               for _ in range(50)]
+        front = pareto_frontier(pts)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b) or not dominates(b, a)
+
+    def test_every_point_dominated_by_or_on_frontier(self):
+        import random
+        rng = random.Random(11)
+        pts = [FakeResult(rng.randint(1, 100), rng.uniform(0.1, 10))
+               for _ in range(50)]
+        front = pareto_frontier(pts)
+        for p in pts:
+            assert p in front or any(
+                f.total_ticks <= p.total_ticks and f.power_mw <= p.power_mw
+                for f in front)
+
+
+class TestEdpOptimal:
+    def test_picks_minimum(self):
+        pts = [FakeResult(10, 5.0), FakeResult(100, 0.1), FakeResult(20, 1.0)]
+        assert edp_optimal(pts) is min(pts, key=lambda p: p.edp)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            edp_optimal([])
+
+
+class TestDominates:
+    def test_strict(self):
+        assert dominates(FakeResult(1, 1), FakeResult(2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates(FakeResult(1, 1), FakeResult(1, 1))
+
+    def test_tradeoff_neither_dominates(self):
+        a, b = FakeResult(1, 2), FakeResult(2, 1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)

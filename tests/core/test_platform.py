@@ -1,0 +1,79 @@
+"""Platform internals and SoC corner cases."""
+
+import pytest
+
+from repro.core.config import DesignPoint, SoCConfig
+from repro.core.soc import PAGE, Platform, SoC, run_design
+
+
+class TestPlatform:
+    def test_alloc_page_aligned(self):
+        plat = Platform()
+        a = plat.alloc_region(100)
+        b = plat.alloc_region(5000)
+        c = plat.alloc_region(1)
+        assert a % PAGE == 0 and b % PAGE == 0 and c % PAGE == 0
+        assert b - a == PAGE          # 100 B rounds up to one page
+        assert c - b == 2 * PAGE      # 5000 B rounds up to two pages
+
+    def test_accel_ids_monotonic(self):
+        plat = Platform()
+        assert plat.next_accel_id() == 0
+        assert plat.next_accel_id() == 1
+
+    def test_platform_carries_config(self):
+        plat = Platform(SoCConfig(bus_width_bits=64))
+        assert plat.bus.width_bits == 64
+
+    def test_drivers_share_cpu_cache(self):
+        plat = Platform()
+        d0 = plat.make_driver("cpu0")
+        d1 = plat.make_driver("cpu1")
+        assert d0.cpu_cache is d1.cpu_cache
+        assert d0.name != d1.name
+
+
+class TestSoCCorners:
+    def test_inout_arrays_transferred_both_ways(self):
+        """sort-merge's array is inout: DMA'd in, sorted, DMA'd back."""
+        soc = SoC("sort-merge", DesignPoint(lanes=2, partitions=2))
+        soc.run()
+        size = soc.trace.arrays["a"].size_bytes
+        # in: a; out: a again.
+        assert soc.dma.bytes_moved == 2 * size
+
+    def test_internal_arrays_have_no_physical_region(self):
+        soc = SoC("nw-nw", DesignPoint(lanes=2, partitions=2))
+        assert "matrix" not in soc.phys_base
+        assert "seqA" in soc.phys_base
+
+    def test_signal_addresses_distinct_per_accelerator(self):
+        from repro.core.multi import MultiAcceleratorSoC
+        multi = MultiAcceleratorSoC([
+            ("aes-aes", DesignPoint(lanes=1, partitions=1)),
+            ("kmp", DesignPoint(lanes=1, partitions=1)),
+        ])
+        ids = [s.accel_id for s in multi.socs]
+        assert ids == [0, 1]
+        multi.run()  # both flags observed despite sharing the bus
+
+    def test_collect_before_completion_raises(self):
+        from repro.errors import SimulationError
+        soc = SoC("aes-aes", DesignPoint(lanes=1, partitions=1))
+        with pytest.raises(SimulationError):
+            soc.collect()
+
+    def test_first_use_order_drives_dma_order(self):
+        """stencil2d reads 'filter' first, so it must be DMA'd first even
+        though 'orig' is declared first."""
+        soc = SoC("stencil-stencil2d", DesignPoint(lanes=2, partitions=2))
+        regions = soc._input_regions()
+        assert regions[0][0] == "filter"
+
+    def test_run_design_accepts_all_densities_of_designs(self):
+        from repro.core.sweep import cache_design_space, dma_design_space
+        # One design of each flavour must run on every workload class.
+        for d in (dma_design_space("quick")[0],
+                  cache_design_space("quick")[0]):
+            r = run_design("kmp", d)
+            assert r.total_ticks > 0

@@ -1,0 +1,51 @@
+"""Text rendering of results."""
+
+from repro.core.config import DesignPoint
+from repro.core.reporting import (
+    breakdown_table,
+    format_table,
+    pareto_table,
+    percent,
+)
+from tests.core.test_metrics import make_result
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [100, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # Columns align: every row has the same separator positions.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_float_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out
+
+
+class TestResultTables:
+    def test_breakdown_table_contains_classes(self):
+        out = breakdown_table([make_result()], title="Fig 2b")
+        assert "Fig 2b" in out
+        assert "flush_only" in out
+        assert "toy" in out
+
+    def test_pareto_table(self):
+        out = pareto_table([make_result()])
+        assert "edp" in out
+
+    def test_design_short_forms(self):
+        dma = make_result()
+        out = breakdown_table([dma])
+        assert "dma" in out
+
+    def test_cache_design_rendering(self):
+        r = make_result()
+        r.design = DesignPoint(mem_interface="cache", cache_size_kb=8)
+        out = pareto_table([r])
+        assert "8KB" in out
+
+
+def test_percent():
+    assert percent(0.064) == "6.4%"

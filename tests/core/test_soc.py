@@ -1,0 +1,157 @@
+"""End-to-end SoC offload flows."""
+
+import pytest
+
+from repro.core.config import DesignPoint, SoCConfig
+from repro.core.soc import SoC, run_design
+
+FAST = "aes-aes"  # smallest workload: keeps flow tests quick
+MED = "spmv-crs"
+
+
+def dma_design(**kw):
+    base = dict(lanes=4, partitions=4, mem_interface="dma",
+                pipelined_dma=False, dma_triggered_compute=False)
+    base.update(kw)
+    return DesignPoint(**base)
+
+
+class TestDMAFlow:
+    def test_baseline_flow_completes(self):
+        r = run_design(FAST, dma_design())
+        assert r.total_ticks > 0
+        assert sum(r.breakdown.values()) == r.total_ticks
+
+    def test_flow_phases_ordered(self):
+        soc = SoC(FAST, dma_design())
+        soc.run()
+        flush_end = soc.driver.flush_busy.merged()[-1][1]
+        dma_start = soc.dma.busy.merged()[0][0]
+        compute_start = soc.scheduler.start_tick
+        assert flush_end <= dma_start <= compute_start
+
+    def test_flush_covers_input_lines(self):
+        soc = SoC(FAST, dma_design())
+        soc.run()
+        # sbox(256B) + key(16B) + buf(16B) -> 4 + 1 + 1 lines
+        assert soc.driver.lines_flushed == 6
+
+    def test_invalidate_covers_output_lines(self):
+        soc = SoC(FAST, dma_design())
+        soc.run()
+        assert soc.driver.lines_invalidated == 1  # buf, 16 B
+
+    def test_dma_moves_all_shared_bytes(self):
+        soc = SoC(FAST, dma_design())
+        soc.run()
+        # in: sbox + key + buf = 288; out: buf = 16
+        assert soc.dma.bytes_moved == 288 + 16
+
+    def test_pipelined_dma_not_slower(self):
+        base = run_design(MED, dma_design())
+        piped = run_design(MED, dma_design(pipelined_dma=True))
+        assert piped.total_ticks <= base.total_ticks
+
+    def test_pipelined_dma_hides_flush(self):
+        base = run_design(MED, dma_design())
+        piped = run_design(MED, dma_design(pipelined_dma=True))
+        assert piped.breakdown["flush_only"] < base.breakdown["flush_only"]
+
+    def test_triggered_compute_overlaps(self):
+        base = run_design(MED, dma_design(pipelined_dma=True))
+        trig = run_design(MED, dma_design(pipelined_dma=True,
+                                          dma_triggered_compute=True))
+        assert trig.breakdown["compute_dma"] > base.breakdown["compute_dma"]
+        assert trig.total_ticks <= base.total_ticks
+
+    def test_baseline_has_no_compute_dma_overlap(self):
+        r = run_design(MED, dma_design())
+        assert r.breakdown["compute_dma"] == 0
+
+    def test_functional_result_unaffected_by_design(self):
+        # The trace is shared; the SoC must never corrupt workload data.
+        from repro.workloads import cached_trace, get_workload
+        run_design(FAST, dma_design())
+        get_workload(FAST).verify(cached_trace(FAST))
+
+
+class TestCacheFlow:
+    def test_flow_completes(self):
+        r = run_design(FAST, DesignPoint(mem_interface="cache"))
+        assert r.total_ticks > 0
+        assert "cache_miss_rate" in r.stats
+
+    def test_no_flush_in_cache_mode(self):
+        soc = SoC(FAST, DesignPoint(mem_interface="cache"))
+        soc.run()
+        assert soc.driver.lines_flushed == 0
+        assert soc.driver.lines_invalidated == 0
+
+    def test_dirty_cpu_data_forwarded_cache_to_cache(self):
+        soc = SoC(FAST, DesignPoint(mem_interface="cache"))
+        r = soc.run()
+        assert r.stats["c2c_transfers"] > 0
+
+    def test_tlb_exercised(self):
+        r = run_design(FAST, DesignPoint(mem_interface="cache"))
+        assert 0 < r.stats["tlb_miss_rate"] < 1
+
+    def test_bigger_cache_not_slower(self):
+        small = run_design(MED, DesignPoint(mem_interface="cache",
+                                            cache_size_kb=2))
+        big = run_design(MED, DesignPoint(mem_interface="cache",
+                                          cache_size_kb=32))
+        assert big.total_ticks <= small.total_ticks * 1.05
+
+    def test_internal_arrays_do_not_touch_cache(self):
+        soc = SoC("nw-nw", DesignPoint(mem_interface="cache"))
+        r = soc.run()
+        # The score matrix (2401 cells x ~4 accesses) stays in scratchpads;
+        # only sequences and alignment outputs go through the cache.
+        assert soc.spad.accesses > 5000
+        assert (soc.accel_cache.reads + soc.accel_cache.writes) < 10_000
+
+
+class TestSystemEffects:
+    def test_wider_bus_is_faster(self):
+        d = dma_design(pipelined_dma=True, dma_triggered_compute=True)
+        t32 = run_design(MED, d, SoCConfig(bus_width_bits=32)).total_ticks
+        t64 = run_design(MED, d, SoCConfig(bus_width_bits=64)).total_ticks
+        assert t64 < t32
+
+    def test_background_traffic_slows_offload(self):
+        d = dma_design()
+        quiet = run_design(MED, d, SoCConfig()).total_ticks
+        loaded = run_design(
+            MED, d, SoCConfig(background_traffic=True)).total_ticks
+        assert loaded > quiet
+
+    def test_deterministic_runs(self):
+        a = run_design(MED, dma_design())
+        b = run_design(MED, dma_design())
+        assert a.total_ticks == b.total_ticks
+        assert a.energy_pj == pytest.approx(b.energy_pj)
+
+    def test_perfect_memory_bounds_cache_design(self):
+        real = run_design(FAST, DesignPoint(mem_interface="cache"))
+        ideal = run_design(FAST, DesignPoint(mem_interface="cache",
+                                             perfect_memory=True))
+        assert ideal.total_ticks < real.total_ticks
+
+
+class TestEnergyAccounting:
+    def test_dma_design_has_no_cache_energy(self):
+        r = run_design(FAST, dma_design())
+        assert r.energy.cache_dynamic == 0
+        assert r.energy.tlb == 0
+        assert r.energy.spad_dynamic > 0
+
+    def test_cache_design_has_cache_and_tlb_energy(self):
+        r = run_design(FAST, DesignPoint(mem_interface="cache"))
+        assert r.energy.cache_dynamic > 0
+        assert r.energy.tlb > 0
+
+    def test_more_lanes_more_power(self):
+        p1 = run_design(MED, dma_design(lanes=1, partitions=1)).power_mw
+        p16 = run_design(MED, dma_design(lanes=16, partitions=16)).power_mw
+        assert p16 > p1

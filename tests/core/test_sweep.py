@@ -1,0 +1,57 @@
+"""Design-space generators and sweep execution."""
+
+import pytest
+
+from repro.core.sweep import cache_design_space, dma_design_space, run_sweep
+
+
+class TestDesignSpaces:
+    def test_quick_dma_space(self):
+        designs = dma_design_space("quick")
+        assert len(designs) == 9  # 3 lanes x 3 parts
+        assert all(d.is_dma for d in designs)
+
+    def test_full_dma_space(self):
+        assert len(dma_design_space("full")) == 25
+
+    def test_full_cache_space(self):
+        # 5 lanes x 6 sizes x 4 ports x 2 assoc
+        assert len(cache_design_space("full")) == 240
+
+    def test_all_cache_points_valid(self):
+        for d in cache_design_space("standard"):
+            assert d.mem_interface == "cache"
+            d.validate()
+
+    def test_unknown_density(self):
+        with pytest.raises(ValueError):
+            dma_design_space("exhaustive")
+
+    def test_dma_optimizations_default_on(self):
+        for d in dma_design_space("quick"):
+            assert d.pipelined_dma
+            assert d.dma_triggered_compute
+
+    def test_optimizations_can_be_disabled(self):
+        for d in dma_design_space("quick", pipelined=False, triggered=False):
+            assert not d.pipelined_dma
+            assert not d.dma_triggered_compute
+
+    def test_unique_keys(self):
+        for space in (dma_design_space("full"), cache_design_space("full")):
+            keys = [d.key() for d in space]
+            assert len(keys) == len(set(keys))
+
+
+class TestRunSweep:
+    def test_sweep_runs_all_points(self):
+        designs = dma_design_space("quick")[:3]
+        results = run_sweep("aes-aes", designs)
+        assert len(results) == 3
+        assert [r.design for r in results] == designs
+
+    def test_progress_callback(self):
+        calls = []
+        run_sweep("aes-aes", dma_design_space("quick")[:2],
+                  progress=lambda i, n: calls.append((i, n)))
+        assert calls == [(1, 2), (2, 2)]

@@ -1,0 +1,115 @@
+"""CPU driver: flush, invalidate, ioctl, spin-wait."""
+
+import pytest
+
+from repro.cpu.driver import CPUDriver, DriverTimings
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAM
+from repro.sim.clock import ClockDomain
+from repro.sim.kernel import Simulator
+from repro.units import ns_to_ticks
+
+
+def make_driver(flush_ns=84.0, inval_ns=71.0, ioctl_ns=500.0, poll_ns=100.0):
+    sim = Simulator()
+    cpu_clock = ClockDomain(667)
+    dram = DRAM(sim)
+    cache = Cache(sim, cpu_clock, "cpu", 64 * 1024, 64, 8)
+    driver = CPUDriver(sim, cpu_clock, cpu_cache=cache, dram=dram,
+                       timings=DriverTimings(flush_ns, inval_ns, ioctl_ns,
+                                             poll_ns))
+    return sim, driver, cache, dram
+
+
+class TestFlush:
+    def test_flush_rate_84ns_per_line(self):
+        sim, driver, cache, _ = make_driver()
+        cache.preload(0, 64 * 64)
+        done = []
+        driver.flush_region(0, 64 * 64, lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] == ns_to_ticks(64 * 84.0)
+        assert driver.lines_flushed == 64
+
+    def test_partial_line_regions_round_up(self):
+        sim, driver, _c, _ = make_driver()
+        done = []
+        driver.flush_region(0, 100, lambda: done.append(sim.now))
+        sim.run()
+        assert driver.lines_flushed == 2  # 100 B spans 2 lines
+
+    def test_unaligned_region(self):
+        sim, driver, _c, _ = make_driver()
+        done = []
+        driver.flush_region(32, 64, lambda: done.append(1))
+        sim.run()
+        assert driver.lines_flushed == 2  # [32,96) spans lines 0 and 64
+
+    def test_dirty_lines_written_to_dram(self):
+        sim, driver, cache, dram = make_driver()
+        cache.preload(0, 256)  # 4 dirty lines
+        driver.flush_region(0, 256, lambda: None)
+        sim.run()
+        assert driver.dirty_writebacks == 4
+        assert dram.writes == 4
+
+    def test_clean_lines_no_writeback(self):
+        sim, driver, _cache, dram = make_driver()
+        driver.flush_region(0, 256, lambda: None)
+        sim.run()
+        assert driver.dirty_writebacks == 0
+        assert dram.writes == 0
+
+    def test_flush_busy_interval(self):
+        sim, driver, cache, _ = make_driver()
+        cache.preload(0, 128)
+        driver.flush_region(0, 128, lambda: None)
+        sim.run()
+        assert driver.flush_busy.total_busy() == ns_to_ticks(2 * 84.0)
+
+
+class TestInvalidate:
+    def test_invalidate_rate_71ns_per_line(self):
+        sim, driver, cache, _ = make_driver()
+        cache.preload(0, 64 * 8)
+        done = []
+        driver.invalidate_region(0, 64 * 8, lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] == ns_to_ticks(8 * 71.0)
+        assert driver.lines_invalidated == 8
+
+    def test_invalidate_drops_lines_without_dram_traffic(self):
+        sim, driver, cache, dram = make_driver()
+        cache.preload(0, 128)
+        driver.invalidate_region(0, 128, lambda: None)
+        sim.run()
+        assert dram.writes == 0
+        from repro.memory.coherence import LineState
+        assert cache.peek_state(0) == LineState.INVALID
+
+
+class TestInvocation:
+    def test_ioctl_latency(self):
+        sim, driver, *_ = make_driver(ioctl_ns=500.0)
+        done = []
+        driver.ioctl_invoke(lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] == ns_to_ticks(500.0)
+
+    def test_spin_wait_polls_until_flag(self):
+        sim, driver, *_ = make_driver(poll_ns=100.0)
+        flag = {"done": False}
+        seen = []
+        driver.spin_wait(lambda: flag["done"], lambda: seen.append(sim.now))
+        sim.schedule(ns_to_ticks(950.0), flag.__setitem__, "done", True)
+        sim.run()
+        # Completion observed at the first poll after the flag went up.
+        assert seen[0] == ns_to_ticks(1000.0)
+        assert driver.polls == 10
+
+    def test_spin_wait_immediate(self):
+        sim, driver, *_ = make_driver(poll_ns=100.0)
+        seen = []
+        driver.spin_wait(lambda: True, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen[0] == ns_to_ticks(100.0)

@@ -1,0 +1,35 @@
+"""DMA descriptors."""
+
+import pytest
+
+from repro.dma.descriptor import DMADescriptor
+from repro.errors import ConfigError
+
+
+class TestDescriptor:
+    def test_fields(self):
+        d = DMADescriptor(0x1000, "a", 0, 256, to_accel=True)
+        assert d.mem_addr == 0x1000
+        assert d.size == 256
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            DMADescriptor(0, "a", 0, 0, True)
+
+    def test_split_into_blocks(self):
+        d = DMADescriptor(0x1000, "a", 0, 10_000, True)
+        blocks = d.split(4096)
+        assert [b.size for b in blocks] == [4096, 4096, 1808]
+        assert [b.mem_addr for b in blocks] == [0x1000, 0x2000, 0x3000]
+        assert [b.array_offset for b in blocks] == [0, 4096, 8192]
+
+    def test_split_smaller_than_block(self):
+        d = DMADescriptor(0, "a", 16, 100, False)
+        blocks = d.split(4096)
+        assert len(blocks) == 1
+        assert blocks[0].size == 100
+        assert blocks[0].array_offset == 16
+
+    def test_repr_direction(self):
+        assert "load" in repr(DMADescriptor(0, "a", 0, 4, True))
+        assert "store" in repr(DMADescriptor(0, "a", 0, 4, False))

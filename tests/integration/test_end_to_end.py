@@ -1,0 +1,128 @@
+"""Cross-subsystem integration: the paper's claims, end to end."""
+
+import pytest
+
+from repro.core.config import DesignPoint, SoCConfig
+from repro.core.soc import SoC, run_design
+from repro.core.scenarios import run_isolated
+
+
+class TestIsolatedVsCodesignedGap:
+    """Section II-A: unaccounted data movement makes isolated predictions
+    misleading."""
+
+    def test_system_effects_stretch_runtime(self):
+        d = DesignPoint(lanes=16, partitions=16)
+        iso = run_isolated("stencil-stencil3d", d)
+        co = run_design("stencil-stencil3d", d)
+        assert co.total_ticks > 1.5 * iso.total_ticks
+
+    @pytest.mark.parametrize("workload", ["fft-transpose", "spmv-crs"])
+    def test_codesign_shifts_optimum_to_fewer_lanes(self, workload):
+        """Figure 1: the co-designed EDP optimum is less parallel than the
+        isolated one (data movement bounds runtime, so extra lanes only
+        add leakage)."""
+        designs = [DesignPoint(lanes=l, partitions=l) for l in (1, 4, 16)]
+        iso_best = min((run_isolated(workload, d) for d in designs),
+                       key=lambda r: r.edp)
+        co_best = min((run_design(workload, d) for d in designs),
+                      key=lambda r: r.edp)
+        assert iso_best.design.lanes == 16
+        assert co_best.design.lanes < 16
+
+
+class TestDmaOptimizationStack:
+    """Section IV-B: each optimization must help, cumulatively."""
+
+    @pytest.mark.parametrize("workload", ["md-knn", "stencil-stencil2d"])
+    def test_cumulative_speedup(self, workload):
+        t = {}
+        for name, pipe, trig in (("base", False, False),
+                                 ("pipe", True, False),
+                                 ("trig", True, True)):
+            d = DesignPoint(lanes=4, partitions=4, pipelined_dma=pipe,
+                            dma_triggered_compute=trig)
+            t[name] = run_design(workload, d).total_ticks
+        assert t["pipe"] <= t["base"]
+        assert t["trig"] <= t["pipe"]
+        assert t["trig"] < t["base"]
+
+    def test_serial_data_arrival_bounds_triggered_compute(self):
+        """Section IV-C2: with all optimizations, more lanes stop helping
+        once compute is fully overlapped with the (serial) DMA stream."""
+        d16 = DesignPoint(lanes=16, partitions=16, pipelined_dma=True,
+                          dma_triggered_compute=True)
+        r16 = run_design("fft-transpose", d16)
+        # The DMA stream itself lower-bounds runtime: 24 KB over a 32-bit
+        # 100 MHz bus is >= 60 us regardless of parallelism.
+        assert r16.time_us > 55
+
+
+class TestCoherenceVisibleInFlow:
+    def test_dma_mode_pays_flush_cache_mode_does_not(self):
+        d_dma = DesignPoint(lanes=4, partitions=4)
+        d_cache = DesignPoint(lanes=4, mem_interface="cache")
+        soc_dma = SoC("gemm-ncubed", d_dma)
+        soc_dma.run()
+        soc_cache = SoC("gemm-ncubed", d_cache)
+        soc_cache.run()
+        assert soc_dma.driver.lines_flushed > 0
+        assert soc_cache.driver.lines_flushed == 0
+        assert soc_cache.domain.cache_to_cache_transfers > 0
+
+    def test_dma_reads_hit_dram_after_flush(self):
+        """The flush wrote the data back, so DMA reads find it in DRAM."""
+        soc = SoC("gemm-ncubed", DesignPoint(lanes=4, partitions=4))
+        soc.run()
+        assert soc.driver.dirty_writebacks > 0
+        assert soc.dram.reads > 0
+
+
+class TestContentionScenario:
+    """Section V-B2: co-design matters more in contended systems."""
+
+    def test_narrow_bus_hurts_data_bound_workload_more(self):
+        d = DesignPoint(lanes=4, partitions=4, pipelined_dma=True,
+                        dma_triggered_compute=True)
+        ratios = {}
+        for w in ("fft-transpose", "nw-nw"):
+            t32 = run_design(w, d, SoCConfig(bus_width_bits=32)).total_ticks
+            t64 = run_design(w, d, SoCConfig(bus_width_bits=64)).total_ticks
+            ratios[w] = t32 / t64
+        # fft moves 24 KB; nw moves ~0.3 KB.
+        assert ratios["fft-transpose"] > ratios["nw-nw"]
+
+    def test_traffic_and_narrow_bus_compound(self):
+        d = DesignPoint(lanes=4, partitions=4)
+        base = run_design("spmv-crs", d, SoCConfig()).total_ticks
+        loaded = run_design("spmv-crs", d,
+                            SoCConfig(background_traffic=True,
+                                      traffic_interval_cycles=30)).total_ticks
+        assert loaded > base
+
+
+class TestEnergyConservation:
+    @pytest.mark.parametrize("mem", ["dma", "cache"])
+    def test_breakdown_sums(self, mem):
+        d = DesignPoint(lanes=4, partitions=4, mem_interface=mem)
+        r = run_design("aes-aes", d)
+        parts = r.energy.as_dict()
+        assert sum(parts.values()) == pytest.approx(r.energy_pj)
+        assert r.energy_pj > 0
+
+    def test_breakdown_ticks_sum_to_total(self):
+        for mem in ("dma", "cache"):
+            r = run_design("kmp", DesignPoint(lanes=2, partitions=2,
+                                              mem_interface=mem))
+            assert sum(r.breakdown.values()) == r.total_ticks
+
+
+class TestReproducibility:
+    def test_full_flow_bit_identical(self):
+        d = DesignPoint(lanes=8, partitions=8, mem_interface="cache",
+                        cache_size_kb=4)
+        a = run_design("viterbi", d)
+        b = run_design("viterbi", d)
+        assert a.total_ticks == b.total_ticks
+        assert a.energy_pj == b.energy_pj
+        assert a.breakdown == b.breakdown

@@ -1,0 +1,55 @@
+"""The shipped examples must run (they are the library's front door)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+# Fast examples run in CI; the sweep-heavy ones get a smoke marker and a
+# generous timeout.
+FAST = ["quickstart.py", "custom_kernel.py", "multi_accelerator.py"]
+SLOW = ["dma_vs_cache.py", "codesign_sweep.py", "contention_study.py"]
+
+
+def run_example(name, args=(), timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name):
+    out = run_example(name)
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_both_designs():
+    out = run_example("quickstart.py")
+    assert "baseline DMA" in out
+    assert "pipelined + triggered DMA" in out
+    assert "EDP" in out
+
+
+def test_custom_kernel_runs_isolated_and_codesigned():
+    out = run_example("custom_kernel.py")
+    assert "isolated (Aladdin standalone)" in out
+    assert "co-designed (full SoC flow)" in out
+
+
+def test_multi_accelerator_reports_slowdowns():
+    out = run_example("multi_accelerator.py")
+    assert "slowdown" in out
+    assert "makespan" in out
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples_exist_and_compile(name):
+    path = EXAMPLES / name
+    assert path.exists()
+    compile(path.read_text(), str(path), "exec")

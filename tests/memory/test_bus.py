@@ -1,0 +1,128 @@
+"""System bus: occupancy, FIFO arbitration, bandwidth."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.memory.bus import SystemBus
+from repro.sim.kernel import Simulator
+from repro.sim.clock import ClockDomain
+from repro.sim.ports import MemRequest
+
+
+class _Sink:
+    """Downstream that completes requests immediately."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.handled = []
+
+    def handle(self, req):
+        self.handled.append(req)
+        req.complete(self.sim.now)
+
+
+def make_bus(width_bits=32, arb=1):
+    sim = Simulator()
+    clock = ClockDomain(100)
+    sink = _Sink(sim)
+    bus = SystemBus(sim, clock, width_bits, downstream=sink, arb_cycles=arb)
+    return sim, bus, sink
+
+
+class TestOccupancy:
+    def test_single_beat_plus_arb(self):
+        _sim, bus, _ = make_bus(32)
+        # 4 bytes = 1 beat, +1 arb cycle -> 2 cycles = 20000 ticks
+        assert bus.occupancy_ticks(4) == 20_000
+
+    def test_64byte_burst_on_32bit(self):
+        _sim, bus, _ = make_bus(32)
+        assert bus.occupancy_ticks(64) == (1 + 16) * 10_000
+
+    def test_64byte_burst_on_64bit_is_half_the_beats(self):
+        _sim, bus, _ = make_bus(64)
+        assert bus.occupancy_ticks(64) == (1 + 8) * 10_000
+
+    def test_zero_size_still_one_beat(self):
+        _sim, bus, _ = make_bus(32)
+        assert bus.occupancy_ticks(0) == 20_000
+
+    def test_non_byte_width_rejected(self):
+        sim = Simulator()
+        with pytest.raises((ValueError, ReproError)):
+            SystemBus(sim, ClockDomain(100), 33)
+
+
+class TestTransferTiming:
+    def test_request_completes_after_occupancy(self):
+        sim, bus, sink = make_bus(32)
+        done = []
+        req = MemRequest(0x100, 64, False, callback=lambda r: done.append(sim.now))
+        bus.request(req)
+        sim.run()
+        assert done == [170_000]
+        assert sink.handled == [req]
+
+    def test_fifo_serialization(self):
+        sim, bus, _ = make_bus(32)
+        done = []
+        for i in range(3):
+            bus.request(MemRequest(i * 64, 64, False,
+                                   callback=lambda r, i=i: done.append((i, sim.now))))
+        sim.run()
+        assert done == [(0, 170_000), (1, 340_000), (2, 510_000)]
+
+    def test_bandwidth_doubles_with_width(self):
+        sim32, bus32, _ = make_bus(32)
+        sim64, bus64, _ = make_bus(64)
+        end = {}
+        for label, sim, bus in (("w32", sim32, bus32), ("w64", sim64, bus64)):
+            for i in range(8):
+                bus.request(MemRequest(i * 64, 64, False))
+            sim.run()
+            end[label] = sim.now
+        # 64-bit finishes in roughly half the beats (arb overhead shared).
+        assert end["w64"] < end["w32"]
+        assert end["w64"] >= end["w32"] // 2
+
+    def test_extra_delay_shifts_grant(self):
+        sim, bus, _ = make_bus(32)
+        done = []
+        bus.request(MemRequest(0, 4, False,
+                               callback=lambda r: done.append(sim.now)),
+                    extra_delay=100_000)
+        sim.run()
+        assert done[0] == 100_000 + 20_000
+
+    def test_no_downstream_completes_on_bus(self):
+        sim = Simulator()
+        bus = SystemBus(sim, ClockDomain(100), 32, downstream=None)
+        done = []
+        bus.request(MemRequest(0, 4, False,
+                               callback=lambda r: done.append(sim.now)),
+                    target=None)
+        sim.run()
+        assert done == [20_000]
+
+
+class TestStats:
+    def test_bytes_and_requests_counted(self):
+        sim, bus, _ = make_bus()
+        bus.request(MemRequest(0, 64, False))
+        bus.request(MemRequest(64, 32, True))
+        sim.run()
+        assert bus.bytes_transferred == 96
+        assert bus.num_requests == 2
+
+    def test_utilization_saturated(self):
+        sim, bus, _ = make_bus()
+        for i in range(4):
+            bus.request(MemRequest(i * 64, 64, False))
+        sim.run()
+        assert bus.utilization(0, sim.now) == pytest.approx(1.0)
+
+    def test_utilization_idle_window(self):
+        sim, bus, _ = make_bus()
+        bus.request(MemRequest(0, 64, False))
+        sim.run()
+        assert bus.utilization(sim.now, sim.now + 1000) == 0.0

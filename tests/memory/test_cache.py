@@ -1,0 +1,249 @@
+"""Coherent cache: hits, misses, MSHRs, replacement, flush."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.bus import SystemBus
+from repro.memory.cache import Cache
+from repro.memory.coherence import CoherenceDomain, LineState
+from repro.memory.dram import DRAM
+from repro.sim.clock import ClockDomain
+from repro.sim.kernel import Simulator
+
+
+def make_system(size=4096, line=64, assoc=4, mshrs=4, prefetcher="none",
+                with_peer=False):
+    sim = Simulator()
+    clock = ClockDomain(100)
+    dram = DRAM(sim)
+    bus = SystemBus(sim, clock, 32, downstream=dram)
+    domain = CoherenceDomain(sim, bus)
+    cache = Cache(sim, clock, "l1", size, line, assoc, mshrs=mshrs,
+                  prefetcher=prefetcher)
+    domain.register(cache)
+    peer = None
+    if with_peer:
+        peer = Cache(sim, clock, "peer", 64 * 1024, line, 8)
+        domain.register(peer)
+    return sim, cache, domain, bus, dram, peer
+
+
+class TestConstruction:
+    def test_bad_geometry_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            Cache(sim, ClockDomain(100), "x", 1000, 64, 4)
+
+    def test_num_sets(self):
+        sim, cache, *_ = make_system(size=4096, line=64, assoc=4)
+        assert cache.num_sets == 16
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        sim, cache, *_ = make_system()
+        events = []
+        cache.access(0x100, 4, False, lambda: events.append("miss-done"))
+        sim.run()
+        cache.access(0x104, 4, False, lambda: events.append("hit-done"))
+        sim.run()
+        assert events == ["miss-done", "hit-done"]
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_hit_latency(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x100, 4, False, lambda: None)
+        sim.run()
+        t0 = sim.now
+        done = []
+        cache.access(0x100, 4, False, lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] - t0 == cache.clock.cycles_to_ticks(cache.hit_latency)
+
+    def test_miss_much_slower_than_hit(self):
+        sim, cache, *_ = make_system()
+        t_miss = []
+        cache.access(0, 4, False, lambda: t_miss.append(sim.now))
+        sim.run()
+        t_hit = []
+        start = sim.now
+        cache.access(0, 4, False, lambda: t_hit.append(sim.now))
+        sim.run()
+        assert t_miss[0] > (t_hit[0] - start) * 5
+
+    def test_line_straddle_rejected(self):
+        sim, cache, *_ = make_system(line=64)
+        with pytest.raises(ConfigError):
+            cache.access(60, 8, False, lambda: None)
+
+    def test_fill_installs_exclusive_without_peers(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x200, 4, False, lambda: None)
+        sim.run()
+        assert cache.peek_state(0x200) == LineState.EXCLUSIVE
+
+    def test_write_installs_modified(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x200, 4, True, lambda: None)
+        sim.run()
+        assert cache.peek_state(0x200) == LineState.MODIFIED
+
+    def test_write_hit_on_exclusive_upgrades_silently(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x200, 4, False, lambda: None)
+        sim.run()
+        misses_before = cache.misses
+        cache.access(0x200, 4, True, lambda: None)
+        sim.run()
+        assert cache.misses == misses_before
+        assert cache.peek_state(0x200) == LineState.MODIFIED
+
+
+class TestMSHR:
+    def test_secondary_miss_merges(self):
+        sim, cache, *_ = make_system()
+        done = []
+        cache.access(0x100, 4, False, lambda: done.append("a"))
+        cache.access(0x108, 4, False, lambda: done.append("b"))
+        sim.run()
+        assert sorted(done) == ["a", "b"]
+        assert cache.misses == 1
+        assert cache.merged == 1
+
+    def test_blocked_when_full(self):
+        sim, cache, *_ = make_system(mshrs=2)
+        assert cache.access(0x000, 4, False, lambda: None) == "miss"
+        assert cache.access(0x100, 4, False, lambda: None) == "miss"
+        assert cache.access(0x200, 4, False, lambda: None) == "blocked"
+        assert cache.blocked == 1
+        sim.run()
+        # After fills drain, new misses are accepted again.
+        assert cache.access(0x200, 4, False, lambda: None) == "miss"
+        sim.run()
+
+    def test_hit_under_miss(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x000, 4, False, lambda: None)
+        sim.run()
+        order = []
+        cache.access(0x400, 4, False, lambda: order.append("miss"))
+        cache.access(0x000, 4, False, lambda: order.append("hit"))
+        sim.run()
+        assert order == ["hit", "miss"]
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        # 1 set with assoc 2: size = 2 lines, direct set mapping.
+        sim, cache, *_ = make_system(size=128, line=64, assoc=2)
+        for addr in (0x0000, 0x1000):
+            cache.access(addr, 4, False, lambda: None)
+            sim.run()
+        # Touch 0x0000 so 0x1000 is LRU.
+        cache.access(0x0000, 4, False, lambda: None)
+        sim.run()
+        cache.access(0x2000, 4, False, lambda: None)
+        sim.run()
+        assert cache.peek_state(0x0000) != LineState.INVALID
+        assert cache.peek_state(0x1000) == LineState.INVALID
+
+    def test_dirty_eviction_writes_back(self):
+        sim, cache, _domain, bus, _dram, _ = make_system(size=128, line=64,
+                                                         assoc=2)
+        cache.access(0x0000, 4, True, lambda: None)
+        sim.run()
+        cache.access(0x1000, 4, False, lambda: None)
+        sim.run()
+        writes_before = bus.num_requests
+        cache.access(0x2000, 4, False, lambda: None)
+        sim.run()
+        assert cache.writebacks >= 1
+        assert bus.num_requests > writes_before  # fill + writeback
+
+    def test_resident_lines_bounded_by_capacity(self):
+        sim, cache, *_ = make_system(size=1024, line=64, assoc=4)
+        for i in range(100):
+            cache.access(i * 64, 4, False, lambda: None)
+            sim.run()
+        assert cache.resident_lines() <= 1024 // 64
+
+
+class TestFlushInvalidate:
+    def test_flush_dirty_line_reports_dirty(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x100, 4, True, lambda: None)
+        sim.run()
+        assert cache.flush_line(0x100) is True
+        assert cache.peek_state(0x100) == LineState.INVALID
+
+    def test_flush_clean_line(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x100, 4, False, lambda: None)
+        sim.run()
+        assert cache.flush_line(0x100) is False
+
+    def test_extract_line_no_traffic(self):
+        sim, cache, _d, bus, *_ = make_system()
+        cache.access(0x100, 4, True, lambda: None)
+        sim.run()
+        n = bus.num_requests
+        assert cache.extract_line(0x100) is True
+        assert bus.num_requests == n
+
+    def test_invalidate_drops_dirty_silently(self):
+        sim, cache, *_ = make_system()
+        cache.preload(0x100, 64)
+        cache.invalidate_line(0x100)
+        assert cache.peek_state(0x100) == LineState.INVALID
+        assert cache.writebacks == 0
+
+    def test_preload_installs_modified(self):
+        sim, cache, *_ = make_system()
+        cache.preload(0x0, 256)
+        for line in range(0, 256, 64):
+            assert cache.peek_state(line) == LineState.MODIFIED
+
+
+class TestPrefetch:
+    def test_stride_prefetch_fills(self):
+        sim, cache, *_ = make_system(size=8192, prefetcher="stride")
+        # Establish a steady 64-byte stride.
+        for i in range(6):
+            cache.access(i * 64, 4, False, lambda: None, stream="s")
+            sim.run()
+        assert cache.prefetch_fills > 0
+
+    def test_prefetched_line_hits(self):
+        sim, cache, *_ = make_system(size=8192, prefetcher="stride")
+        for i in range(4):
+            cache.access(i * 64, 4, False, lambda: None, stream="s")
+            sim.run()
+        # The next line should have been prefetched.
+        status = cache.access(4 * 64, 4, False, lambda: None, stream="s")
+        assert status == "hit"
+        sim.run()
+
+    def test_no_prefetcher_by_default(self):
+        sim, cache, *_ = make_system(prefetcher="none")
+        for i in range(8):
+            cache.access(i * 64, 4, False, lambda: None, stream="s")
+            sim.run()
+        assert cache.prefetch_fills == 0
+
+
+class TestStats:
+    def test_miss_rate(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x0, 4, False, lambda: None)
+        sim.run()
+        cache.access(0x0, 4, False, lambda: None)
+        sim.run()
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_fills_counted_once_per_line(self):
+        sim, cache, *_ = make_system()
+        cache.access(0x0, 4, False, lambda: None)
+        cache.access(0x8, 4, False, lambda: None)   # merges
+        sim.run()
+        assert cache.fills == 1

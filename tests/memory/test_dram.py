@@ -1,0 +1,103 @@
+"""Banked DRAM with open-row policy."""
+
+import pytest
+
+from repro.memory.dram import DRAM
+from repro.sim.kernel import Simulator
+from repro.sim.ports import MemRequest
+
+
+def make_dram(**kw):
+    sim = Simulator()
+    return sim, DRAM(sim, **kw)
+
+
+class TestRowBuffer:
+    def test_first_access_misses(self):
+        sim, dram = make_dram()
+        dram.handle(MemRequest(0, 64, False))
+        sim.run()
+        assert dram.row_misses == 1
+        assert dram.row_hits == 0
+
+    def test_same_row_hits(self):
+        sim, dram = make_dram()
+        for offset in (0, 64, 128, 1024):
+            dram.handle(MemRequest(offset, 64, False))
+        sim.run()
+        assert dram.row_misses == 1
+        assert dram.row_hits == 3
+
+    def test_row_conflict_in_same_bank(self):
+        sim, dram = make_dram(banks=8, row_bytes=4096)
+        # Rows 0 and 8 both map to bank 0.
+        dram.handle(MemRequest(0, 64, False))
+        dram.handle(MemRequest(8 * 4096, 64, False))
+        sim.run()
+        assert dram.row_misses == 2
+
+    def test_different_banks_independent_rows(self):
+        sim, dram = make_dram(banks=8, row_bytes=4096)
+        dram.handle(MemRequest(0, 64, False))          # bank 0
+        dram.handle(MemRequest(4096, 64, False))       # bank 1
+        dram.handle(MemRequest(64, 64, False))         # bank 0 again - hit
+        sim.run()
+        assert dram.row_hits == 1
+        assert dram.row_misses == 2
+
+    def test_sequential_page_stream_is_mostly_hits(self):
+        """Pipelined DMA picks page-sized blocks for exactly this reason."""
+        sim, dram = make_dram()
+        for burst in range(64):  # one full 4 KB row
+            dram.handle(MemRequest(burst * 64, 64, False))
+        sim.run()
+        assert dram.row_hit_rate() == pytest.approx(63 / 64)
+
+
+class TestTiming:
+    def test_hit_faster_than_miss(self):
+        sim, dram = make_dram(row_hit_ns=25.0, row_miss_ns=50.0)
+        times = []
+        dram.handle(MemRequest(0, 64, False,
+                               callback=lambda r: times.append(sim.now)))
+        sim.run()
+        miss_time = times[0]
+        dram.handle(MemRequest(64, 64, False,
+                               callback=lambda r: times.append(sim.now)))
+        sim.run()
+        hit_time = times[1] - miss_time
+        assert miss_time == 50_000
+        assert hit_time == 25_000
+
+    def test_bank_serializes_requests(self):
+        sim, dram = make_dram()
+        times = []
+        for i in range(3):
+            dram.handle(MemRequest(i * 64, 64, False,
+                                   callback=lambda r: times.append(sim.now)))
+        sim.run()
+        # miss, then two serialized hits
+        assert times == [50_000, 75_000, 100_000]
+
+    def test_banks_operate_in_parallel(self):
+        sim, dram = make_dram(banks=8, row_bytes=4096)
+        times = []
+        for bank in range(4):
+            dram.handle(MemRequest(bank * 4096, 64, False,
+                                   callback=lambda r: times.append(sim.now)))
+        sim.run()
+        assert times == [50_000] * 4
+
+
+class TestStats:
+    def test_read_write_counters(self):
+        sim, dram = make_dram()
+        dram.handle(MemRequest(0, 64, False))
+        dram.handle(MemRequest(64, 64, True))
+        sim.run()
+        assert dram.reads == 1
+        assert dram.writes == 1
+
+    def test_hit_rate_empty(self):
+        _sim, dram = make_dram()
+        assert dram.row_hit_rate() == 0.0

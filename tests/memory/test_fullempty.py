@@ -1,0 +1,101 @@
+"""Full/empty (ready) bits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.fullempty import ReadyBits
+
+
+class TestBasics:
+    def test_initially_empty(self):
+        bits = ReadyBits("a", 1024, granularity=64)
+        assert not bits.is_ready(0)
+        assert not bits.all_ready()
+
+    def test_set_range_marks_lines(self):
+        bits = ReadyBits("a", 1024, granularity=64)
+        bits.set_range(0, 128)
+        assert bits.is_ready(0)
+        assert bits.is_ready(127)
+        assert not bits.is_ready(128)
+
+    def test_partial_line_fill_marks_whole_line(self):
+        """Bits track cache-line granularity, matching flush granularity."""
+        bits = ReadyBits("a", 1024, granularity=64)
+        bits.set_range(0, 32)
+        assert bits.is_ready(63)
+
+    def test_set_all(self):
+        bits = ReadyBits("a", 300, granularity=64)
+        bits.set_all()
+        assert bits.all_ready()
+
+    def test_out_of_range_raises(self):
+        bits = ReadyBits("a", 64, granularity=64)
+        with pytest.raises(SimulationError):
+            bits.is_ready(64)
+
+    def test_zero_size_array(self):
+        bits = ReadyBits("empty", 0)
+        assert bits.all_ready()
+
+
+class TestWaiters:
+    def test_wait_fires_immediately_when_ready(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_range(0, 64)
+        fired = []
+        stalled = bits.wait(10, lambda: fired.append(1))
+        assert not stalled
+        assert fired == [1]
+
+    def test_wait_fires_on_fill(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        fired = []
+        stalled = bits.wait(100, lambda: fired.append(1))
+        assert stalled
+        assert fired == []
+        bits.set_range(64, 64)
+        assert fired == [1]
+
+    def test_multiple_waiters_same_line(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        fired = []
+        for i in range(3):
+            bits.wait(64 + i * 8, lambda i=i: fired.append(i))
+        bits.set_range(64, 64)
+        assert fired == [0, 1, 2]
+
+    def test_waiters_on_other_lines_untouched(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        fired = []
+        bits.wait(0, lambda: fired.append("line0"))
+        bits.wait(128, lambda: fired.append("line2"))
+        bits.set_range(128, 64)
+        assert fired == ["line2"]
+        assert bits.pending_waiters() == 1
+
+    def test_stall_counter(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.wait(0, lambda: None)
+        bits.set_range(0, 64)
+        bits.wait(0, lambda: None)  # no stall: already ready
+        assert bits.stalls == 1
+
+    def test_double_set_fires_waiters_once(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        fired = []
+        bits.wait(0, lambda: fired.append(1))
+        bits.set_range(0, 64)
+        bits.set_range(0, 64)
+        assert fired == [1]
+
+    def test_serial_data_arrival_order(self):
+        """DMA fills sequentially: earlier offsets wake before later ones."""
+        bits = ReadyBits("a", 512, granularity=64)
+        order = []
+        for line in range(8):
+            bits.wait(line * 64, lambda line=line: order.append(line))
+        for line in range(8):
+            bits.set_range(line * 64, 64)
+        assert order == list(range(8))

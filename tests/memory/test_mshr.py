@@ -1,0 +1,63 @@
+"""MSHR file bookkeeping."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_until_full(self):
+        m = MSHRFile(2)
+        assert m.allocate(0x0)
+        assert m.allocate(0x40)
+        assert m.full()
+        assert not m.allocate(0x80)
+
+    def test_double_allocate_raises(self):
+        m = MSHRFile(4)
+        m.allocate(0x0)
+        with pytest.raises(ValueError):
+            m.allocate(0x0)
+
+    def test_release_frees_entry(self):
+        m = MSHRFile(1)
+        m.allocate(0x0)
+        m.merge(0x0, "w1")
+        waiters = m.release(0x0)
+        assert waiters == ["w1"]
+        assert not m.full()
+        assert m.allocate(0x40)
+
+    def test_lookup(self):
+        m = MSHRFile(4)
+        assert not m.lookup(0x0)
+        m.allocate(0x0)
+        assert m.lookup(0x0)
+
+
+class TestMerging:
+    def test_merge_order_preserved(self):
+        m = MSHRFile(4)
+        m.allocate(0x0)
+        for w in ("a", "b", "c"):
+            m.merge(0x0, w)
+        assert m.release(0x0) == ["a", "b", "c"]
+
+    def test_merged_counter(self):
+        m = MSHRFile(4)
+        m.allocate(0x0)
+        m.merge(0x0, "a")
+        m.merge(0x0, "b")
+        assert m.merged_misses == 2
+
+
+class TestStats:
+    def test_max_in_use_high_water_mark(self):
+        m = MSHRFile(8)
+        for i in range(5):
+            m.allocate(i * 64)
+        for i in range(5):
+            m.merge(i * 64, i)
+            m.release(i * 64)
+        assert m.max_in_use == 5
+        assert m.in_use == 0

@@ -1,0 +1,85 @@
+"""Partitioned scratchpads."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.sram import ArraySpec, Scratchpad
+
+
+def make_spad(partitions=4, ports=1):
+    arrays = [ArraySpec("a", 256, 4), ArraySpec("b", 64, 8)]
+    return Scratchpad(arrays, partitions, ports)
+
+
+class TestConstruction:
+    def test_invalid_partitions(self):
+        with pytest.raises(ConfigError):
+            Scratchpad([ArraySpec("a", 64, 4)], 0)
+
+    def test_invalid_ports(self):
+        with pytest.raises(ConfigError):
+            Scratchpad([ArraySpec("a", 64, 4)], 1, 0)
+
+    def test_total_bytes(self):
+        spad = make_spad()
+        assert spad.total_bytes == 256 + 64
+
+    def test_bandwidth(self):
+        assert make_spad(partitions=8, ports=2).bandwidth_words_per_cycle == 16
+
+
+class TestCyclicPartitioning:
+    def test_bank_of_word(self):
+        spad = make_spad(partitions=4)
+        assert spad.bank_of("a", 0) == 0
+        assert spad.bank_of("a", 5) == 1
+        assert spad.bank_of("a", 7) == 3
+
+    def test_partition_bytes_ceil_division(self):
+        spad = Scratchpad([ArraySpec("a", 40, 4)], 4)  # 10 words / 4 banks
+        assert spad.partition_bytes("a") == 3 * 4
+
+
+class TestPortArbitration:
+    def test_single_port_one_access_per_cycle(self):
+        spad = make_spad(partitions=1, ports=1)
+        assert spad.try_access("a", 0, cycle=0)
+        assert not spad.try_access("a", 1, cycle=0)
+        assert spad.try_access("a", 1, cycle=1)
+
+    def test_different_banks_no_conflict(self):
+        spad = make_spad(partitions=4, ports=1)
+        for i in range(4):
+            assert spad.try_access("a", i, cycle=0)
+        assert not spad.try_access("a", 4, cycle=0)  # bank 0 again
+
+    def test_dual_ports(self):
+        spad = make_spad(partitions=1, ports=2)
+        assert spad.try_access("a", 0, cycle=0)
+        assert spad.try_access("a", 1, cycle=0)
+        assert not spad.try_access("a", 2, cycle=0)
+
+    def test_arrays_have_independent_banks(self):
+        spad = make_spad(partitions=1, ports=1)
+        assert spad.try_access("a", 0, cycle=0)
+        assert spad.try_access("b", 0, cycle=0)
+
+    def test_unknown_array_raises(self):
+        spad = make_spad()
+        with pytest.raises(ConfigError):
+            spad.try_access("zzz", 0, cycle=0)
+
+    def test_conflict_counter(self):
+        spad = make_spad(partitions=1)
+        spad.try_access("a", 0, 0)
+        spad.try_access("a", 1, 0)
+        spad.try_access("a", 2, 0)
+        assert spad.conflicts == 2
+        assert spad.accesses == 1
+
+    def test_per_array_access_counts(self):
+        spad = make_spad(partitions=4)
+        spad.try_access("a", 0, 0)
+        spad.try_access("a", 1, 0)
+        spad.try_access("b", 0, 0)
+        assert spad.access_by_array == {"a": 2, "b": 1}

@@ -1,0 +1,108 @@
+"""Property-based tests for cache and ready-bit invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.bus import SystemBus
+from repro.memory.cache import Cache
+from repro.memory.coherence import CoherenceDomain, LineState
+from repro.memory.dram import DRAM
+from repro.memory.fullempty import ReadyBits
+from repro.sim.clock import ClockDomain
+from repro.sim.kernel import Simulator
+
+
+def build_cache(size=2048, line=64, assoc=2):
+    sim = Simulator()
+    clock = ClockDomain(100)
+    dram = DRAM(sim)
+    bus = SystemBus(sim, clock, 32, downstream=dram)
+    domain = CoherenceDomain(sim, bus)
+    cache = Cache(sim, clock, "c", size, line, assoc)
+    domain.register(cache)
+    return sim, cache
+
+
+addresses = st.lists(st.integers(0, 8191).map(lambda a: a & ~3),
+                     min_size=1, max_size=60)
+rw = st.lists(st.booleans(), min_size=1, max_size=60)
+
+
+@given(addresses)
+@settings(max_examples=25, deadline=None)
+def test_every_access_eventually_completes(addrs):
+    sim, cache = build_cache()
+    done = []
+    pending = list(addrs)
+
+    def issue():
+        if not pending:
+            return
+        addr = pending.pop(0)
+        status = cache.access(addr, 4, False, lambda: done.append(addr))
+        if status == "blocked":
+            pending.insert(0, addr)
+            sim.schedule(10_000, issue)
+        else:
+            sim.schedule(0, issue)
+
+    issue()
+    sim.run()
+    assert sorted(done) == sorted(addrs)
+
+
+@given(addresses)
+@settings(max_examples=25, deadline=None)
+def test_capacity_never_exceeded(addrs):
+    sim, cache = build_cache(size=1024, assoc=2)
+    for addr in addrs:
+        cache.access(addr, 4, False, lambda: None)
+        sim.run()
+        assert cache.resident_lines() <= 1024 // 64
+        for s in cache._sets:
+            assert len(s) <= cache.assoc
+
+
+@given(addresses)
+@settings(max_examples=25, deadline=None)
+def test_repeat_access_hits(addrs):
+    """Temporal locality: immediately re-reading an address always hits."""
+    sim, cache = build_cache(size=8192, assoc=4)
+    for addr in addrs[:10]:
+        cache.access(addr, 4, False, lambda: None)
+        sim.run()
+        status = cache.access(addr, 4, False, lambda: None)
+        assert status == "hit"
+        sim.run()
+
+
+@given(addresses, rw)
+@settings(max_examples=25, deadline=None)
+def test_stats_consistent(addrs, writes):
+    sim, cache = build_cache()
+    for addr, w in zip(addrs, writes):
+        status = cache.access(addr, 4, w, lambda: None)
+        sim.run()
+        assert status in ("hit", "miss")
+    assert cache.reads + cache.writes == min(len(addrs), len(writes))
+    assert cache.hits + cache.misses + cache.merged == \
+        cache.reads + cache.writes
+    assert 0.0 <= cache.miss_rate() <= 1.0
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 64)),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_ready_bits_monotonic(fills):
+    """Once a byte is ready it stays ready; waiters fire exactly once."""
+    bits = ReadyBits("a", 1024, granularity=64)
+    fired = []
+    for line in range(16):
+        bits.wait(line * 64, lambda line=line: fired.append(line))
+    ready_history = set()
+    for line, size in fills:
+        bits.set_range(line * 64, size)
+        now_ready = {b for b in range(16) if bits.is_ready(b * 64)}
+        assert ready_history <= now_ready
+        ready_history = now_ready
+    assert sorted(fired) == sorted(set(fired))  # no double fires
+    assert set(fired) == ready_history

@@ -1,0 +1,94 @@
+"""Property-based tests for the DMA engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dma.descriptor import DMADescriptor
+from repro.dma.engine import DMAEngine
+from repro.memory.bus import SystemBus
+from repro.memory.dram import DRAM
+from repro.memory.fullempty import ReadyBits
+from repro.sim.clock import ClockDomain
+from repro.sim.kernel import Simulator
+
+
+def make_engine(width_bits=32, outstanding=4):
+    sim = Simulator()
+    clock = ClockDomain(100)
+    dram = DRAM(sim)
+    bus = SystemBus(sim, clock, width_bits, downstream=dram)
+    return sim, DMAEngine(sim, clock, bus, max_outstanding=outstanding), bus
+
+
+descriptor_sets = st.lists(
+    st.tuples(st.integers(1, 3000),          # size
+              st.booleans()),                # direction
+    min_size=1, max_size=6)
+
+
+@given(descriptor_sets)
+@settings(max_examples=30, deadline=None)
+def test_byte_conservation(specs):
+    """Every byte described is moved exactly once."""
+    sim, engine, bus = make_engine()
+    descs = []
+    addr = 0x1000
+    for size, to_accel in specs:
+        descs.append(DMADescriptor(addr, "a", 0, size, to_accel))
+        addr += 4096
+    done = []
+    engine.enqueue(descs, on_done=lambda: done.append(True))
+    sim.run()
+    assert done == [True]
+    assert engine.bytes_moved == sum(size for size, _d in specs)
+    assert bus.bytes_transferred == engine.bytes_moved
+
+
+@given(descriptor_sets, st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_outstanding_depth_never_changes_totals(specs, outstanding):
+    """Pipelining depth affects timing, never the amount of data moved."""
+    totals = []
+    for depth in (1, outstanding):
+        sim, engine, _bus = make_engine(outstanding=depth)
+        descs = [DMADescriptor(0x1000 + i * 4096, "a", 0, size, to_accel)
+                 for i, (size, to_accel) in enumerate(specs)]
+        engine.enqueue(descs)
+        sim.run()
+        totals.append(engine.bytes_moved)
+    assert totals[0] == totals[1]
+
+
+@given(st.integers(64, 4096))
+@settings(max_examples=20, deadline=None)
+def test_ready_bits_fully_set_after_load(size):
+    sim, engine, _bus = make_engine()
+    bits = ReadyBits("a", size, granularity=64)
+    engine.ready_bits = {"a": bits}
+    engine.enqueue([DMADescriptor(0, "a", 0, size, to_accel=True)])
+    sim.run()
+    assert bits.all_ready()
+
+
+@given(st.lists(st.integers(100, 2000), min_size=2, max_size=5))
+@settings(max_examples=20, deadline=None)
+def test_transactions_complete_in_fifo_order(sizes):
+    sim, engine, _bus = make_engine()
+    order = []
+    for i, size in enumerate(sizes):
+        engine.enqueue([DMADescriptor(i * 8192, "a", 0, size, True)],
+                       on_done=lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(len(sizes)))
+
+
+@given(st.integers(65, 4096), st.sampled_from([32, 64]))
+@settings(max_examples=25, deadline=None)
+def test_transfer_time_bounded_by_bus_bandwidth(size, width):
+    """The engine can never beat the bus: duration >= beats * period."""
+    sim, engine, _bus = make_engine(width_bits=width)
+    done = []
+    engine.enqueue([DMADescriptor(0, "a", 0, size, True)],
+                   on_done=lambda: done.append(sim.now))
+    sim.run()
+    min_ticks = (size * 8 // width) * 10_000
+    assert done[0] >= min_ticks

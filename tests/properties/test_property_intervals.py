@@ -1,0 +1,78 @@
+"""Property-based tests for the interval algebra.
+
+The runtime breakdowns of Figures 2 and 6 are computed entirely from this
+algebra, so its invariants must hold for arbitrary interval sets.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    intersect,
+    merge_intervals,
+    subtract,
+    total_covered,
+)
+
+interval = st.tuples(st.integers(0, 1000), st.integers(0, 1000)).map(
+    lambda t: (min(t), max(t) + 1))
+intervals = st.lists(interval, max_size=20)
+
+
+def is_canonical(ivs):
+    return all(a < b for a, b in ivs) and all(
+        ivs[i][1] < ivs[i + 1][0] for i in range(len(ivs) - 1))
+
+
+@given(intervals)
+def test_merge_produces_canonical_form(ivs):
+    assert is_canonical(merge_intervals(ivs))
+
+
+@given(intervals)
+def test_merge_idempotent(ivs):
+    merged = merge_intervals(ivs)
+    assert merge_intervals(merged) == merged
+
+
+@given(intervals)
+def test_merge_preserves_coverage(ivs):
+    covered = set()
+    for a, b in ivs:
+        covered.update(range(a, b))
+    merged_covered = set()
+    for a, b in merge_intervals(ivs):
+        merged_covered.update(range(a, b))
+    assert covered == merged_covered
+
+
+@given(intervals, intervals)
+def test_intersect_subset_of_both(a, b):
+    inter = intersect(a, b)
+    cov_a = total_covered(a)
+    cov_b = total_covered(b)
+    cov_i = total_covered(inter)
+    assert cov_i <= min(cov_a, cov_b)
+
+
+@given(intervals, intervals)
+def test_intersect_commutative(a, b):
+    assert intersect(a, b) == intersect(b, a)
+
+
+@given(intervals, intervals)
+def test_subtract_disjoint_from_subtrahend(a, b):
+    assert intersect(subtract(a, b), b) == []
+
+
+@given(intervals, intervals)
+def test_partition_identity(a, b):
+    """|a| = |a - b| + |a intersect b| — the invariant that makes the
+    flush/DMA/compute cycle classes sum to total runtime."""
+    assert total_covered(a) == (total_covered(subtract(a, b))
+                                + total_covered(intersect(a, b)))
+
+
+@given(intervals, intervals)
+def test_intersect_with_subtract_covers_a(a, b):
+    lhs = merge_intervals(subtract(a, b) + intersect(a, b))
+    assert lhs == merge_intervals(a)

@@ -1,0 +1,60 @@
+"""Property-based tests for Pareto/EDP selection."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.pareto import dominates, edp_optimal, pareto_frontier
+
+
+class Point:
+    def __init__(self, t, p):
+        self.total_ticks = t
+        self.power_mw = p
+        self.edp = t * t * p
+
+
+points = st.lists(
+    st.builds(Point, st.integers(1, 10**6),
+              st.floats(0.01, 100, allow_nan=False)),
+    min_size=1, max_size=40)
+
+
+@given(points)
+def test_frontier_nonempty(pts):
+    assert pareto_frontier(pts)
+
+
+@given(points)
+def test_frontier_points_not_dominated(pts):
+    front = pareto_frontier(pts)
+    for f in front:
+        assert not any(dominates(p, f) for p in pts)
+
+
+@given(points)
+def test_all_points_dominated_or_equal_to_frontier(pts):
+    front = pareto_frontier(pts)
+    for p in pts:
+        assert any(f.total_ticks <= p.total_ticks
+                   and f.power_mw <= p.power_mw for f in front)
+
+
+@given(points)
+def test_frontier_strictly_decreasing_power(pts):
+    front = pareto_frontier(pts)
+    for a, b in zip(front, front[1:]):
+        assert a.total_ticks <= b.total_ticks
+        assert a.power_mw > b.power_mw
+
+
+@given(points)
+def test_frontier_invariant_under_duplication(pts):
+    front1 = pareto_frontier(pts)
+    front2 = pareto_frontier(pts + pts)
+    assert [(f.total_ticks, f.power_mw) for f in front1] == \
+        [(f.total_ticks, f.power_mw) for f in front2]
+
+
+@given(points)
+def test_edp_optimal_is_global_minimum(pts):
+    best = edp_optimal(pts)
+    assert all(best.edp <= p.edp for p in pts)

@@ -1,0 +1,69 @@
+"""Property-based tests for the trace builder and lane assignment."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aladdin.ddg import DDDG
+from repro.aladdin.trace import TraceBuilder
+from repro.aladdin.transforms import assign_lanes, validate_assignment
+
+
+@st.composite
+def random_kernel(draw):
+    """A random but well-formed parallel kernel."""
+    n_iters = draw(st.integers(1, 12))
+    ops_per_iter = draw(st.integers(1, 6))
+    tb = TraceBuilder("random")
+    size = n_iters * ops_per_iter + 1
+    tb.array("a", size, 4, kind="input", init=[1.0] * size)
+    tb.array("out", size, 4, kind="output")
+    for i in range(n_iters):
+        with tb.iteration(i):
+            acc = tb.load("a", i)
+            for k in range(ops_per_iter):
+                choice = draw(st.sampled_from(["fadd", "fmul", "load"]))
+                if choice == "load":
+                    acc = tb.fadd(acc, tb.load("a", (i + k) % size))
+                elif choice == "fadd":
+                    acc = tb.fadd(acc, 1.0)
+                else:
+                    acc = tb.fmul(acc, 2.0)
+            tb.store("out", i, acc)
+    return tb
+
+
+@given(random_kernel())
+@settings(max_examples=30, deadline=None)
+def test_traces_topologically_ordered(tb):
+    for node, preds in enumerate(tb.deps):
+        assert all(p < node for p in preds)
+
+
+@given(random_kernel(), st.integers(1, 16))
+@settings(max_examples=30, deadline=None)
+def test_lane_assignment_always_valid(tb, lanes):
+    validate_assignment(tb, assign_lanes(tb, lanes))
+
+
+@given(random_kernel(), st.integers(1, 16))
+@settings(max_examples=20, deadline=None)
+def test_scheduler_completes_any_kernel(tb, lanes):
+    """Work conservation: every well-formed trace finishes, whatever the
+    lane count, and runs at least as long as its critical path."""
+    from repro.aladdin.accelerator import Accelerator
+    res = Accelerator(tb, lanes, partitions=max(1, lanes // 2)).run_isolated()
+    assert res.cycles >= DDDG(tb).critical_path()
+
+
+@given(random_kernel())
+@settings(max_examples=15, deadline=None)
+def test_more_lanes_never_slower(tb):
+    from repro.aladdin.accelerator import Accelerator
+    c2 = Accelerator(tb, 2, 2).run_isolated().cycles
+    c8 = Accelerator(tb, 8, 8).run_isolated().cycles
+    assert c8 <= c2
+
+
+@given(random_kernel())
+@settings(max_examples=15, deadline=None)
+def test_histogram_counts_all_nodes(tb):
+    assert sum(tb.op_histogram().values()) == tb.num_nodes

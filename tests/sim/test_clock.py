@@ -1,0 +1,41 @@
+"""Clock domains."""
+
+import pytest
+
+from repro.sim.clock import ClockDomain
+
+
+class TestClockDomain:
+    def test_100mhz_period_is_10ns(self):
+        assert ClockDomain(100).period == 10_000  # ticks = ps
+
+    def test_667mhz_period(self):
+        # 1/667MHz = 1.499 ns ~ 1499 ps
+        assert ClockDomain(667).period == 1499
+
+    def test_cycles_to_ticks(self):
+        c = ClockDomain(100)
+        assert c.cycles_to_ticks(5) == 50_000
+
+    def test_ticks_to_cycles_floors(self):
+        c = ClockDomain(100)
+        assert c.ticks_to_cycles(25_000) == 2
+
+    def test_next_edge_on_edge(self):
+        c = ClockDomain(100)
+        assert c.next_edge(20_000) == 20_000
+
+    def test_next_edge_between_edges(self):
+        c = ClockDomain(100)
+        assert c.next_edge(20_001) == 30_000
+
+    def test_edge_after_is_strictly_later(self):
+        c = ClockDomain(100)
+        assert c.edge_after(20_000) == 30_000
+        assert c.edge_after(29_999) == 30_000
+
+    @pytest.mark.parametrize("mhz", [50, 100, 200, 400, 667, 1000])
+    def test_round_trip(self, mhz):
+        c = ClockDomain(mhz)
+        for cycles in (1, 7, 100):
+            assert c.ticks_to_cycles(c.cycles_to_ticks(cycles)) == cycles

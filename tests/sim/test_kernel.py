@@ -1,0 +1,132 @@
+"""Event queue and simulator driver."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_starts_at_time_zero(self):
+        assert EventQueue().now == 0
+
+    def test_schedule_and_run_single_event(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(100, fired.append, "a")
+        q.run()
+        assert fired == ["a"]
+        assert q.now == 100
+
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(300, order.append, 3)
+        q.schedule(100, order.append, 1)
+        q.schedule(200, order.append, 2)
+        q.run()
+        assert order == [1, 2, 3]
+
+    def test_same_tick_events_fire_in_schedule_order(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.schedule(50, order.append, i)
+        q.run()
+        assert order == list(range(10))
+
+    def test_zero_delay_event_runs_after_current(self):
+        q = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            q.schedule(0, order.append, "nested")
+
+        q.schedule(10, first)
+        q.schedule(10, order.append, "second")
+        q.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(100, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_at(50, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(100, fired.append, 1)
+        q.schedule(500, fired.append, 2)
+        q.run(until=200)
+        assert fired == [1]
+        assert q.now == 200
+        q.run()
+        assert fired == [1, 2]
+
+    def test_event_budget_raises_on_livelock(self):
+        q = EventQueue()
+
+        def respawn():
+            q.schedule(1, respawn)
+
+        q.schedule(1, respawn)
+        with pytest.raises(SimulationError, match="budget"):
+            q.run(max_events=1000)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(42, lambda: None)
+        assert q.peek_time() == 42
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_cascading_events(self):
+        q = EventQueue()
+        times = []
+
+        def chain(depth):
+            times.append(q.now)
+            if depth:
+                q.schedule(10, chain, depth - 1)
+
+        q.schedule(0, chain, 4)
+        q.run()
+        assert times == [0, 10, 20, 30, 40]
+
+
+class TestSimulator:
+    def test_done_dependency_satisfied(self):
+        sim = Simulator()
+        done = {"flag": False}
+        sim.add_done_dependency(lambda: done["flag"])
+        sim.schedule(10, done.__setitem__, "flag", True)
+        sim.run()
+        assert sim.now == 10
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        sim.add_done_dependency(lambda: False)
+        sim.schedule(10, lambda: None)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    def test_all_done_with_no_dependencies(self):
+        sim = Simulator()
+        assert sim.all_done()
+        sim.run()
+
+    def test_now_tracks_queue(self):
+        sim = Simulator()
+        sim.schedule(123, lambda: None)
+        sim.run()
+        assert sim.now == 123

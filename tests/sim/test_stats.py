@@ -1,0 +1,113 @@
+"""Interval trackers and interval algebra."""
+
+import pytest
+
+from repro.sim.stats import (
+    IntervalTracker,
+    intersect,
+    merge_intervals,
+    subtract,
+    total_covered,
+)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        assert merge_intervals([(0, 5), (10, 15)]) == [(0, 5), (10, 15)]
+
+    def test_overlap_merged(self):
+        assert merge_intervals([(0, 10), (5, 20)]) == [(0, 20)]
+
+    def test_adjacent_merged(self):
+        assert merge_intervals([(0, 10), (10, 20)]) == [(0, 20)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(30, 40), (0, 10), (5, 15)]) == \
+            [(0, 15), (30, 40)]
+
+    def test_contained_interval(self):
+        assert merge_intervals([(0, 100), (10, 20)]) == [(0, 100)]
+
+
+class TestIntersect:
+    def test_basic(self):
+        assert intersect([(0, 10)], [(5, 20)]) == [(5, 10)]
+
+    def test_disjoint(self):
+        assert intersect([(0, 5)], [(10, 20)]) == []
+
+    def test_multiple(self):
+        a = [(0, 10), (20, 30)]
+        b = [(5, 25)]
+        assert intersect(a, b) == [(5, 10), (20, 25)]
+
+    def test_identical(self):
+        assert intersect([(3, 7)], [(3, 7)]) == [(3, 7)]
+
+
+class TestSubtract:
+    def test_hole_in_middle(self):
+        assert subtract([(0, 10)], [(3, 5)]) == [(0, 3), (5, 10)]
+
+    def test_no_overlap(self):
+        assert subtract([(0, 10)], [(20, 30)]) == [(0, 10)]
+
+    def test_total_removal(self):
+        assert subtract([(5, 10)], [(0, 20)]) == []
+
+    def test_left_clip(self):
+        assert subtract([(0, 10)], [(0, 4)]) == [(4, 10)]
+
+    def test_right_clip(self):
+        assert subtract([(0, 10)], [(6, 12)]) == [(0, 6)]
+
+    def test_multiple_holes(self):
+        assert subtract([(0, 100)], [(10, 20), (30, 40)]) == \
+            [(0, 10), (20, 30), (40, 100)]
+
+
+class TestTotalCovered:
+    def test_counts_overlap_once(self):
+        assert total_covered([(0, 10), (5, 15)]) == 15
+
+    def test_empty(self):
+        assert total_covered([]) == 0
+
+
+class TestIntervalTracker:
+    def test_simple_begin_end(self):
+        t = IntervalTracker("x")
+        t.begin(10)
+        t.end(20)
+        assert t.intervals == [(10, 20)]
+
+    def test_nested_refcounted(self):
+        t = IntervalTracker()
+        t.begin(0)
+        t.begin(5)
+        t.end(10)
+        assert t.busy
+        t.end(20)
+        assert not t.busy
+        assert t.intervals == [(0, 20)]
+
+    def test_end_without_begin_raises(self):
+        t = IntervalTracker("y")
+        with pytest.raises(ValueError):
+            t.end(5)
+
+    def test_zero_length_interval_dropped(self):
+        t = IntervalTracker()
+        t.begin(5)
+        t.end(5)
+        assert t.intervals == []
+
+    def test_total_busy(self):
+        t = IntervalTracker()
+        t.add(0, 10)
+        t.add(5, 20)
+        t.add(30, 35)
+        assert t.total_busy() == 25

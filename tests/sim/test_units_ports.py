@@ -1,0 +1,60 @@
+"""Unit conversions and memory-request plumbing."""
+
+import pytest
+
+from repro import units
+from repro.sim.ports import MemRequest
+
+
+class TestUnits:
+    def test_tick_is_picosecond(self):
+        assert units.TICKS_PER_SECOND == 10**12
+        assert units.ns_to_ticks(1) == 1000
+        assert units.us_to_ticks(1) == 10**6
+
+    def test_round_trips(self):
+        assert units.ticks_to_ns(units.ns_to_ticks(84.0)) == pytest.approx(84.0)
+        assert units.ticks_to_us(units.us_to_ticks(3.5)) == pytest.approx(3.5)
+        assert units.ticks_to_seconds(10**12) == 1.0
+
+    def test_frequency_to_period(self):
+        assert units.freq_mhz_to_period_ticks(100) == 10_000
+        assert units.freq_mhz_to_period_ticks(1000) == 1_000
+
+    def test_power(self):
+        # 1000 pJ over 1 us = 1 mW.
+        assert units.power_mw(1000.0, units.us_to_ticks(1)) == \
+            pytest.approx(1.0)
+
+    def test_power_zero_interval(self):
+        assert units.power_mw(1000.0, 0) == 0.0
+
+    def test_edp(self):
+        # 1 J * 1 s.
+        assert units.edp(1e12, 10**12) == pytest.approx(1.0)
+
+    def test_edp_monotone_in_both_axes(self):
+        assert units.edp(2000, 100) > units.edp(1000, 100)
+        assert units.edp(1000, 200) > units.edp(1000, 100)
+
+
+class TestMemRequest:
+    def test_unique_ids(self):
+        a = MemRequest(0, 4, False)
+        b = MemRequest(0, 4, False)
+        assert a.req_id != b.req_id
+
+    def test_complete_fires_callback_once(self):
+        seen = []
+        req = MemRequest(0x40, 8, True, callback=seen.append)
+        req.complete(123)
+        assert seen == [req]
+        assert req.complete_tick == 123
+
+    def test_complete_without_callback(self):
+        MemRequest(0, 4, False).complete(5)  # must not raise
+
+    def test_repr(self):
+        r = MemRequest(0x1000, 64, True, requester="dma0")
+        assert "W" in repr(r)
+        assert "dma0" in repr(r)

@@ -1,0 +1,74 @@
+"""Public-API quality gates: docstrings and import hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro", "repro.units", "repro.errors", "repro.cli",
+    "repro.sim.kernel", "repro.sim.clock", "repro.sim.ports",
+    "repro.sim.stats",
+    "repro.memory.bus", "repro.memory.dram", "repro.memory.sram",
+    "repro.memory.cache", "repro.memory.coherence", "repro.memory.mshr",
+    "repro.memory.prefetch", "repro.memory.tlb", "repro.memory.fullempty",
+    "repro.memory.traffic",
+    "repro.dma.descriptor", "repro.dma.engine", "repro.cpu.driver",
+    "repro.aladdin.ir", "repro.aladdin.trace", "repro.aladdin.ddg",
+    "repro.aladdin.transforms", "repro.aladdin.scheduler",
+    "repro.aladdin.power", "repro.aladdin.area",
+    "repro.aladdin.accelerator",
+    "repro.core.config", "repro.core.soc", "repro.core.multi",
+    "repro.core.metrics", "repro.core.sweep", "repro.core.pareto",
+    "repro.core.scenarios", "repro.core.analytic", "repro.core.validation",
+    "repro.core.kiviat", "repro.core.figures", "repro.core.reporting",
+    "repro.core.export",
+    "repro.workloads.registry",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_importable_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+        elif inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(member):
+                    continue
+                if not inspect.getdoc(member):
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {undocumented}")
+
+
+def test_every_workload_module_registers_exactly_one_kernel():
+    import repro.workloads as w
+    names = w.workload_names()
+    assert len(names) == len(set(names))
+    pkg = importlib.import_module("repro.workloads")
+    kernel_modules = [m.name for m in pkgutil.iter_modules(pkg.__path__)
+                      if m.name not in ("registry",)]
+    assert len(kernel_modules) == len(names)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
