@@ -7,7 +7,10 @@ so running the whole directory in one process shares work between
 Figures 8, 9 and 10.
 
 Set ``REPRO_BENCH_DENSITY=quick|standard|full`` to trade sweep resolution
-for runtime (default: standard).
+for runtime (default: standard).  Set ``REPRO_SWEEP_JOBS=N`` (0 = one per
+CPU) and/or ``REPRO_SWEEP_CACHE=DIR`` to run the figure sweeps through the
+parallel / on-disk-memoized engine (:mod:`repro.core.sweeppool`) — with a
+warm cache a full re-run evaluates zero new design points.
 """
 
 import os
@@ -15,6 +18,16 @@ import os
 import pytest
 
 DENSITY = os.environ.get("REPRO_BENCH_DENSITY", "standard")
+
+_SWEEP_JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "1") or 1)
+_SWEEP_CACHE = os.environ.get("REPRO_SWEEP_CACHE") or None
+
+if _SWEEP_JOBS != 1 or _SWEEP_CACHE:
+    from repro.core import figures
+
+    figures.set_sweep_options(
+        parallel=None if _SWEEP_JOBS == 1 else _SWEEP_JOBS,
+        cache_dir=_SWEEP_CACHE)
 
 
 @pytest.fixture(scope="session")

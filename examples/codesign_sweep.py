@@ -6,27 +6,46 @@ isolation (classic Aladdin: data preloaded, no system) and once co-designed
 inside the SoC — then shows how the isolated choice over-provisions and
 what that costs once real data movement is applied.
 
-    python examples/codesign_sweep.py [workload]
+The co-designed sweep runs through the parallel, on-disk-memoized sweep
+engine (repro.core.sweeppool): pass --jobs to fan design points out over
+worker processes, and re-run the script to watch the cache absorb every
+point (evaluated drops to zero).
+
+    python examples/codesign_sweep.py [workload] [--jobs N] [--no-cache]
 """
 
-import sys
+import argparse
 
 from repro import (
-    DesignPoint,
-    dma_design_space,
+    SweepMetrics,
     edp_optimal,
+    dma_design_space,
     run_design,
     run_isolated,
+    run_sweep,
 )
 from repro.core.kiviat import design_resources
 
 
 def main():
-    workload = sys.argv[1] if len(sys.argv) > 1 else "fft-transpose"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workload", nargs="?", default="fft-transpose")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="sweep worker processes (0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk sweep cache")
+    parser.add_argument("--cache-dir", default=".sweep-cache")
+    args = parser.parse_args()
+
+    workload = args.workload
     designs = dma_design_space("standard")
+    cache_dir = None if args.no_cache else args.cache_dir
+    metrics = SweepMetrics()
 
     isolated = [run_isolated(workload, d) for d in designs]
-    codesigned = [run_design(workload, d) for d in designs]
+    codesigned = run_sweep(workload, designs,
+                           parallel=None if args.jobs == 1 else args.jobs,
+                           cache_dir=cache_dir, metrics=metrics)
     iso_best = edp_optimal(isolated)
     co_best = edp_optimal(codesigned)
 
@@ -53,7 +72,8 @@ def main():
     print(f"  co-designed optimum : {co_best.time_us:8.1f} us "
           f"@ {co_best.power_mw:.2f} mW")
     print(f"\nEDP improvement from co-design: "
-          f"{naive.edp / co_best.edp:.2f}x")
+          f"{naive.edp / co_best.edp:.2f}x\n")
+    print(metrics.report())
 
 
 if __name__ == "__main__":

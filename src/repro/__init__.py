@@ -28,7 +28,12 @@ from repro.core.sweep import (
     cache_design_space,
     run_sweep,
 )
-from repro.core.pareto import pareto_frontier, edp_optimal
+from repro.core.sweeppool import (
+    SweepCache,
+    SweepMetrics,
+    sweep_key,
+)
+from repro.core.pareto import pareto_frontier, edp_optimal, sweep_pareto
 from repro.core.scenarios import (
     SCENARIOS,
     Scenario,
@@ -66,8 +71,12 @@ __all__ = [
     "dma_design_space",
     "cache_design_space",
     "run_sweep",
+    "SweepCache",
+    "SweepMetrics",
+    "sweep_key",
     "pareto_frontier",
     "edp_optimal",
+    "sweep_pareto",
     "SCENARIOS",
     "Scenario",
     "run_isolated",

@@ -48,6 +48,7 @@ def build_parser():
     sweep_p.add_argument("--csv", metavar="PATH",
                          help="write every design point as CSV")
     _add_platform_args(sweep_p)
+    _add_sweep_engine_args(sweep_p)
 
     val_p = sub.add_parser("validate",
                            help="Figure 4: analytic model vs detailed sim")
@@ -59,6 +60,7 @@ def build_parser():
                                 "fig6b", "fig7", "fig8", "fig9", "fig10"))
     fig_p.add_argument("--density", default="standard",
                        choices=("quick", "standard", "full"))
+    _add_sweep_engine_args(fig_p)
     return parser
 
 
@@ -82,6 +84,36 @@ def _add_platform_args(parser):
     parser.add_argument("--bus-width", type=int, default=32,
                         choices=(32, 64))
     parser.add_argument("--background-traffic", action="store_true")
+
+
+def _jobs_count(text):
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per CPU), got {value}")
+    return value
+
+
+def _add_sweep_engine_args(parser):
+    parser.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
+                        help="evaluate design points over N worker "
+                             "processes (0 = one per CPU; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk sweep result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="sweep cache directory "
+                             "(default .sweep-cache)")
+
+
+def sweep_engine_from_args(args):
+    """(parallel, cache_dir) for run_sweep from parsed CLI arguments."""
+    from repro.core.sweeppool import DEFAULT_CACHE_DIR
+    parallel = args.jobs if args.jobs != 1 else None
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    return parallel, cache_dir
 
 
 def design_from_args(args):
@@ -139,9 +171,15 @@ def cmd_run(args, out):
 
 def cmd_sweep(args, out):
     """``repro sweep``: both design spaces, Pareto + optima."""
+    from repro.core.sweeppool import SweepMetrics
     cfg = config_from_args(args)
-    dma = run_sweep(args.workload, dma_design_space(args.density), cfg)
-    cache = run_sweep(args.workload, cache_design_space(args.density), cfg)
+    parallel, cache_dir = sweep_engine_from_args(args)
+    metrics = SweepMetrics()
+    dma = run_sweep(args.workload, dma_design_space(args.density), cfg,
+                    parallel=parallel, cache_dir=cache_dir, metrics=metrics)
+    cache = run_sweep(args.workload, cache_design_space(args.density), cfg,
+                      parallel=parallel, cache_dir=cache_dir,
+                      metrics=metrics)
     if args.json or args.csv:
         from repro.core.export import results_to_csv, results_to_json
         if args.json:
@@ -159,6 +197,8 @@ def cmd_sweep(args, out):
     out(f"cache EDP optimum: {best_cache.design!r}  edp={best_cache.edp:.3e}")
     winner = "DMA" if best_dma.edp <= best_cache.edp else "cache"
     out(f"-> {winner} wins for {args.workload}")
+    out("")
+    out(metrics.report())
     return 0
 
 
@@ -182,12 +222,23 @@ def cmd_validate(args, out):
 def cmd_figure(args, out):
     """``repro figure``: regenerate one paper figure."""
     from repro.core import figures
-    fn = getattr(figures, args.name)
-    if args.name in ("fig1", "fig8", "fig9", "fig10"):
-        data = fn(density=args.density)
-    else:
-        data = fn()
+    from repro.core.sweeppool import SweepMetrics
+    parallel, cache_dir = sweep_engine_from_args(args)
+    metrics = SweepMetrics()
+    figures.set_sweep_options(parallel=parallel, cache_dir=cache_dir,
+                              metrics=metrics)
+    try:
+        fn = getattr(figures, args.name)
+        if args.name in ("fig1", "fig8", "fig9", "fig10"):
+            data = fn(density=args.density)
+        else:
+            data = fn()
+    finally:
+        figures.set_sweep_options()
     out(_render_figure(args.name, data))
+    if metrics.points:
+        out("")
+        out(metrics.report())
     return 0
 
 

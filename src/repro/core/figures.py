@@ -39,6 +39,32 @@ FIG7_WORKLOADS = ["gemm-ncubed", "stencil-stencil3d", "md-knn", "spmv-crs",
 
 _memo = {}
 
+# Process-wide sweep execution options (worker pool + on-disk memo cache),
+# consumed by every figure that runs a design-space sweep.  Configured by
+# the CLI's --jobs/--no-cache flags and the benchmark harness.
+_sweep_options = {"parallel": None, "cache_dir": None, "metrics": None}
+
+
+def set_sweep_options(parallel=None, cache_dir=None, metrics=None):
+    """Configure how figure sweeps execute (see :mod:`repro.core.sweeppool`).
+
+    ``parallel`` is the worker count (``0`` = one per CPU, ``None`` =
+    serial), ``cache_dir`` the on-disk memo cache root, and ``metrics`` an
+    optional :class:`~repro.core.sweeppool.SweepMetrics` that accumulates
+    counters across every sweep the figures run.
+    """
+    _sweep_options["parallel"] = parallel
+    _sweep_options["cache_dir"] = cache_dir
+    _sweep_options["metrics"] = metrics
+
+
+def _sweep(workload, designs, cfg=None):
+    """One design-space sweep under the configured execution options."""
+    return run_sweep(workload, designs, cfg,
+                     parallel=_sweep_options["parallel"],
+                     cache_dir=_sweep_options["cache_dir"],
+                     metrics=_sweep_options["metrics"])
+
 
 def _memoized(key, fn):
     if key not in _memo:
@@ -57,7 +83,7 @@ def fig1(workload="stencil-stencil3d", density="standard"):
     """Isolated vs co-designed DMA design spaces for stencil3d."""
     designs = dma_design_space(density)
     isolated = [run_isolated(workload, d) for d in designs]
-    codesigned = run_sweep(workload, designs)
+    codesigned = _sweep(workload, designs)
     iso_opt = edp_optimal(isolated)
     co_opt = edp_optimal(codesigned)
     # The isolated optimum re-evaluated with system effects applied.
@@ -196,9 +222,9 @@ def fig8(workloads=None, density="standard"):
     out = {}
     for w in workloads:
         dma = _memoized(("sweep", w, "dma32", density), lambda w=w:
-                        run_sweep(w, dma_design_space(density)))
+                        _sweep(w, dma_design_space(density)))
         cache = _memoized(("sweep", w, "cache32", density), lambda w=w:
-                          run_sweep(w, cache_design_space(density)))
+                          _sweep(w, cache_design_space(density)))
         out[w] = {
             "dma": dma,
             "cache": cache,
@@ -223,12 +249,12 @@ def scenario_optima(workload, density="standard"):
         from repro.core.scenarios import isolated_sweep
         cfg64 = SoCConfig(bus_width_bits=64)
         dma = _memoized(("sweep", workload, "dma32", density), lambda:
-                        run_sweep(workload, dma_design_space(density)))
+                        _sweep(workload, dma_design_space(density)))
         cache32 = _memoized(("sweep", workload, "cache32", density), lambda:
-                            run_sweep(workload, cache_design_space(density)))
+                            _sweep(workload, cache_design_space(density)))
         cache64 = _memoized(("sweep", workload, "cache64", density), lambda:
-                            run_sweep(workload, cache_design_space(density),
-                                      cfg64))
+                            _sweep(workload, cache_design_space(density),
+                                   cfg64))
         return {
             "isolated": edp_optimal(isolated_sweep(workload, density)),
             "dma32": edp_optimal(dma),

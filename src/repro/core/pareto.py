@@ -34,3 +34,18 @@ def dominates(a, b, x=lambda r: r.total_ticks, y=lambda r: r.power_mw):
     """True when ``a`` Pareto-dominates ``b``."""
     return (x(a) <= x(b) and y(a) <= y(b)
             and (x(a) < x(b) or y(a) < y(b)))
+
+
+def sweep_pareto(workload, designs, cfg=None, parallel=None, cache_dir=None,
+                 metrics=None):
+    """Sweep a design space and reduce it to its Pareto view.
+
+    Runs the sweep through :func:`repro.core.sweep.run_sweep` (parallel
+    and/or memoized when ``parallel``/``cache_dir`` are given) and returns
+    ``(frontier, edp_optimum, all_results)`` — the shape Figures 1 and 8
+    and the CLI's sweep command consume.
+    """
+    from repro.core.sweep import run_sweep
+    results = run_sweep(workload, designs, cfg, parallel=parallel,
+                        cache_dir=cache_dir, metrics=metrics)
+    return pareto_frontier(results), edp_optimal(results), results

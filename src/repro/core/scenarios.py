@@ -85,13 +85,18 @@ def isolated_sweep(workload, density="standard"):
 
 
 def run_scenario_optimum(workload, scenario, density="standard",
-                         base_cfg=None):
-    """Sweep the scenario's design space; return (optimum, all results)."""
+                         base_cfg=None, parallel=None, cache_dir=None):
+    """Sweep the scenario's design space; return (optimum, all results).
+
+    ``parallel``/``cache_dir`` select the pooled / memoized sweep engine
+    (:mod:`repro.core.sweeppool`) for the detailed-simulation scenarios.
+    """
     if scenario.mem_interface == "isolated":
         results = isolated_sweep(workload, density)
     else:
         cfg = scenario.soc_config(base_cfg)
-        results = run_sweep(workload, scenario.design_space(density), cfg)
+        results = run_sweep(workload, scenario.design_space(density), cfg,
+                            parallel=parallel, cache_dir=cache_dir)
     return edp_optimal(results), results
 
 
@@ -120,13 +125,15 @@ def naive_design_for(workload, isolated_design, scenario):
 
 
 def edp_improvement(workload, scenario, density="standard", base_cfg=None,
-                    isolated_optimum=None, codesigned_optimum=None):
+                    isolated_optimum=None, codesigned_optimum=None,
+                    parallel=None, cache_dir=None):
     """Figure 10's metric for one (workload, scenario) pair.
 
     Returns a dict with the naive EDP (isolated-optimal design under the
     scenario's system), the co-designed EDP (scenario optimum), and their
     ratio (improvement; > 1 means co-design wins).  Precomputed optima can
-    be passed in to reuse sweep work.
+    be passed in to reuse sweep work; ``parallel``/``cache_dir`` select
+    the pooled / memoized sweep engine when a sweep is needed.
     """
     if isolated_optimum is None:
         isolated_optimum, _ = run_scenario_optimum(
@@ -137,8 +144,9 @@ def edp_improvement(workload, scenario, density="standard", base_cfg=None,
     if codesigned_optimum is not None:
         codesigned, results = codesigned_optimum, []
     else:
-        codesigned, results = run_scenario_optimum(workload, scenario,
-                                                   density, base_cfg)
+        codesigned, results = run_scenario_optimum(
+            workload, scenario, density, base_cfg,
+            parallel=parallel, cache_dir=cache_dir)
     # The co-design space is a superset of the naive point, but a
     # sub-sampled sweep grid may miss it; the optimum over the union keeps
     # the metric well defined (improvement >= 1 by construction).

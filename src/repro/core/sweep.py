@@ -8,6 +8,9 @@ capture once and the scheduling per point.
 ``density`` trades sweep resolution for runtime: ``"full"`` is the paper's
 complete cross-product, ``"standard"`` a representative subset (default),
 ``"quick"`` a coarse grid for tests.
+
+Sweeps can run in parallel and/or memoized on disk — pass ``parallel=`` /
+``cache_dir=`` to :func:`run_sweep` (engine: :mod:`repro.core.sweeppool`).
 """
 
 from repro.core.config import DesignPoint, PARAMETER_TABLE
@@ -62,8 +65,24 @@ def cache_design_space(density="standard"):
     ]
 
 
-def run_sweep(workload, designs, cfg=None, progress=None):
-    """Evaluate every design point; returns the list of RunResults."""
+def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
+              cache_dir=None, metrics=None):
+    """Evaluate every design point; returns the list of RunResults.
+
+    ``parallel`` fans the evaluations out over a worker pool (``N`` workers;
+    ``0`` means one per CPU), ``cache_dir`` memoizes results on disk, and
+    ``metrics`` (a :class:`repro.core.sweeppool.SweepMetrics`) collects
+    evaluated/cached counts and wall times — see :mod:`repro.core.sweeppool`.
+    Results are always in the order of ``designs``, and the parallel/cached
+    paths produce results identical to the serial one.
+    """
+    if parallel not in (None, 1) or cache_dir is not None \
+            or metrics is not None:
+        from repro.core.sweeppool import run_sweep_pool
+        return run_sweep_pool(workload, designs, cfg,
+                              jobs=1 if parallel is None else parallel,
+                              cache_dir=cache_dir, progress=progress,
+                              metrics=metrics)
     results = []
     for i, design in enumerate(designs):
         results.append(run_design(workload, design, cfg))

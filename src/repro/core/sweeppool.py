@@ -1,0 +1,304 @@
+"""Parallel, memoized design-space sweep execution.
+
+Every figure of the paper is a cross-product of ``run_design`` calls
+(:mod:`repro.core.sweep`); this module is the engine that makes those
+sweeps run as fast as the hardware allows:
+
+* **Parallelism** — design points are independent simulations, so they fan
+  out over a ``multiprocessing`` pool.  Workers are spawn-safe (the worker
+  function is a module-level callable taking only picklable arguments) and
+  results are returned in the exact order of the input design list, so a
+  parallel sweep is a drop-in replacement for the serial one.
+
+* **Memoization** — an on-disk :class:`SweepCache` keyed by a stable
+  SHA-256 hash of ``(workload, DesignPoint, SoCConfig)`` stores every
+  evaluated :class:`~repro.core.metrics.RunResult` (pickled).  Repeated
+  figure or benchmark runs pay each design point exactly once; a warm
+  cache evaluates zero new points.
+
+* **Metrics** — a :class:`SweepMetrics` record (in the spirit of
+  :mod:`repro.sim.stats` counters) reports points evaluated vs. cache
+  hits, wall time per point, and worker utilization, so sweep time is
+  observable rather than guessed at.
+
+Cache format (see :data:`CACHE_FORMAT_VERSION`):
+
+``<cache_dir>/<key[:2]>/<key>.pkl`` where ``key`` is the hex SHA-256 of
+the canonical JSON ``{"version", "workload", "design", "config"}``
+payload; ``design`` and ``config`` are the complete ``__dict__`` of the
+:class:`DesignPoint` / :class:`SoCConfig`, so *any* parameter change —
+including ones not on the sweep grid — invalidates the entry.  Each file
+pickles ``{"key": payload, "result": RunResult}``; the embedded payload
+guards against hash collisions and lets tooling inspect entries without
+re-deriving keys.  Corrupt or unreadable entries are treated as misses
+and rewritten.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+import tempfile
+import time
+from multiprocessing import get_context
+
+from repro.core.config import SoCConfig
+from repro.core.soc import run_design
+
+#: Bump when the simulator's timing/energy models change in ways that make
+#: previously cached RunResults stale.
+CACHE_FORMAT_VERSION = 1
+
+#: Conventional cache location (the CLI default; gitignored).
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+
+# -- cache keys ---------------------------------------------------------------
+
+def key_payload(workload, design, cfg=None):
+    """The canonical, JSON-able identity of one design-point evaluation."""
+    cfg = cfg or SoCConfig()
+    return {
+        "version": CACHE_FORMAT_VERSION,
+        "workload": workload,
+        "design": dict(design.__dict__),
+        "config": dict(cfg.__dict__),
+    }
+
+
+def sweep_key(workload, design, cfg=None):
+    """Stable hex digest identifying one ``(workload, design, cfg)`` run."""
+    text = json.dumps(key_payload(workload, design, cfg),
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- the on-disk cache --------------------------------------------------------
+
+class SweepCache:
+    """Pickle-per-point result cache under one root directory.
+
+    Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
+    sharing a cache directory never observe torn entries; unreadable or
+    mismatched entries read as misses.
+    """
+
+    def __init__(self, root):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key, payload=None):
+        """The cached RunResult for ``key``, or None on a miss."""
+        try:
+            with open(self._path(key), "rb") as f:
+                entry = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if payload is not None and entry.get("key") != payload:
+            return None  # hash collision or stale format: treat as miss
+        return entry.get("result")
+
+    def put(self, key, result, payload=None):
+        """Atomically store ``result`` under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump({"key": payload, "result": result}, f,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self):
+        count = 0
+        for _dir, _subdirs, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".pkl"))
+        return count
+
+    def clear(self):
+        """Drop every cached entry (keeps the directory)."""
+        for dirpath, _subdirs, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".pkl"):
+                    os.unlink(os.path.join(dirpath, name))
+
+
+# -- sweep metrics ------------------------------------------------------------
+
+class SweepMetrics:
+    """Counters describing where one sweep's time went.
+
+    ``points`` partitions into ``cache_hits`` + ``evaluated``; per-point
+    wall times accumulate in ``point_seconds`` (evaluated points only).
+    ``worker_utilization`` is total simulation time over total pool
+    capacity (jobs x wall-clock span) — near 1.0 means the pool stayed
+    busy, near 1/jobs means the sweep was effectively serial.
+    """
+
+    def __init__(self):
+        self.points = 0
+        self.cache_hits = 0
+        self.evaluated = 0
+        self.jobs = 1
+        self.wall_seconds = 0.0
+        self.point_seconds = []
+
+    @property
+    def seconds_per_point(self):
+        if not self.point_seconds:
+            return 0.0
+        return sum(self.point_seconds) / len(self.point_seconds)
+
+    @property
+    def worker_utilization(self):
+        if self.wall_seconds <= 0.0 or self.jobs <= 0:
+            return 0.0
+        return min(sum(self.point_seconds)
+                   / (self.wall_seconds * self.jobs), 1.0)
+
+    def merge(self, other):
+        """Fold another sweep's counters into this one (multi-sweep runs)."""
+        self.points += other.points
+        self.cache_hits += other.cache_hits
+        self.evaluated += other.evaluated
+        self.jobs = max(self.jobs, other.jobs)
+        self.wall_seconds += other.wall_seconds
+        self.point_seconds.extend(other.point_seconds)
+        return self
+
+    def as_dict(self):
+        return {
+            "points": self.points,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "seconds_per_point": self.seconds_per_point,
+            "worker_utilization": self.worker_utilization,
+        }
+
+    def report(self):
+        """Human-readable multi-line summary."""
+        return "\n".join([
+            "sweep metrics:",
+            f"  points       : {self.points}",
+            f"  evaluated    : {self.evaluated}",
+            f"  cache hits   : {self.cache_hits}",
+            f"  wall time    : {self.wall_seconds:.2f} s "
+            f"({self.seconds_per_point:.3f} s/point evaluated)",
+            f"  worker util  : {self.worker_utilization:.2f} "
+            f"(jobs={self.jobs})",
+        ])
+
+
+# -- execution ----------------------------------------------------------------
+
+def _evaluate_task(task):
+    """Pool worker: evaluate one design point (module-level => spawn-safe)."""
+    index, workload, design, cfg = task
+    start = time.perf_counter()
+    result = run_design(workload, design, cfg)
+    return index, result, time.perf_counter() - start
+
+
+def _spawn_can_reimport_main():
+    """Whether a ``spawn``-context worker can re-import ``__main__``.
+
+    Spawn workers re-run the parent's main module during bootstrap.  When
+    the parent is interactive (REPL, ``python -`` / stdin, notebooks
+    without a file) there is nothing to re-import; the pool would respawn
+    crashing workers forever.  Those parents must run inline instead.
+    """
+    main = sys.modules.get("__main__")
+    if main is None:
+        return False
+    if getattr(main, "__spec__", None) is not None:  # python -m ...
+        return True
+    path = getattr(main, "__file__", None)
+    return bool(path) and os.path.exists(path)
+
+
+def resolve_jobs(jobs):
+    """Normalize a worker count: None/0 means one worker per CPU."""
+    if not jobs:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
+                   progress=None, metrics=None, mp_context="spawn"):
+    """Evaluate every design point, in parallel and/or memoized.
+
+    Drop-in compatible with :func:`repro.core.sweep.run_sweep`: returns
+    the :class:`RunResult` list in the order of ``designs`` regardless of
+    worker scheduling.  ``jobs=None`` or ``0`` uses every CPU; ``jobs=1``
+    evaluates inline (no pool).  ``cache_dir`` enables the on-disk memo
+    cache; ``metrics`` (a :class:`SweepMetrics`) is filled in place.
+    """
+    jobs = resolve_jobs(jobs)
+    metrics = metrics if metrics is not None else SweepMetrics()
+    metrics.points += len(designs)
+    metrics.jobs = max(metrics.jobs, jobs)
+    sweep_start = time.perf_counter()
+    cache = SweepCache(cache_dir) if cache_dir else None
+
+    results = [None] * len(designs)
+    completed = 0
+    pending = []
+    payloads = {}
+    for i, design in enumerate(designs):
+        if cache is not None:
+            payload = key_payload(workload, design, cfg)
+            key = sweep_key(workload, design, cfg)
+            payloads[i] = (key, payload)
+            hit = cache.get(key, payload)
+            if hit is not None:
+                results[i] = hit
+                metrics.cache_hits += 1
+                completed += 1
+                if progress is not None:
+                    progress(completed, len(designs))
+                continue
+        pending.append(i)
+
+    def finish(index, result, elapsed):
+        nonlocal completed
+        results[index] = result
+        metrics.evaluated += 1
+        metrics.point_seconds.append(elapsed)
+        if cache is not None:
+            key, payload = payloads[index]
+            cache.put(key, result, payload)
+        completed += 1
+        if progress is not None:
+            progress(completed, len(designs))
+
+    if jobs > 1 and mp_context == "spawn" and not _spawn_can_reimport_main():
+        jobs = 1
+
+    tasks = [(i, workload, designs[i], cfg) for i in pending]
+    if len(tasks) > 0 and jobs > 1:
+        ctx = get_context(mp_context)
+        with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+            for index, result, elapsed in pool.imap(_evaluate_task, tasks):
+                finish(index, result, elapsed)
+    else:
+        for task in tasks:
+            finish(*_evaluate_task(task))
+
+    metrics.wall_seconds += time.perf_counter() - sweep_start
+    return results

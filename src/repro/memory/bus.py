@@ -35,6 +35,8 @@ class SystemBus:
         self.busy = IntervalTracker(name)
         self.bytes_transferred = 0
         self.num_requests = 0
+        self.queue_ticks = 0      # total arbitration wait (grant - issue)
+        self.max_queue_ticks = 0
 
     def occupancy_ticks(self, size):
         """Bus occupancy (ticks) of one transfer of ``size`` bytes."""
@@ -56,7 +58,14 @@ class SystemBus:
         self.busy.add(grant, grant + occupancy)
         self.bytes_transferred += req.size
         self.num_requests += 1
-        req.issue_tick = self.sim.now
+        # Issue = arrival at arbitration (after any snoop delay); grant =
+        # the tick the transfer actually wins the bus.  Their difference is
+        # the queueing latency under contention.
+        req.issue_tick = now
+        req.grant_tick = grant
+        waited = grant - now
+        self.queue_ticks += waited
+        self.max_queue_ticks = max(self.max_queue_ticks, waited)
         handler = target if target is not None else self.downstream
         if handler is None:
             # No downstream: the bus itself completes the request once the
@@ -64,6 +73,10 @@ class SystemBus:
             self.sim.schedule_at(grant + occupancy, req.complete, grant + occupancy)
         else:
             self.sim.schedule_at(grant + occupancy, handler.handle, req)
+
+    def avg_queue_ticks(self):
+        """Mean arbitration wait per request (ticks)."""
+        return self.queue_ticks / self.num_requests if self.num_requests else 0.0
 
     def utilization(self, start, end):
         """Fraction of [start, end) during which the bus moved data."""

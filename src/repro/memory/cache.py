@@ -204,8 +204,13 @@ class Cache:
 
     def _fill(self, line_addr, fill_state, prefetch=False):
         waiters = self.mshrs.release(line_addr)
-        # A waiter that wrote forces the installed state to M.
+        # A waiter that wrote forces the installed state to M.  If the fill
+        # came back from a plain read probe (anything but M), peers may still
+        # hold the line — the domain must invalidate them or they would
+        # retain stale SHARED copies next to our MODIFIED one.
         if any(w_is_write for _cb, w_is_write in waiters):
+            if fill_state != LineState.MODIFIED and self.domain is not None:
+                self.domain.upgrade_line(self, line_addr)
             fill_state = LineState.MODIFIED
         self._install(line_addr, fill_state)
         if prefetch:

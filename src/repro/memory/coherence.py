@@ -53,6 +53,7 @@ class CoherenceDomain:
         self.cache_to_cache_transfers = 0
         self.memory_fetches = 0
         self.invalidations = 0
+        self.upgrades = 0
 
     def register(self, cache):
         """Attach a cache to this snooping domain."""
@@ -107,6 +108,21 @@ class CoherenceDomain:
         else:
             self.memory_fetches += 1
             self.bus.request(req, extra_delay=self.snoop_ticks)
+
+    def upgrade_line(self, requester, line_addr):
+        """Upgrade ``requester``'s pending fill to ownership.
+
+        Used when a write merged into a read-allocated MSHR: the original
+        probe was a plain read, so peers still hold S/O copies that must be
+        invalidated before the requester may install MODIFIED.  The
+        invalidation piggybacks on the in-flight fill's bus transaction, so
+        no extra timing cost is modeled — only the state change.
+        """
+        self.upgrades += 1
+        for peer in self._peers(requester):
+            if peer.peek_state(line_addr) != LineState.INVALID:
+                peer.snoop_invalidate(line_addr)
+                self.invalidations += 1
 
     def writeback(self, cache, line_addr):
         """Evict dirty data to memory (fire-and-forget for timing)."""

@@ -75,12 +75,12 @@ class EventQueue:
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return executed
-            self.step()
-            executed += 1
-            if executed > max_events:
+            if executed >= max_events:
                 raise SimulationError(
                     f"event budget exceeded ({max_events} events): likely livelock"
                 )
+            self.step()
+            executed += 1
         return executed
 
 

@@ -31,6 +31,7 @@ class MemRequest:
         "callback",
         "is_prefetch",
         "issue_tick",
+        "grant_tick",
         "complete_tick",
     )
 
@@ -44,6 +45,7 @@ class MemRequest:
         self.callback = callback
         self.is_prefetch = is_prefetch
         self.issue_tick = None
+        self.grant_tick = None
         self.complete_tick = None
 
     def complete(self, now):

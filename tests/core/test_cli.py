@@ -57,10 +57,46 @@ class TestCommands:
         assert code == 0
 
     def test_sweep_quick(self):
-        code, text = run_cli(["sweep", "aes-aes", "--density", "quick"])
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--no-cache"])
         assert code == 0
         assert "Pareto" in text
         assert "wins for aes-aes" in text
+        assert "sweep metrics" in text
+
+    def test_sweep_cache_warm_run_evaluates_nothing(self, tmp_path):
+        argv = ["sweep", "aes-aes", "--density", "quick",
+                "--cache-dir", str(tmp_path)]
+        code, cold = run_cli(argv)
+        assert code == 0
+        assert "cache hits   : 0" in cold
+        code, warm = run_cli(argv)
+        assert code == 0
+        assert "evaluated    : 0" in warm
+
+    def test_sweep_parallel_jobs(self, tmp_path):
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--jobs", "2", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "jobs=2" in text
+
+    def test_sweep_engine_flags_parsed(self):
+        from repro.cli import sweep_engine_from_args
+        args = build_parser().parse_args(
+            ["sweep", "aes-aes", "--jobs", "4", "--cache-dir", "/tmp/x"])
+        assert sweep_engine_from_args(args) == (4, "/tmp/x")
+        args = build_parser().parse_args(["sweep", "aes-aes", "--no-cache"])
+        assert sweep_engine_from_args(args) == (None, None)
+        args = build_parser().parse_args(["sweep", "aes-aes"])
+        parallel, cache_dir = sweep_engine_from_args(args)
+        assert parallel is None
+        assert cache_dir == ".sweep-cache"
+
+    def test_negative_jobs_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["sweep", "aes-aes", "--jobs", "-1"])
+        assert exc.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
 
     def test_validate_subset(self):
         code, text = run_cli(["validate", "aes-aes"])
@@ -71,3 +107,10 @@ class TestCommands:
         code, text = run_cli(["figure", "fig2a"])
         assert code == 0
         assert "md-knn" in text
+
+    def test_figure_resets_sweep_options(self):
+        from repro.core import figures
+        code, _text = run_cli(["figure", "fig2a", "--jobs", "2"])
+        assert code == 0
+        assert figures._sweep_options["parallel"] is None
+        assert figures._sweep_options["cache_dir"] is None

@@ -1,0 +1,238 @@
+"""Parallel, memoized sweep engine."""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import DesignPoint, SoCConfig
+from repro.core.export import results_to_json
+from repro.core.sweep import dma_design_space, run_sweep
+from repro.core.sweeppool import (
+    SweepCache,
+    SweepMetrics,
+    key_payload,
+    resolve_jobs,
+    run_sweep_pool,
+    sweep_key,
+)
+
+WORKLOAD = "aes-aes"
+
+
+def quick_designs(n=3):
+    return dma_design_space("quick")[:n]
+
+
+class TestSweepKey:
+    def test_stable_across_calls(self):
+        d = DesignPoint(lanes=2, partitions=2)
+        assert sweep_key(WORKLOAD, d) == sweep_key(WORKLOAD, d)
+        assert sweep_key(WORKLOAD, d) == sweep_key(
+            WORKLOAD, DesignPoint(lanes=2, partitions=2))
+
+    def test_differs_by_workload_design_and_config(self):
+        d = DesignPoint(lanes=2, partitions=2)
+        base = sweep_key(WORKLOAD, d)
+        assert sweep_key("nw-nw", d) != base
+        assert sweep_key(WORKLOAD, d.replace(lanes=4)) != base
+        assert sweep_key(WORKLOAD, d, SoCConfig(bus_width_bits=64)) != base
+
+    def test_every_design_field_is_a_hash_input(self):
+        """Fields off the sweep grid (e.g. perfect_memory) still invalidate."""
+        d = DesignPoint(mem_interface="cache")
+        assert sweep_key(WORKLOAD, d) != sweep_key(
+            WORKLOAD, d.replace(perfect_memory=True))
+
+    def test_default_config_matches_explicit_default(self):
+        d = DesignPoint()
+        assert sweep_key(WORKLOAD, d) == sweep_key(WORKLOAD, d, SoCConfig())
+
+    def test_payload_is_json_roundtrippable(self):
+        import json
+        payload = key_payload(WORKLOAD, DesignPoint(), SoCConfig())
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestSweepCache:
+    def test_roundtrip(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put("ab" + "0" * 62, {"x": 1}, payload={"p": 1})
+        assert cache.get("ab" + "0" * 62, payload={"p": 1}) == {"x": 1}
+        assert len(cache) == 1
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert SweepCache(str(tmp_path)).get("ff" + "0" * 62) is None
+
+    def test_payload_mismatch_is_a_miss(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        cache.put(key, 42, payload={"p": 1})
+        assert cache.get(key, payload={"p": 2}) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        cache.put(key, 42, payload=None)
+        path = cache._path(key)
+        with open(path, "wb") as f:
+            f.write(b"not a pickle")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put("ab" + "0" * 62, 1)
+        cache.put("cd" + "0" * 62, 2)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("ab" + "0" * 62) is None
+
+    def test_no_stray_tmp_files_after_put(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put("ab" + "0" * 62, 1)
+        stray = [f for _d, _s, fs in os.walk(str(tmp_path))
+                 for f in fs if f.endswith(".tmp")]
+        assert stray == []
+
+
+class TestMemoization:
+    def test_cold_then_warm(self, tmp_path):
+        designs = quick_designs()
+        cold = SweepMetrics()
+        first = run_sweep_pool(WORKLOAD, designs, cache_dir=str(tmp_path),
+                               metrics=cold)
+        assert cold.points == len(designs)
+        assert cold.evaluated == len(designs)
+        assert cold.cache_hits == 0
+
+        warm = SweepMetrics()
+        second = run_sweep_pool(WORKLOAD, designs, cache_dir=str(tmp_path),
+                                metrics=warm)
+        assert warm.evaluated == 0
+        assert warm.cache_hits == len(designs)
+        assert results_to_json(first) == results_to_json(second)
+
+    def test_config_change_invalidates(self, tmp_path):
+        designs = quick_designs(2)
+        run_sweep_pool(WORKLOAD, designs, cache_dir=str(tmp_path))
+        metrics = SweepMetrics()
+        run_sweep_pool(WORKLOAD, designs, SoCConfig(bus_width_bits=64),
+                       cache_dir=str(tmp_path), metrics=metrics)
+        assert metrics.cache_hits == 0
+        assert metrics.evaluated == len(designs)
+
+    def test_cached_results_preserve_order(self, tmp_path):
+        designs = quick_designs()
+        run_sweep_pool(WORKLOAD, designs, cache_dir=str(tmp_path))
+        results = run_sweep_pool(WORKLOAD, designs,
+                                 cache_dir=str(tmp_path))
+        assert [r.design.key() for r in results] == \
+            [d.key() for d in designs]
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, tmp_path):
+        designs = quick_designs()
+        serial = run_sweep(WORKLOAD, designs)
+        parallel = run_sweep_pool(WORKLOAD, designs, jobs=2)
+        assert results_to_json(serial) == results_to_json(parallel)
+        assert [r.design.key() for r in parallel] == \
+            [d.key() for d in designs]
+
+    def test_parallel_fills_cache(self, tmp_path):
+        designs = quick_designs(2)
+        run_sweep_pool(WORKLOAD, designs, jobs=2, cache_dir=str(tmp_path))
+        warm = SweepMetrics()
+        run_sweep_pool(WORKLOAD, designs, jobs=2, cache_dir=str(tmp_path),
+                       metrics=warm)
+        assert warm.evaluated == 0
+        assert warm.cache_hits == len(designs)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestRunSweepIntegration:
+    def test_run_sweep_serial_path_unchanged(self):
+        designs = quick_designs(2)
+        results = run_sweep(WORKLOAD, designs)
+        assert len(results) == 2
+
+    def test_run_sweep_threads_engine_options(self, tmp_path):
+        designs = quick_designs(2)
+        metrics = SweepMetrics()
+        results = run_sweep(WORKLOAD, designs, cache_dir=str(tmp_path),
+                            metrics=metrics)
+        assert len(results) == 2
+        assert metrics.evaluated == 2
+
+    def test_progress_counts_hits_and_evaluations(self, tmp_path):
+        designs = quick_designs(2)
+        run_sweep(WORKLOAD, designs, cache_dir=str(tmp_path))
+        calls = []
+        run_sweep(WORKLOAD, designs, cache_dir=str(tmp_path),
+                  progress=lambda i, n: calls.append((i, n)))
+        assert calls == [(1, 2), (2, 2)]
+
+
+class TestSpawnSafety:
+    def test_stdin_main_falls_back_to_inline(self, tmp_path):
+        # A spawn worker re-imports __main__; when the parent runs from
+        # stdin (python -, REPL) there is no file to re-import and the
+        # pool would respawn crashing workers forever.  The engine must
+        # detect that and evaluate inline instead of hanging.
+        script = "\n".join([
+            "from repro.core.sweep import dma_design_space, run_sweep",
+            "from repro.core.sweeppool import SweepMetrics",
+            "metrics = SweepMetrics()",
+            "results = run_sweep('aes-aes', dma_design_space('quick')[:2],",
+            "                    parallel=2, metrics=metrics)",
+            "assert len(results) == 2 and metrics.evaluated == 2",
+            "print('sweep-ok')",
+        ])
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in [src_dir, env.get("PYTHONPATH")] if p)
+        proc = subprocess.run(
+            [sys.executable, "-"], input=script, text=True,
+            capture_output=True, env=env, cwd=str(tmp_path), timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "sweep-ok" in proc.stdout
+
+    def test_reimportable_main_uses_pool(self):
+        # Under pytest, __main__ is the pytest entry point with a real
+        # __spec__/__file__, so the guard must NOT disable the pool path.
+        from repro.core.sweeppool import _spawn_can_reimport_main
+        assert _spawn_can_reimport_main()
+
+
+class TestMetrics:
+    def test_report_and_dict(self, tmp_path):
+        metrics = SweepMetrics()
+        run_sweep_pool(WORKLOAD, quick_designs(2), cache_dir=str(tmp_path),
+                       metrics=metrics)
+        d = metrics.as_dict()
+        assert d["points"] == 2
+        assert d["evaluated"] == 2
+        assert d["wall_seconds"] > 0
+        assert 0 < d["worker_utilization"] <= 1.0
+        text = metrics.report()
+        assert "cache hits" in text
+        assert "worker util" in text
+
+    def test_merge(self):
+        a, b = SweepMetrics(), SweepMetrics()
+        a.points, a.evaluated, a.point_seconds = 3, 3, [0.1, 0.2, 0.3]
+        b.points, b.cache_hits = 2, 2
+        a.merge(b)
+        assert a.points == 5
+        assert a.cache_hits == 2
+        assert a.evaluated == 3

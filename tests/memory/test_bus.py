@@ -105,6 +105,53 @@ class TestTransferTiming:
         assert done == [20_000]
 
 
+class TestTickStamping:
+    def test_uncontended_request_grant_matches_issue(self):
+        sim, bus, _ = make_bus(32)
+        req = MemRequest(0, 4, False)
+        bus.request(req)
+        sim.run()
+        assert req.issue_tick == 0
+        assert req.grant_tick == 0
+        assert bus.queue_ticks == 0
+
+    def test_contention_stamps_real_grant_tick(self):
+        """Back-to-back requests: each later request's grant tick is the
+        previous occupancy end, and the queueing latency is grant - issue."""
+        sim, bus, _ = make_bus(32)
+        reqs = [MemRequest(i * 64, 64, False) for i in range(3)]
+        for req in reqs:
+            bus.request(req)
+        sim.run()
+        occupancy = bus.occupancy_ticks(64)
+        for i, req in enumerate(reqs):
+            assert req.issue_tick == 0
+            assert req.grant_tick == i * occupancy
+        assert bus.queue_ticks == occupancy + 2 * occupancy
+        assert bus.max_queue_ticks == 2 * occupancy
+
+    def test_extra_delay_included_in_issue_tick(self):
+        """Snoop latency delays arrival at arbitration: the issue tick is
+        when the request reaches the bus, not when the caller ran."""
+        sim, bus, _ = make_bus(32)
+        req = MemRequest(0, 4, False)
+        bus.request(req, extra_delay=100_000)
+        sim.run()
+        assert req.issue_tick == 100_000
+        assert req.grant_tick == 100_000
+        # Waiting out the snoop is not bus queueing time.
+        assert bus.queue_ticks == 0
+
+    def test_avg_queue_ticks(self):
+        sim, bus, _ = make_bus(32)
+        for i in range(4):
+            bus.request(MemRequest(i * 64, 64, False))
+        sim.run()
+        occupancy = bus.occupancy_ticks(64)
+        assert bus.avg_queue_ticks() == pytest.approx(
+            (0 + occupancy + 2 * occupancy + 3 * occupancy) / 4)
+
+
 class TestStats:
     def test_bytes_and_requests_counted(self):
         sim, bus, _ = make_bus()

@@ -81,6 +81,53 @@ class TestInvalidation:
         assert a.peek_state(0x100) == LineState.MODIFIED
 
 
+class TestMergedWriteUpgrade:
+    def test_write_merged_into_read_fill_invalidates_sharers(self):
+        """A write that merges into a read-allocated MSHR must upgrade
+        through the domain: peers holding the line may not retain stale
+        SHARED copies when the requester installs MODIFIED."""
+        sim, domain, a, b, _ = make_pair()
+        # b owns the line (EXCLUSIVE after a clean read fill).
+        b.access(0x100, 4, False, lambda: None)
+        sim.run()
+        # a read-misses: the fetch downgrades b to SHARED, fill in flight...
+        a.access(0x100, 4, False, lambda: None)
+        # ...and before the fill lands, a write to the same line merges.
+        assert a.access(0x100, 4, True, lambda: None) == "miss"
+        sim.run()
+        assert a.peek_state(0x100) == LineState.MODIFIED
+        assert b.peek_state(0x100) == LineState.INVALID
+        assert domain.invalidations == 1
+        assert domain.upgrades == 1
+
+    def test_merged_write_with_shared_peers_kills_all_copies(self):
+        sim, domain, a, b, _ = make_pair()
+        c = Cache(sim, ClockDomain(100), "c", 4096, 64, 4)
+        domain.register(c)
+        # b and c both end up SHARED.
+        b.access(0x100, 4, False, lambda: None)
+        sim.run()
+        c.access(0x100, 4, False, lambda: None)
+        sim.run()
+        a.access(0x100, 4, False, lambda: None)
+        a.access(0x100, 4, True, lambda: None)
+        sim.run()
+        assert a.peek_state(0x100) == LineState.MODIFIED
+        assert b.peek_state(0x100) == LineState.INVALID
+        assert c.peek_state(0x100) == LineState.INVALID
+
+    def test_write_fetch_needs_no_upgrade(self):
+        """A primary write miss is already a read-for-ownership; the fill
+        installs MODIFIED without a second upgrade round."""
+        sim, domain, a, b, _ = make_pair()
+        b.preload(0x100, 64)
+        a.access(0x100, 4, True, lambda: None)
+        sim.run()
+        assert a.peek_state(0x100) == LineState.MODIFIED
+        assert b.peek_state(0x100) == LineState.INVALID
+        assert domain.upgrades == 0
+
+
 class TestWritebackPath:
     def test_domain_writeback_reaches_dram(self):
         sim, domain, a, _b, dram = make_pair()

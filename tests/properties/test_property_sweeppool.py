@@ -1,0 +1,56 @@
+"""Property: parallel + memoized sweeps are bit-identical to serial ones.
+
+The acceptance bar for the sweep engine: for the ``quick`` density grid on
+two workloads, ``run_sweep(..., parallel=N, cache_dir=...)`` must return
+``RunResult``s whose full serialized form (every timing tick, energy pJ,
+breakdown fraction, and stat counter) matches the serial path byte for
+byte — first on a cold cache (results computed in worker processes), then
+on a warm one (results loaded from disk, zero points evaluated).
+"""
+
+import pytest
+
+from repro.core.export import results_to_json
+from repro.core.sweep import cache_design_space, dma_design_space, run_sweep
+from repro.core.sweeppool import SweepMetrics
+
+WORKLOADS = ("aes-aes", "nw-nw")
+
+
+def quick_grid():
+    """A cross-interface slice of the quick grid (DMA plus cache points)."""
+    return dma_design_space("quick") + cache_design_space("quick")[:3]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_parallel_cached_sweep_bit_identical_to_serial(workload, tmp_path):
+    designs = quick_grid()
+    serial = run_sweep(workload, designs)
+    serial_json = results_to_json(serial)
+
+    # Cold cache: every point simulated in a worker process.
+    cold = SweepMetrics()
+    parallel = run_sweep(workload, designs, parallel=2,
+                         cache_dir=str(tmp_path), metrics=cold)
+    assert cold.evaluated == len(designs)
+    assert results_to_json(parallel) == serial_json
+
+    # Warm cache: every point deserialized from disk, nothing evaluated.
+    warm = SweepMetrics()
+    cached = run_sweep(workload, designs, parallel=2,
+                       cache_dir=str(tmp_path), metrics=warm)
+    assert warm.evaluated == 0
+    assert warm.cache_hits == len(designs)
+    assert results_to_json(cached) == serial_json
+
+
+def test_serial_cached_and_parallel_uncached_agree(tmp_path):
+    """The two engine features are independent: cache-only and pool-only
+    paths both reproduce the serial results exactly."""
+    workload = WORKLOADS[0]
+    designs = dma_design_space("quick")
+    serial_json = results_to_json(run_sweep(workload, designs))
+    cache_only = run_sweep(workload, designs, cache_dir=str(tmp_path))
+    pool_only = run_sweep(workload, designs, parallel=2)
+    assert results_to_json(cache_only) == serial_json
+    assert results_to_json(pool_only) == serial_json

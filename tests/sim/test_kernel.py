@@ -81,6 +81,24 @@ class TestEventQueue:
         with pytest.raises(SimulationError, match="budget"):
             q.run(max_events=1000)
 
+    def test_event_budget_admits_exactly_max_events(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.schedule(i + 1, fired.append, i)
+        assert q.run(max_events=5) == 5
+        assert fired == list(range(5))
+
+    def test_event_budget_exact_bound_enforced(self):
+        q = EventQueue()
+        fired = []
+        for i in range(6):
+            q.schedule(i + 1, fired.append, i)
+        with pytest.raises(SimulationError, match="budget"):
+            q.run(max_events=5)
+        # Exactly max_events ran; the budget does not admit a single extra.
+        assert fired == list(range(5))
+
     def test_peek_time(self):
         q = EventQueue()
         assert q.peek_time() is None
