@@ -28,8 +28,17 @@ class DDDG:
 
     @property
     def roots(self):
-        """Nodes with no dependences (ready at time zero)."""
-        return [i for i in range(self.num_nodes) if self.indegree[i] == 0]
+        """Nodes with no dependences (ready at time zero).
+
+        Computed once — the graph is immutable and every run of a design
+        sweep walks the same root set."""
+        cached = getattr(self, "_roots", None)
+        if cached is None:
+            indegree = self.indegree
+            cached = self._roots = [
+                i for i in range(self.num_nodes) if indegree[i] == 0
+            ]
+        return cached
 
     def latency_of(self, node):
         """Latency (cycles) of one node's opcode."""

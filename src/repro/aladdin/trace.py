@@ -223,11 +223,21 @@ class TraceBuilder:
         return len(self.node_op)
 
     def op_histogram(self):
-        """Dynamic op counts by opcode."""
+        """Dynamic op counts by opcode.
+
+        Memoized per trace length: traces are effectively frozen once built
+        (every run of the same workload shares one cached trace), so the
+        33k-node scan runs once, not once per design point.  Callers get a
+        fresh dict so they may mutate it freely.
+        """
+        cached = getattr(self, "_op_hist_memo", None)
+        if cached is not None and cached[0] == len(self.node_op):
+            return dict(cached[1])
         hist = {}
         for op in self.node_op:
             hist[op] = hist.get(op, 0) + 1
-        return hist
+        self._op_hist_memo = (len(self.node_op), hist)
+        return dict(hist)
 
     def num_iterations(self):
         """Number of parallel-loop iterations traced."""
@@ -240,15 +250,21 @@ class TraceBuilder:
         who places ``dmaLoad`` calls in the order the kernel consumes the
         data — the natural way to make DMA-triggered compute effective.
         Arrays never accessed sort last, in declaration order.
+        Memoized per trace length (see :meth:`op_histogram`).
         """
+        cached = getattr(self, "_first_use_memo", None)
+        if cached is not None and cached[0] == len(self.node_array):
+            return list(cached[1])
         first = {}
         for node, array in enumerate(self.node_array):
             if array is not None and array not in first:
                 first[array] = node
         names = list(self.arrays)
-        return sorted(names,
-                      key=lambda n: (first.get(n, len(self.node_array)),
-                                     names.index(n)))
+        order = sorted(names,
+                       key=lambda n: (first.get(n, len(self.node_array)),
+                                      names.index(n)))
+        self._first_use_memo = (len(self.node_array), order)
+        return list(order)
 
 
 class _IterationScope:

@@ -19,15 +19,22 @@ format (those nodes are never emitted — see :mod:`repro.aladdin.trace`).
 
 
 class LaneAssignment:
-    """Per-node lane and round for a given lane count."""
+    """Per-node lane and round for a given lane count.
 
-    __slots__ = ("lanes", "lane", "round", "num_rounds")
+    Instances may be shared across schedulers (``assign_lanes`` memoizes
+    them per trace), so all fields are treated as read-only by consumers.
+    """
+
+    __slots__ = ("lanes", "lane", "round", "num_rounds", "round_base")
 
     def __init__(self, lanes, lane, round_, num_rounds):
         self.lanes = lanes
         self.lane = lane        # list: node -> lane index
         self.round = round_     # list: node -> round index (-1 = serial)
         self.num_rounds = num_rounds
+        # Lazily filled by the scheduler: nodes per round (shared template
+        # for each scheduler's mutable _round_remaining countdown).
+        self.round_base = None
 
 
 def assign_lanes(trace, lanes):
@@ -39,6 +46,16 @@ def assign_lanes(trace, lanes):
     """
     if lanes < 1:
         raise ValueError(f"lanes must be >= 1, got {lanes}")
+    # Memoized per (lanes, trace length): a design sweep re-runs the same
+    # workload at the same lane counts many times, and the assignment is a
+    # pure function of the trace.
+    memo = getattr(trace, "_lane_memo", None)
+    if memo is None:
+        memo = trace._lane_memo = {}
+    key = (lanes, trace.num_nodes)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
     lane = [0] * trace.num_nodes
     round_ = [-1] * trace.num_nodes
     num_rounds = 0
@@ -51,7 +68,8 @@ def assign_lanes(trace, lanes):
             round_[node] = r
             if r + 1 > num_rounds:
                 num_rounds = r + 1
-    return LaneAssignment(lanes, lane, round_, num_rounds)
+    assignment = memo[key] = LaneAssignment(lanes, lane, round_, num_rounds)
+    return assignment
 
 
 def validate_assignment(trace, assignment):

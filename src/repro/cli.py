@@ -38,6 +38,15 @@ def build_parser():
     _add_design_args(run_p)
     _add_platform_args(run_p)
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="run one offload under the event-loop profiler")
+    prof_p.add_argument("workload", choices=ALL_WORKLOADS)
+    prof_p.add_argument("--top", type=int, default=None, metavar="N",
+                        help="show only the N heaviest components")
+    _add_design_args(prof_p)
+    _add_platform_args(prof_p)
+
     sweep_p = sub.add_parser("sweep",
                              help="sweep both design spaces for a workload")
     sweep_p.add_argument("workload", choices=ALL_WORKLOADS)
@@ -47,6 +56,9 @@ def build_parser():
                          help="write every design point as JSON")
     sweep_p.add_argument("--csv", metavar="PATH",
                          help="write every design point as CSV")
+    sweep_p.add_argument("--profile", action="store_true",
+                         help="profile the event loop across the whole "
+                              "sweep (forces serial, uncached evaluation)")
     _add_platform_args(sweep_p)
     _add_sweep_engine_args(sweep_p)
 
@@ -169,17 +181,40 @@ def cmd_run(args, out):
     return 0
 
 
+def cmd_profile(args, out):
+    """``repro profile``: one offload under the event-loop profiler,
+    reporting per-component event counts and callback wall time."""
+    from repro.sim.profiling import EventProfiler
+    design = design_from_args(args)
+    profiler = EventProfiler()
+    result = run_design(args.workload, design, config_from_args(args),
+                        profiler=profiler)
+    out(f"workload : {args.workload}")
+    out(f"design   : {design!r}")
+    out(f"time     : {result.time_us:.2f} us  "
+        f"({result.accel_cycles} accelerator cycles)")
+    out("")
+    out(profiler.report(top=args.top))
+    return 0
+
+
 def cmd_sweep(args, out):
     """``repro sweep``: both design spaces, Pareto + optima."""
     from repro.core.sweeppool import SweepMetrics
     cfg = config_from_args(args)
     parallel, cache_dir = sweep_engine_from_args(args)
     metrics = SweepMetrics()
+    profiler = None
+    if args.profile:
+        from repro.sim.profiling import EventProfiler
+        profiler = EventProfiler()
+        parallel, cache_dir, metrics = None, None, None
     dma = run_sweep(args.workload, dma_design_space(args.density), cfg,
-                    parallel=parallel, cache_dir=cache_dir, metrics=metrics)
+                    parallel=parallel, cache_dir=cache_dir, metrics=metrics,
+                    profiler=profiler)
     cache = run_sweep(args.workload, cache_design_space(args.density), cfg,
                       parallel=parallel, cache_dir=cache_dir,
-                      metrics=metrics)
+                      metrics=metrics, profiler=profiler)
     if args.json or args.csv:
         from repro.core.export import results_to_csv, results_to_json
         if args.json:
@@ -198,7 +233,10 @@ def cmd_sweep(args, out):
     winner = "DMA" if best_dma.edp <= best_cache.edp else "cache"
     out(f"-> {winner} wins for {args.workload}")
     out("")
-    out(metrics.report())
+    if profiler is not None:
+        out(profiler.report())
+    else:
+        out(metrics.report())
     return 0
 
 
@@ -268,6 +306,7 @@ def _render_figure(name, data):
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
+    "profile": cmd_profile,
     "sweep": cmd_sweep,
     "validate": cmd_validate,
     "figure": cmd_figure,

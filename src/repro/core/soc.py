@@ -438,6 +438,15 @@ class SoC:
         return self.collect()
 
 
-def run_design(workload, design=None, cfg=None):
-    """Convenience wrapper: build an SoC and run one offload."""
-    return SoC(workload, design, cfg).run()
+def run_design(workload, design=None, cfg=None, profiler=None):
+    """Convenience wrapper: build an SoC and run one offload.
+
+    ``profiler`` — an :class:`repro.sim.profiling.EventProfiler` — attaches
+    to the run's event queue, attributing event counts and callback wall
+    time per component.  When ``None`` (the default) the event loop takes
+    its unprofiled path and pays no per-event overhead.
+    """
+    soc = SoC(workload, design, cfg)
+    if profiler is not None:
+        soc.sim.queue.set_profiler(profiler)
+    return soc.run()

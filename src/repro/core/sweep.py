@@ -66,7 +66,7 @@ def cache_design_space(density="standard"):
 
 
 def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
-              cache_dir=None, metrics=None):
+              cache_dir=None, metrics=None, profiler=None):
     """Evaluate every design point; returns the list of RunResults.
 
     ``parallel`` fans the evaluations out over a worker pool (``N`` workers;
@@ -75,9 +75,14 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
     evaluated/cached counts and wall times — see :mod:`repro.core.sweeppool`.
     Results are always in the order of ``designs``, and the parallel/cached
     paths produce results identical to the serial one.
+
+    ``profiler`` (an :class:`repro.sim.profiling.EventProfiler`) accumulates
+    per-component event costs over every design point.  Profiling forces
+    the serial, uncached engine: worker processes could not report into the
+    caller's profiler, and cached points run no events at all.
     """
-    if parallel not in (None, 1) or cache_dir is not None \
-            or metrics is not None:
+    if profiler is None and (parallel not in (None, 1)
+                             or cache_dir is not None or metrics is not None):
         from repro.core.sweeppool import run_sweep_pool
         return run_sweep_pool(workload, designs, cfg,
                               jobs=1 if parallel is None else parallel,
@@ -85,7 +90,7 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
                               metrics=metrics)
     results = []
     for i, design in enumerate(designs):
-        results.append(run_design(workload, design, cfg))
+        results.append(run_design(workload, design, cfg, profiler=profiler))
         if progress is not None:
             progress(i + 1, len(designs))
     return results

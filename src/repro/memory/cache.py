@@ -37,6 +37,20 @@ class Cache:
         self.assoc = assoc
         self.num_sets = size_bytes // (line_size * assoc)
         self.hit_latency = hit_latency_cycles
+        # Hot-path precomputation: line/set math as shift+mask when the
+        # geometry is power-of-two (the overwhelmingly common case), and
+        # the hit latency in ticks so accesses never re-derive it.
+        if line_size & (line_size - 1) == 0:
+            self._line_mask = ~(line_size - 1)
+            self._line_shift = line_size.bit_length() - 1
+        else:
+            self._line_mask = None
+            self._line_shift = None
+        if self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask = self.num_sets - 1
+        else:
+            self._set_mask = None
+        self._hit_ticks = clock.cycles_to_ticks(hit_latency_cycles)
         self.mshrs = MSHRFile(mshrs)
         # set index -> OrderedDict(line_addr -> state), LRU order (oldest first)
         self._sets = [OrderedDict() for _ in range(self.num_sets)]
@@ -59,9 +73,13 @@ class Cache:
 
     def line_addr(self, addr):
         """The line-aligned base address containing ``addr``."""
+        if self._line_mask is not None:
+            return addr & self._line_mask
         return addr - (addr % self.line_size)
 
     def _set_index(self, line_addr):
+        if self._set_mask is not None and self._line_shift is not None:
+            return (line_addr >> self._line_shift) & self._set_mask
         return (line_addr // self.line_size) % self.num_sets
 
     def _set_of(self, line_addr):
@@ -145,7 +163,9 @@ class Cache:
             raise ConfigError(
                 f"access at 0x{addr:x} size {size} spans cache lines"
             )
-        cache_set = self._set_of(line)
+        # Single set lookup per access: the set dict is resolved once and
+        # reused for the state probe, LRU touch, and state update.
+        cache_set = self._sets[self._set_index(line)]
         state = cache_set.get(line, LineState.INVALID)
         hit = state != LineState.INVALID and (
             not is_write or state in (LineState.MODIFIED, LineState.EXCLUSIVE)
@@ -156,8 +176,7 @@ class Cache:
             cache_set.move_to_end(line)
             if is_write:
                 cache_set[line] = LineState.MODIFIED
-            self.sim.schedule(
-                self.clock.cycles_to_ticks(self.hit_latency), callback)
+            self.sim.schedule(self._hit_ticks, callback)
             return "hit"
 
         # Miss (or write upgrade, which we conservatively treat as a miss).
@@ -217,7 +236,7 @@ class Cache:
             self.prefetch_fills += 1
         else:
             self.fills += 1
-        delay = self.clock.cycles_to_ticks(self.hit_latency)
+        delay = self._hit_ticks
         for cb, _is_write in waiters:
             self.sim.schedule(delay, cb)
 

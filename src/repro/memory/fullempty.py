@@ -47,6 +47,16 @@ class ReadyBits:
         self._waiters.setdefault(bit, []).append(callback)
         return True
 
+    def wait_bit(self, bit, callback):
+        """Fast-path wait on a precomputed (known-clear) bit index.
+
+        Callers that precompute bit indices (the scratchpad interface)
+        check ``_ready`` themselves and only call this on a stall.
+        """
+        self.stalls += 1
+        self._waiters.setdefault(bit, []).append(callback)
+        return True
+
     def set_range(self, offset, size):
         """Mark [offset, offset+size) ready and wake any waiters."""
         if size <= 0:

@@ -42,11 +42,12 @@ class Scratchpad:
         self.arrays = {a.name: a for a in arrays}
         self.partitions = partitions
         self.ports = ports_per_partition
-        # Per (array, bank): [cycle, uses_in_cycle]
-        self._bank_use = {
-            (name, bank): [-1, 0]
+        # Per array, per bank: [cycle, uses_in_cycle].  Nested containers
+        # (instead of one tuple-keyed dict) keep the per-access path to a
+        # single dict lookup plus a list index.
+        self._banks = {
+            name: [[-1, 0] for _bank in range(partitions)]
             for name in self.arrays
-            for bank in range(partitions)
         }
         self.accesses = 0
         self.conflicts = 0
@@ -58,16 +59,18 @@ class Scratchpad:
 
     def try_access(self, array, word_index, cycle):
         """Attempt an access in ``cycle``.  Returns True when a port was won."""
-        if array not in self.arrays:
+        banks = self._banks.get(array)
+        if banks is None:
             raise ConfigError(f"unknown scratchpad array {array!r}")
-        slot = self._bank_use[(array, self.bank_of(array, word_index))]
+        slot = banks[word_index % self.partitions]
         if slot[0] != cycle:
             slot[0] = cycle
-            slot[1] = 0
-        if slot[1] >= self.ports:
+            slot[1] = 1
+        elif slot[1] >= self.ports:
             self.conflicts += 1
             return False
-        slot[1] += 1
+        else:
+            slot[1] += 1
         self.accesses += 1
         self.access_by_array[array] += 1
         return True

@@ -20,12 +20,17 @@ class ClockDomain:
     30000
     """
 
+    __slots__ = ("freq_mhz", "period")
+
     def __init__(self, freq_mhz):
         self.freq_mhz = freq_mhz
         self.period = freq_mhz_to_period_ticks(freq_mhz)
 
     def cycles_to_ticks(self, cycles):
         """Ticks spanned by ``cycles`` clock cycles (rounded per cycle)."""
+        if type(cycles) is int:
+            # Integer cycle counts (the hot path) need no rounding.
+            return cycles * self.period
         return int(round(cycles * self.period))
 
     def ticks_to_cycles(self, ticks):

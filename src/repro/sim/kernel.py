@@ -7,9 +7,22 @@ queue, which is what lets the simulator capture the *dynamic interactions*
 between accelerators and the SoC that the paper is about.
 
 Ticks are picoseconds (see :mod:`repro.units`).
+
+Hot-path notes (see DESIGN.md "Kernel fast paths"):
+
+* Same-tick events bypass the heap entirely: an event scheduled for the
+  current tick lands in a plain FIFO.  Sequence ordering is preserved
+  because every heap event at tick T was scheduled *before* ``now``
+  reached T, so all of its sequence numbers precede any FIFO entry —
+  draining heap-at-T before the FIFO reproduces (tick, seq) order exactly.
+* :meth:`EventQueue.run` drains inline rather than re-dispatching through
+  :meth:`step` per event, and binds the heap/FIFO to locals.
+* Profiling (:mod:`repro.sim.profiling`) is opt-in: when no profiler is
+  attached, the only cost is one ``is None`` check per :meth:`run` call.
 """
 
 import heapq
+from collections import deque
 
 from repro.errors import SimulationError
 
@@ -21,10 +34,27 @@ class EventQueue:
     sequence number breaks ties), which keeps simulations deterministic.
     """
 
+    __slots__ = ("_heap", "_fifo", "_seq", "now", "_profiler")
+
     def __init__(self):
         self._heap = []
+        self._fifo = deque()   # events for the *current* tick, FIFO order
         self._seq = 0
         self.now = 0
+        self._profiler = None
+
+    def set_profiler(self, profiler):
+        """Attach (or with ``None`` detach) an event profiler.
+
+        While attached, :meth:`run` times every callback and attributes
+        counts and wall time per component — see
+        :class:`repro.sim.profiling.EventProfiler`.
+        """
+        self._profiler = profiler
+
+    @property
+    def profiler(self):
+        return self._profiler
 
     def schedule(self, delay, callback, *args):
         """Run ``callback(*args)`` ``delay`` ticks from now.
@@ -34,11 +64,18 @@ class EventQueue:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        self.schedule_at(self.now + delay, callback, *args)
+        if delay == 0:
+            self._fifo.append((callback, args))
+            return
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
+        self._seq += 1
 
     def schedule_at(self, when, callback, *args):
         """Run ``callback(*args)`` at absolute tick ``when``."""
-        if when < self.now:
+        if when <= self.now:
+            if when == self.now:
+                self._fifo.append((callback, args))
+                return
             raise SimulationError(
                 f"cannot schedule event at tick {when}, now is {self.now}"
             )
@@ -47,17 +84,35 @@ class EventQueue:
 
     def empty(self):
         """True when no events remain."""
-        return not self._heap
+        return not self._fifo and not self._heap
 
     def peek_time(self):
         """Tick of the next pending event, or None when empty."""
+        if self._heap and self._heap[0][0] == self.now:
+            return self.now
+        if self._fifo:
+            return self.now
         return self._heap[0][0] if self._heap else None
 
     def step(self):
-        """Pop and run the next event.  Returns False when the queue is empty."""
-        if not self._heap:
+        """Pop and run the next event.  Returns False when the queue is empty.
+
+        Heap events already due at the current tick run before FIFO
+        entries: the FIFO only ever holds events scheduled *while* ``now``
+        was the current tick, whose sequence numbers are necessarily later.
+        """
+        heap = self._heap
+        if heap and heap[0][0] == self.now:
+            _when, _seq, callback, args = heapq.heappop(heap)
+            callback(*args)
+            return True
+        if self._fifo:
+            callback, args = self._fifo.popleft()
+            callback(*args)
+            return True
+        if not heap:
             return False
-        when, _seq, callback, args = heapq.heappop(self._heap)
+        when, _seq, callback, args = heapq.heappop(heap)
         self.now = when
         callback(*args)
         return True
@@ -68,20 +123,87 @@ class EventQueue:
         ``max_events`` guards against livelock (a runaway simulation raises
         :class:`SimulationError` rather than spinning forever).  ``until``
         optionally stops the simulation once the next event would fire past
-        that tick.
+        that tick; ``now`` advances to ``until`` either way — including
+        when the queue drains before the horizon.
         """
+        if self._profiler is not None:
+            return self._run_profiled(max_events, until)
         executed = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
+        heap = self._heap
+        fifo = self._fifo
+        pop = heapq.heappop
+        popleft = fifo.popleft
+        while True:
+            # Heap events already due at the current tick first (their
+            # sequence numbers predate everything in the FIFO), then the
+            # same-tick FIFO, then advance to the next heap tick.
+            if heap and heap[0][0] == self.now:
+                if executed >= max_events:
+                    raise _budget_error(max_events)
+                callback, args = pop(heap)[2:]
+            elif fifo:
+                if executed >= max_events:
+                    raise _budget_error(max_events)
+                callback, args = popleft()
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return executed
+                if executed >= max_events:
+                    raise _budget_error(max_events)
+                entry = pop(heap)
+                self.now = entry[0]
+                callback, args = entry[2:]
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
                 return executed
-            if executed >= max_events:
-                raise SimulationError(
-                    f"event budget exceeded ({max_events} events): likely livelock"
-                )
-            self.step()
+            callback(*args)
             executed += 1
-        return executed
+
+    def _run_profiled(self, max_events, until):
+        """The :meth:`run` loop with per-callback wall-time attribution.
+
+        Kept separate so the unprofiled hot loop pays nothing for the
+        instrumentation.
+        """
+        profiler = self._profiler
+        executed = 0
+        heap = self._heap
+        fifo = self._fifo
+        pop = heapq.heappop
+        while True:
+            if heap and heap[0][0] == self.now:
+                if executed >= max_events:
+                    raise _budget_error(max_events)
+                callback, args = pop(heap)[2:]
+            elif fifo:
+                if executed >= max_events:
+                    raise _budget_error(max_events)
+                callback, args = fifo.popleft()
+            elif heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    return executed
+                if executed >= max_events:
+                    raise _budget_error(max_events)
+                entry = pop(heap)
+                self.now = entry[0]
+                callback, args = entry[2:]
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
+                return executed
+            profiler.run_event(callback, args)
+            executed += 1
+
+
+def _budget_error(max_events):
+    return SimulationError(
+        f"event budget exceeded ({max_events} events): likely livelock"
+    )
 
 
 class Simulator:
@@ -91,6 +213,8 @@ class Simulator:
     the simulation is *done* when every registered dependency reports done.
     This mirrors gem5's exit-event idiom without global state.
     """
+
+    __slots__ = ("queue", "_done_checks")
 
     def __init__(self):
         self.queue = EventQueue()

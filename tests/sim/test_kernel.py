@@ -148,3 +148,70 @@ class TestSimulator:
         sim.schedule(123, lambda: None)
         sim.run()
         assert sim.now == 123
+
+
+class TestRunUntilDrain:
+    def test_until_advances_now_when_queue_drains_early(self):
+        # All events fire before the horizon: now still lands on `until`,
+        # so back-to-back windowed runs tile time without gaps.
+        q = EventQueue()
+        fired = []
+        q.schedule(100, fired.append, 1)
+        q.run(until=1000)
+        assert fired == [1]
+        assert q.now == 1000
+
+    def test_until_on_empty_queue_advances_now(self):
+        q = EventQueue()
+        q.run(until=400)
+        assert q.now == 400
+
+    def test_tiled_windows_preserve_schedule_semantics(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(50, fired.append, "a")
+        q.run(until=200)
+        # Scheduling after an early drain is relative to the horizon.
+        q.schedule(100, fired.append, "b")
+        q.run(until=400)
+        assert fired == ["a", "b"]
+        assert q.now == 400
+
+    def test_profiled_until_drain_matches(self):
+        from repro.sim.profiling import EventProfiler
+        q = EventQueue()
+        q.set_profiler(EventProfiler())
+        q.schedule(100, lambda: None)
+        q.run(until=1000)
+        assert q.now == 1000
+
+
+class TestSameTickOrdering:
+    def test_zero_delay_fifo_interleaves_with_due_heap_events(self):
+        # Heap events already due at `now` run before zero-delay FIFO
+        # entries created this tick (their sequence numbers are earlier).
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append("first")
+            q.schedule(0, log.append, "zero")
+
+        q.schedule(10, first)
+        q.schedule(10, log.append, "second")
+        q.run()
+        assert log == ["first", "second", "zero"]
+
+    def test_zero_delay_chain_does_not_advance_time(self):
+        q = EventQueue()
+        depth = [0]
+
+        def recurse():
+            depth[0] += 1
+            if depth[0] < 5:
+                q.schedule(0, recurse)
+
+        q.schedule(7, recurse)
+        q.run()
+        assert depth[0] == 5
+        assert q.now == 7

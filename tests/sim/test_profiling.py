@@ -1,0 +1,149 @@
+"""Event-loop profiler: attribution, zero-overhead detachment, reports."""
+
+import pytest
+
+from repro.core.soc import run_design
+from repro.sim.kernel import EventQueue
+from repro.sim.profiling import EventProfiler, profile_run
+
+
+class Pinger:
+    def __init__(self, queue, hops):
+        self.queue = queue
+        self.remaining = hops
+        self.fired = 0
+
+    def ping(self):
+        self.fired += 1
+        self.remaining -= 1
+        if self.remaining > 0:
+            self.queue.schedule(5, self.ping)
+
+
+def free_fn_event(log):
+    log.append("free")
+
+
+class TestAttribution:
+    def test_counts_and_component_labels(self):
+        queue = EventQueue()
+        profiler = EventProfiler()
+        queue.set_profiler(profiler)
+        pinger = Pinger(queue, hops=7)
+        log = []
+        queue.schedule(1, pinger.ping)
+        queue.schedule(2, free_fn_event, log)
+        queue.run()
+        assert pinger.fired == 7
+        assert log == ["free"]
+        assert profiler.records["Pinger.ping"][0] == 7
+        assert profiler.records["free_fn_event"][0] == 1
+        assert profiler.total_events == 8
+
+    def test_wall_time_accumulates(self):
+        queue = EventQueue()
+        # A deterministic fake timer: each call advances 1.0 "seconds".
+        ticks = iter(range(1000))
+        profiler = EventProfiler(timer=lambda: float(next(ticks)))
+        queue.set_profiler(profiler)
+        pinger = Pinger(queue, hops=3)
+        queue.schedule(1, pinger.ping)
+        queue.run()
+        count, secs = profiler.records["Pinger.ping"]
+        assert count == 3
+        assert secs == pytest.approx(3.0)
+        assert profiler.events_per_second() == pytest.approx(1.0)
+
+    def test_exception_still_recorded_and_propagates(self):
+        queue = EventQueue()
+        profiler = EventProfiler()
+        queue.set_profiler(profiler)
+
+        def boom():
+            raise RuntimeError("bang")
+
+        queue.schedule(1, boom)
+        with pytest.raises(RuntimeError):
+            queue.run()
+        (key, (count, _secs)), = profiler.records.items()
+        assert "boom" in key
+        assert count == 1
+
+
+class TestDetached:
+    def test_no_profiler_records_nothing(self):
+        queue = EventQueue()
+        pinger = Pinger(queue, hops=4)
+        queue.schedule(1, pinger.ping)
+        queue.run()
+        assert queue.profiler is None
+        assert pinger.fired == 4
+
+    def test_profiled_run_matches_unprofiled_order(self):
+        def drive(queue, log):
+            queue.schedule(3, log.append, "c")
+            queue.schedule(1, log.append, "a")
+            queue.schedule(1, log.append, "b")
+            queue.schedule(0, log.append, "zero")
+            queue.run()
+
+        plain_log = []
+        drive(EventQueue(), plain_log)
+        prof_queue = EventQueue()
+        prof_queue.set_profiler(EventProfiler())
+        prof_log = []
+        drive(prof_queue, prof_log)
+        assert prof_log == plain_log
+
+    def test_detach_stops_recording(self):
+        queue = EventQueue()
+        profiler = EventProfiler()
+        queue.set_profiler(profiler)
+        queue.schedule(1, lambda: None)
+        queue.run()
+        before = profiler.total_events
+        queue.set_profiler(None)
+        queue.schedule(1, lambda: None)
+        queue.run()
+        assert profiler.total_events == before
+
+
+class TestReporting:
+    def test_report_lists_heaviest_first_and_truncates(self):
+        profiler = EventProfiler()
+        profiler.records["Light.cb"] = [10, 0.001]
+        profiler.records["Heavy.cb"] = [2, 0.5]
+        report = profiler.report()
+        assert report.index("Heavy.cb") < report.index("Light.cb")
+        top1 = profiler.report(top=1)
+        assert "Heavy.cb" in top1 and "Light.cb" not in top1
+        assert "events/s" in top1
+
+    def test_as_dict_sorted_by_time(self):
+        profiler = EventProfiler()
+        profiler.records["a"] = [1, 0.1]
+        profiler.records["b"] = [1, 0.9]
+        assert list(profiler.as_dict()) == ["b", "a"]
+        assert profiler.as_dict()["b"] == {"events": 1, "seconds": 0.9}
+
+    def test_clear(self):
+        profiler = EventProfiler()
+        profiler.records["a"] = [1, 0.1]
+        profiler.clear()
+        assert profiler.total_events == 0
+
+
+class TestEndToEnd:
+    def test_run_design_with_profiler_attributes_scheduler(self):
+        result, profiler = profile_run(run_design, "fft-transpose")
+        assert result.accel_cycles > 0
+        keys = "\n".join(profiler.records)
+        assert "DatapathScheduler" in keys
+        assert profiler.total_events > 100
+        assert profiler.total_seconds > 0
+
+    def test_run_design_profiled_stats_identical(self):
+        plain = run_design("fft-transpose")
+        profiled, _prof = profile_run(run_design, "fft-transpose")
+        assert profiled.total_ticks == plain.total_ticks
+        assert profiled.stats == plain.stats
