@@ -19,6 +19,7 @@ Constraints modeled per cycle:
 
 from repro.errors import SimulationError
 from repro.aladdin.ir import FuClass, OP_INFO, Op, is_memory
+from repro.obs import trace
 from repro.sim.stats import IntervalTracker
 
 # Functional-unit classes as dense indices, so the per-cycle issue loop
@@ -74,6 +75,7 @@ class DatapathScheduler:
         self.done_tick = None
         self.issued_loads = 0
         self.issued_stores = 0
+        self._obs_trace = trace.tracer("sched", name)
         # Flat per-node arrays precomputed once, so the per-cycle issue
         # pass touches no dicts: FU index, latency in ticks, and kind
         # (0 = compute, 1 = load, 2 = store).
@@ -153,6 +155,9 @@ class DatapathScheduler:
             raise SimulationError(f"{self.name}: started twice")
         self._started = True
         self.start_tick = self.sim.now
+        if self._obs_trace is not None:
+            self._obs_trace(self.sim.now, "start: %d nodes, %d lanes",
+                            self.ddg.num_nodes, self.lanes)
         if self.ddg.num_nodes == 0:
             self._finish()
             return
@@ -185,6 +190,11 @@ class DatapathScheduler:
     def _finish(self):
         self.done = True
         self.done_tick = self.sim.now
+        if self._obs_trace is not None:
+            self._obs_trace(self.sim.now,
+                            "finish: %d loads, %d stores, %d ticks",
+                            self.issued_loads, self.issued_stores,
+                            self.done_tick - self.start_tick)
         if self.on_done is not None:
             self.on_done()
 
@@ -582,8 +592,29 @@ class DatapathScheduler:
         while (self._current_round < len(self._round_remaining)
                and self._round_remaining[self._current_round] == 0):
             self._current_round += 1
+            if self._obs_trace is not None:
+                self._obs_trace(self._queue.now, "round %d/%d",
+                                self._current_round,
+                                len(self._round_remaining))
             for node in self._round_parked.pop(self._current_round, ()):
                 self._enqueue_ready(node)
+
+    def reg_stats(self, stats, prefix="accel0.sched"):
+        """Mirror this datapath's counters into a stats registry."""
+        stats.scalar(f"{prefix}.nodes", lambda: self._num_nodes,
+                     desc="DDG nodes in the trace")
+        stats.scalar(f"{prefix}.completed", lambda: self._completed,
+                     desc="nodes executed to completion")
+        stats.scalar(f"{prefix}.issued_loads", lambda: self.issued_loads,
+                     desc="memory loads issued")
+        stats.scalar(f"{prefix}.issued_stores", lambda: self.issued_stores,
+                     desc="memory stores issued")
+        stats.scalar(f"{prefix}.busy_ticks",
+                     lambda: self.busy.total_busy(),
+                     desc="ticks with at least one node in flight")
+        stats.scalar(f"{prefix}.compute_ticks",
+                     lambda: self.compute_ticks,
+                     desc="ticks from start to last completion")
 
 
 # Issue plan for nodes with no array (never legitimately issued): slot

@@ -10,10 +10,18 @@ breakdowns back.
     python -m repro sweep fft-transpose --density standard
     python -m repro validate
     python -m repro figure fig2b
+
+Observability (see :mod:`repro.obs`):
+
+    python -m repro stats gemm-ncubed --json stats.json
+    python -m repro trace gemm-ncubed -o trace.json --debug-flags dma,sched
+    python -m repro run aes-aes --debug-flags bus,dram
+    REPRO_DEBUG_FLAGS=tlb python -m repro run spmv-crs --mem cache
 """
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro.core.config import DesignPoint, SoCConfig
 from repro.core.pareto import edp_optimal, pareto_frontier
@@ -47,6 +55,28 @@ def build_parser():
     _add_design_args(prof_p)
     _add_platform_args(prof_p)
 
+    stats_p = sub.add_parser(
+        "stats",
+        help="run one offload and dump the full stats registry")
+    stats_p.add_argument("workload", choices=ALL_WORKLOADS)
+    stats_p.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the registry as JSON "
+                              "('-' for stdout)")
+    stats_p.add_argument("--no-text", action="store_true",
+                         help="suppress the stats.txt-style text dump")
+    _add_design_args(stats_p)
+    _add_platform_args(stats_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one offload and export a Chrome trace_event timeline")
+    trace_p.add_argument("workload", choices=ALL_WORKLOADS)
+    trace_p.add_argument("-o", "--out", metavar="PATH", default="trace.json",
+                         help="output path (default trace.json); load in "
+                              "Perfetto or chrome://tracing")
+    _add_design_args(trace_p)
+    _add_platform_args(trace_p)
+
     sweep_p = sub.add_parser("sweep",
                              help="sweep both design spaces for a workload")
     sweep_p.add_argument("workload", choices=ALL_WORKLOADS)
@@ -59,6 +89,10 @@ def build_parser():
     sweep_p.add_argument("--profile", action="store_true",
                          help="profile the event loop across the whole "
                               "sweep (forces serial, uncached evaluation)")
+    sweep_p.add_argument("--dump-stats", metavar="DIR", default=None,
+                         help="write one stats-registry JSON per design "
+                              "point into DIR (forces serial, uncached "
+                              "evaluation)")
     _add_platform_args(sweep_p)
     _add_sweep_engine_args(sweep_p)
 
@@ -96,6 +130,28 @@ def _add_platform_args(parser):
     parser.add_argument("--bus-width", type=int, default=32,
                         choices=(32, 64))
     parser.add_argument("--background-traffic", action="store_true")
+    parser.add_argument("--debug-flags", metavar="FLAGS", default=None,
+                        help="comma-separated debug-trace flags "
+                             "(e.g. bus,dram,tlb,dma,sched or 'all'; "
+                             "default: $REPRO_DEBUG_FLAGS)")
+
+
+@contextmanager
+def _debug_flags(args):
+    """Enable --debug-flags / REPRO_DEBUG_FLAGS for one command.
+
+    Flags must be active *before* the SoC is built (components capture
+    their tracers at construction); the previous state is restored on
+    exit so in-process callers (tests) never leak flags.
+    """
+    import os
+
+    from repro.obs import trace
+    spec = getattr(args, "debug_flags", None)
+    if spec is None:
+        spec = os.environ.get(trace.ENV_VAR) or None
+    with trace.flags(spec):
+        yield trace
 
 
 def _jobs_count(text):
@@ -163,7 +219,8 @@ def cmd_list(_args, out):
 def cmd_run(args, out):
     """``repro run``: one offload, metrics + breakdown + stats."""
     design = design_from_args(args)
-    result = run_design(args.workload, design, config_from_args(args))
+    with _debug_flags(args):
+        result = run_design(args.workload, design, config_from_args(args))
     out(f"workload : {args.workload}")
     out(f"design   : {design!r}")
     out(f"time     : {result.time_us:.2f} us  "
@@ -208,13 +265,21 @@ def cmd_sweep(args, out):
     if args.profile:
         from repro.sim.profiling import EventProfiler
         profiler = EventProfiler()
+    dump_dma = dump_cache = None
+    if args.dump_stats:
+        # One subdirectory per design space, so point indices don't clash.
+        import os
+        dump_dma = os.path.join(args.dump_stats, "dma")
+        dump_cache = os.path.join(args.dump_stats, "cache")
+    if args.profile or args.dump_stats:
         parallel, cache_dir, metrics = None, None, None
     dma = run_sweep(args.workload, dma_design_space(args.density), cfg,
                     parallel=parallel, cache_dir=cache_dir, metrics=metrics,
-                    profiler=profiler)
+                    profiler=profiler, dump_stats=dump_dma)
     cache = run_sweep(args.workload, cache_design_space(args.density), cfg,
                       parallel=parallel, cache_dir=cache_dir,
-                      metrics=metrics, profiler=profiler)
+                      metrics=metrics, profiler=profiler,
+                      dump_stats=dump_cache)
     if args.json or args.csv:
         from repro.core.export import results_to_csv, results_to_json
         if args.json:
@@ -233,10 +298,73 @@ def cmd_sweep(args, out):
     winner = "DMA" if best_dma.edp <= best_cache.edp else "cache"
     out(f"-> {winner} wins for {args.workload}")
     out("")
+    if args.dump_stats:
+        out(f"wrote per-point stats registries under {args.dump_stats}/")
     if profiler is not None:
         out(profiler.report())
-    else:
+    elif metrics is not None:
         out(metrics.report())
+    return 0
+
+
+def cmd_stats(args, out):
+    """``repro stats``: one offload, full stats-registry dump.
+
+    Prints a gem5-style ``stats.txt`` block; ``--json PATH`` additionally
+    writes the registry as structured JSON (``-`` prints it).
+    """
+    import json as _json
+
+    from repro.core.soc import SoC
+    from repro.obs.stats import StatRegistry
+    design = design_from_args(args)
+    registry = StatRegistry()
+    with _debug_flags(args):
+        soc = SoC(args.workload, design, config_from_args(args))
+        soc.reg_stats(registry)
+        result = soc.run()
+    out(f"workload : {args.workload}")
+    out(f"design   : {design!r}")
+    out(f"time     : {result.time_us:.2f} us  "
+        f"({result.accel_cycles} accelerator cycles)")
+    if not args.no_text:
+        out("")
+        out(registry.dump_text())
+    if args.json:
+        if args.json == "-":
+            out(_json.dumps(registry.to_json(), indent=2, sort_keys=True))
+        else:
+            registry.dump_json(args.json)
+            out(f"wrote {len(registry)} stats to {args.json}")
+    return 0
+
+
+def cmd_trace(args, out):
+    """``repro trace``: one offload, Chrome trace_event timeline export.
+
+    Busy intervals of every engine become timeline rows; any enabled
+    ``--debug-flags`` become instant markers on per-flag rows.  Open the
+    output in Perfetto (ui.perfetto.dev) or ``chrome://tracing``.
+    """
+    from repro.core.soc import SoC
+    from repro.obs.timeline import soc_timeline
+    design = design_from_args(args)
+    with _debug_flags(args) as trace:
+        trace.start_recording()
+        try:
+            soc = SoC(args.workload, design, config_from_args(args))
+            result = soc.run()
+        finally:
+            events = trace.stop_recording()
+    builder = soc_timeline(soc, trace_events=events)
+    num_events = builder.write(args.out)
+    out(f"workload : {args.workload}")
+    out(f"design   : {design!r}")
+    out(f"time     : {result.time_us:.2f} us  "
+        f"({result.accel_cycles} accelerator cycles)")
+    out(f"timeline : {len(builder.rows())} rows, {num_events} events "
+        f"({len(events)} trace markers) -> {args.out}")
+    out("view     : load in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -307,6 +435,8 @@ COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "profile": cmd_profile,
+    "stats": cmd_stats,
+    "trace": cmd_trace,
     "sweep": cmd_sweep,
     "validate": cmd_validate,
     "figure": cmd_figure,

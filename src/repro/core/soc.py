@@ -119,6 +119,20 @@ class Platform:
                                   cfg.ioctl_ns, cfg.poll_interval_ns),
             line_size=cfg.cpu_cache_line, name=name)
 
+    def reg_stats(self, stats):
+        """Register the shared platform's counters under ``soc.*``.
+
+        Idempotent per registry: several SoCs sharing one platform (the
+        multi-accelerator scenario) register the shared half only once.
+        """
+        if "soc.sim.events" in stats:
+            return
+        self.sim.reg_stats(stats, "soc.sim")
+        self.bus.reg_stats(stats, "soc.bus")
+        self.dram.reg_stats(stats, "soc.dram")
+        self.domain.reg_stats(stats, "soc.coherence")
+        self.cpu_cache.reg_stats(stats, "soc.cpu_cache")
+
 
 class SoC:
     """One accelerator plus its platform, wired for a single offload.
@@ -437,16 +451,49 @@ class SoC:
     def _result(self):
         return self.collect()
 
+    # -- observability ---------------------------------------------------------
 
-def run_design(workload, design=None, cfg=None, profiler=None):
+    def reg_stats(self, stats):
+        """Register every counter of this SoC in ``stats``.
+
+        Shared platform components land under ``soc.*`` (once per
+        registry); this accelerator's own engines land under
+        ``accel<id>.*`` and its CPU driver under ``cpu<id>.*``.  All stats
+        are getter-backed mirrors of the live counters, so registration
+        adds no per-event work — attach before or after :meth:`run`, the
+        dumped values are identical.
+        """
+        self.platform.reg_stats(stats)
+        accel = f"accel{self.accel_id}"
+        self.driver.reg_stats(stats, f"cpu{self.accel_id}")
+        self.scheduler.reg_stats(stats, f"{accel}.sched")
+        self.spad.reg_stats(stats, f"{accel}.spad")
+        if self.dma is not None:
+            self.dma.reg_stats(stats, f"{accel}.dma")
+        if self.accel_cache is not None:
+            self.accel_cache.reg_stats(stats, f"{accel}.cache")
+        if self.tlb is not None:
+            self.tlb.reg_stats(stats, f"{accel}.tlb")
+        return stats
+
+
+def run_design(workload, design=None, cfg=None, profiler=None,
+               registry=None):
     """Convenience wrapper: build an SoC and run one offload.
 
     ``profiler`` — an :class:`repro.sim.profiling.EventProfiler` — attaches
     to the run's event queue, attributing event counts and callback wall
     time per component.  When ``None`` (the default) the event loop takes
     its unprofiled path and pays no per-event overhead.
+
+    ``registry`` — a :class:`repro.obs.stats.StatRegistry` — receives
+    every component counter of the run under ``soc.*`` / ``accel0.*``
+    names (see :meth:`SoC.reg_stats`); dump it afterwards with
+    ``registry.dump_text()`` / ``registry.to_json()``.
     """
     soc = SoC(workload, design, cfg)
     if profiler is not None:
         soc.sim.queue.set_profiler(profiler)
+    if registry is not None:
+        soc.reg_stats(registry)
     return soc.run()

@@ -13,6 +13,9 @@ Sweeps can run in parallel and/or memoized on disk — pass ``parallel=`` /
 ``cache_dir=`` to :func:`run_sweep` (engine: :mod:`repro.core.sweeppool`).
 """
 
+import json
+import os
+
 from repro.core.config import DesignPoint, PARAMETER_TABLE
 from repro.core.soc import run_design
 
@@ -66,7 +69,7 @@ def cache_design_space(density="standard"):
 
 
 def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
-              cache_dir=None, metrics=None, profiler=None):
+              cache_dir=None, metrics=None, profiler=None, dump_stats=None):
     """Evaluate every design point; returns the list of RunResults.
 
     ``parallel`` fans the evaluations out over a worker pool (``N`` workers;
@@ -77,20 +80,38 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
     paths produce results identical to the serial one.
 
     ``profiler`` (an :class:`repro.sim.profiling.EventProfiler`) accumulates
-    per-component event costs over every design point.  Profiling forces
-    the serial, uncached engine: worker processes could not report into the
-    caller's profiler, and cached points run no events at all.
+    per-component event costs over every design point.  ``dump_stats``
+    names a directory that receives one full stats-registry JSON per
+    design point (``<workload>-NNNN.json``; see :mod:`repro.obs.stats`).
+    Either option forces the serial, uncached engine: worker processes
+    could not report into the caller's profiler or registry, and cached
+    points run no events at all.
     """
-    if profiler is None and (parallel not in (None, 1)
-                             or cache_dir is not None or metrics is not None):
+    if (profiler is None and dump_stats is None
+            and (parallel not in (None, 1)
+                 or cache_dir is not None or metrics is not None)):
         from repro.core.sweeppool import run_sweep_pool
         return run_sweep_pool(workload, designs, cfg,
                               jobs=1 if parallel is None else parallel,
                               cache_dir=cache_dir, progress=progress,
                               metrics=metrics)
+    if dump_stats is not None:
+        os.makedirs(dump_stats, exist_ok=True)
     results = []
     for i, design in enumerate(designs):
-        results.append(run_design(workload, design, cfg, profiler=profiler))
+        registry = None
+        if dump_stats is not None:
+            from repro.obs.stats import StatRegistry
+            registry = StatRegistry()
+        results.append(run_design(workload, design, cfg, profiler=profiler,
+                                  registry=registry))
+        if registry is not None:
+            path = os.path.join(dump_stats, f"{workload}-{i:04d}.json")
+            payload = registry.to_json()
+            payload["design"] = repr(design)
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
         if progress is not None:
             progress(i + 1, len(designs))
     return results

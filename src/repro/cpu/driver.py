@@ -17,6 +17,7 @@ All actions are sequential on one CPU and report busy intervals so runtime
 breakdowns can attribute flush-only time.
 """
 
+from repro.obs import trace
 from repro.sim.ports import MemRequest
 from repro.sim.stats import IntervalTracker
 from repro.units import ns_to_ticks
@@ -51,6 +52,7 @@ class CPUDriver:
         self.lines_invalidated = 0
         self.dirty_writebacks = 0
         self.polls = 0
+        self._trace = trace.tracer("driver", name)
 
     # -- software coherence management --------------------------------------
 
@@ -61,6 +63,9 @@ class CPUDriver:
         written back to DRAM as they are cleaned.
         """
         lines = self._lines(start, size)
+        if self._trace is not None:
+            self._trace(self.sim.now, "flush 0x%x..0x%x (%d lines)",
+                        start, start + size, len(lines))
         self.flush_busy.begin(self.sim.now)
         self.busy.begin(self.sim.now)
         self._flush_step(lines, 0, on_done)
@@ -117,6 +122,8 @@ class CPUDriver:
 
     def ioctl_invoke(self, on_done):
         """Invoke the accelerator through the emulated ioctl syscall."""
+        if self._trace is not None:
+            self._trace(self.sim.now, "ioctl invoke")
         self.busy.begin(self.sim.now)
 
         def fire():
@@ -132,8 +139,31 @@ class CPUDriver:
         def poll():
             self.polls += 1
             if is_done():
+                if self._trace is not None:
+                    self._trace(self.sim.now, "completion seen after %d polls",
+                                self.polls)
                 on_done()
             else:
                 self.sim.schedule(interval, poll)
 
         self.sim.schedule(interval, poll)
+
+    def reg_stats(self, stats, prefix=None):
+        """Mirror this driver's counters into a stats registry."""
+        prefix = prefix or f"soc.{self.name}"
+        stats.scalar(f"{prefix}.lines_flushed", lambda: self.lines_flushed,
+                     desc="cache lines flushed before offload")
+        stats.scalar(f"{prefix}.lines_invalidated",
+                     lambda: self.lines_invalidated,
+                     desc="cache lines invalidated (DMA return regions)")
+        stats.scalar(f"{prefix}.dirty_writebacks",
+                     lambda: self.dirty_writebacks,
+                     desc="flushed lines that were dirty")
+        stats.scalar(f"{prefix}.polls", lambda: self.polls,
+                     desc="completion-flag polls")
+        stats.scalar(f"{prefix}.flush_busy_ticks",
+                     lambda: self.flush_busy.total_busy(),
+                     desc="ticks spent in flush loops")
+        stats.scalar(f"{prefix}.busy_ticks",
+                     lambda: self.busy.total_busy(),
+                     desc="ticks the CPU driver was busy")

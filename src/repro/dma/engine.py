@@ -18,6 +18,7 @@ Transactions queue FIFO on a single channel, which is how pipelined DMA's
 page-sized blocks stay ordered behind one another.
 """
 
+from repro.obs import trace
 from repro.sim.ports import MemRequest
 from repro.sim.stats import IntervalTracker
 
@@ -56,6 +57,7 @@ class DMAEngine:
         # array name -> ReadyBits, installed by the SoC when DMA-triggered
         # compute is enabled.
         self.ready_bits = {}
+        self._trace = trace.tracer("dma", name)
 
     def enqueue(self, descriptors, on_done=None, label=""):
         """Queue one transaction (a descriptor chain)."""
@@ -81,6 +83,13 @@ class DMAEngine:
         self.transactions += 1
         self.busy.begin(self.sim.now)
         setup = self.clock.cycles_to_ticks(self.setup_cycles)
+        if self._trace is not None:
+            txn = self._active
+            self._trace(self.sim.now,
+                        "txn %d start: %d descriptor(s), %d burst(s)%s",
+                        self.transactions, len(txn.descriptors),
+                        len(txn.bursts),
+                        f" [{txn.label}]" if txn.label else "")
         self.sim.schedule(setup, self._pump)
 
     def _pump(self):
@@ -111,6 +120,9 @@ class DMAEngine:
                 bits.set_range(desc.array_offset + offset, chunk)
         if txn.completed_bursts == len(txn.bursts):
             self.busy.end(self.sim.now)
+            if self._trace is not None:
+                self._trace(self.sim.now, "txn done: %d burst(s) complete",
+                            txn.completed_bursts)
             self._active = None
             on_done = txn.on_done
             if on_done is not None:
@@ -118,3 +130,12 @@ class DMAEngine:
             self._start_next()
         else:
             self._pump()
+
+    def reg_stats(self, stats, prefix="accel0.dma"):
+        """Mirror this engine's counters into a stats registry."""
+        stats.scalar(f"{prefix}.transactions", lambda: self.transactions,
+                     desc="descriptor chains processed")
+        stats.scalar(f"{prefix}.bytes_moved", lambda: self.bytes_moved,
+                     desc="bytes transferred")
+        stats.scalar(f"{prefix}.busy_ticks", lambda: self.busy.total_busy(),
+                     desc="ticks with a transaction in flight")

@@ -14,6 +14,7 @@ effect (Section IV-C2).  Both behaviours fall out of an occupancy model:
 
 import math
 
+from repro.obs import trace
 from repro.sim.stats import IntervalTracker
 
 
@@ -37,6 +38,10 @@ class SystemBus:
         self.num_requests = 0
         self.queue_ticks = 0      # total arbitration wait (grant - issue)
         self.max_queue_ticks = 0
+        # Optional per-request queue-wait distribution, installed by
+        # reg_stats (None keeps the request path free of sampling).
+        self.queue_wait_dist = None
+        self._trace = trace.tracer("bus", name)
 
     def occupancy_ticks(self, size):
         """Bus occupancy (ticks) of one transfer of ``size`` bytes."""
@@ -66,6 +71,13 @@ class SystemBus:
         waited = grant - now
         self.queue_ticks += waited
         self.max_queue_ticks = max(self.max_queue_ticks, waited)
+        if self.queue_wait_dist is not None:
+            self.queue_wait_dist.sample(waited)
+        if self._trace is not None:
+            self._trace(now,
+                        "%s 0x%x size=%d from=%s waited=%d occupy=[%d,%d)",
+                        "wr" if req.is_write else "rd", req.addr, req.size,
+                        req.requester, waited, grant, grant + occupancy)
         handler = target if target is not None else self.downstream
         if handler is None:
             # No downstream: the bus itself completes the request once the
@@ -91,3 +103,27 @@ class SystemBus:
     @property
     def next_free(self):
         return self._next_free
+
+    def reg_stats(self, stats, prefix="soc.bus"):
+        """Mirror this bus's counters into a stats registry.
+
+        Also installs the per-request queue-wait :class:`~repro.obs.stats.
+        Distribution` (sampling starts once the registry is attached).
+        """
+        stats.scalar(f"{prefix}.requests", lambda: self.num_requests,
+                     desc="transfers granted")
+        stats.scalar(f"{prefix}.bytes", lambda: self.bytes_transferred,
+                     desc="bytes moved over the bus")
+        stats.scalar(f"{prefix}.queue_ticks", lambda: self.queue_ticks,
+                     desc="total arbitration wait (ticks)")
+        stats.scalar(f"{prefix}.max_queue_ticks",
+                     lambda: self.max_queue_ticks,
+                     desc="worst single arbitration wait (ticks)")
+        stats.scalar(f"{prefix}.busy_ticks", lambda: self.busy.total_busy(),
+                     desc="ticks the bus was moving data")
+        stats.formula(f"{prefix}.avg_queue_ticks",
+                      lambda ticks, reqs: ticks / reqs,
+                      deps=(f"{prefix}.queue_ticks", f"{prefix}.requests"),
+                      desc="mean arbitration wait per request")
+        self.queue_wait_dist = stats.distribution(
+            f"{prefix}.queue_wait", desc="arbitration wait per request")

@@ -16,6 +16,7 @@ from repro.errors import ConfigError
 from repro.memory.coherence import LineState
 from repro.memory.mshr import MSHRFile
 from repro.memory.prefetch import NullPrefetcher, StridePrefetcher
+from repro.obs import trace
 
 
 class Cache:
@@ -68,6 +69,7 @@ class Cache:
         self.prefetch_fills = 0
         self.reads = 0
         self.writes = 0
+        self._trace = trace.tracer("cache", name)
 
     # -- address helpers ---------------------------------------------------
 
@@ -188,9 +190,14 @@ class Cache:
         if not self.mshrs.allocate(line):
             # Rejected: the caller retries, so count nothing yet.
             self.blocked += 1
+            if self._trace is not None:
+                self._trace(self.sim.now, "blocked 0x%x (MSHRs full)", line)
             return "blocked"
         self._count_access(is_write, addr, stream)
         self.misses += 1
+        if self._trace is not None:
+            self._trace(self.sim.now, "%s miss 0x%x",
+                        "write" if is_write else "read", line)
         self.mshrs.merge(line, (callback, is_write))
         self.domain.fetch_line(
             self, line, for_write=is_write,
@@ -236,6 +243,9 @@ class Cache:
             self.prefetch_fills += 1
         else:
             self.fills += 1
+        if self._trace is not None:
+            self._trace(self.sim.now, "fill 0x%x state=%s%s", line_addr,
+                        fill_state, " (prefetch)" if prefetch else "")
         delay = self._hit_ticks
         for cb, _is_write in waiters:
             self.sim.schedule(delay, cb)
@@ -265,3 +275,31 @@ class Cache:
     def resident_lines(self):
         """Number of valid lines currently installed."""
         return sum(len(s) for s in self._sets)
+
+    def reg_stats(self, stats, prefix=None):
+        """Mirror this cache's counters into a stats registry."""
+        prefix = prefix or f"soc.{self.name}"
+        stats.scalar(f"{prefix}.reads", lambda: self.reads,
+                     desc="accepted read accesses")
+        stats.scalar(f"{prefix}.writes", lambda: self.writes,
+                     desc="accepted write accesses")
+        stats.scalar(f"{prefix}.hits", lambda: self.hits,
+                     desc="demand hits")
+        stats.scalar(f"{prefix}.misses", lambda: self.misses,
+                     desc="primary demand misses (fills issued)")
+        stats.scalar(f"{prefix}.merged", lambda: self.merged,
+                     desc="secondary misses absorbed by an MSHR")
+        stats.scalar(f"{prefix}.blocked", lambda: self.blocked,
+                     desc="rejected accesses (MSHRs full)")
+        stats.scalar(f"{prefix}.fills", lambda: self.fills,
+                     desc="demand lines installed")
+        stats.scalar(f"{prefix}.prefetch_fills", lambda: self.prefetch_fills,
+                     desc="prefetched lines installed")
+        stats.scalar(f"{prefix}.writebacks", lambda: self.writebacks,
+                     desc="dirty lines written back")
+        stats.formula(f"{prefix}.miss_rate",
+                      lambda misses, hits, merged:
+                      misses / (hits + misses + merged),
+                      deps=(f"{prefix}.misses", f"{prefix}.hits",
+                            f"{prefix}.merged"),
+                      desc="primary misses / accepted accesses")

@@ -11,6 +11,7 @@ that DMA-based designs must pay for: the CPU's dirty input data is pulled
 on demand, line by line.
 """
 
+from repro.obs import trace
 from repro.sim.ports import MemRequest
 from repro.units import ns_to_ticks
 
@@ -54,6 +55,7 @@ class CoherenceDomain:
         self.memory_fetches = 0
         self.invalidations = 0
         self.upgrades = 0
+        self._trace = trace.tracer("coh", "coherence")
 
     def register(self, cache):
         """Attach a cache to this snooping domain."""
@@ -100,6 +102,11 @@ class CoherenceDomain:
             requester=requester.name,
             callback=lambda _req: callback(fill_state),
         )
+        if self._trace is not None:
+            self._trace(self.sim.now,
+                        "fetch 0x%x for %s (%s) -> %s from %s", line_addr,
+                        requester.name, "write" if for_write else "read",
+                        fill_state, owner.name if owner else "memory")
         if owner is not None:
             # Cache-to-cache transfer: data moves over the bus but skips DRAM.
             self.cache_to_cache_transfers += 1
@@ -129,3 +136,16 @@ class CoherenceDomain:
         req = MemRequest(line_addr, cache.line_size, is_write=True,
                          requester=f"{cache.name}-wb")
         self.bus.request(req)
+
+    def reg_stats(self, stats, prefix="soc.coherence"):
+        """Mirror the domain's counters into a stats registry."""
+        stats.scalar(f"{prefix}.cache_to_cache_transfers",
+                     lambda: self.cache_to_cache_transfers,
+                     desc="fills forwarded from a peer cache")
+        stats.scalar(f"{prefix}.memory_fetches",
+                     lambda: self.memory_fetches,
+                     desc="fills serviced by DRAM")
+        stats.scalar(f"{prefix}.invalidations", lambda: self.invalidations,
+                     desc="peer copies invalidated")
+        stats.scalar(f"{prefix}.upgrades", lambda: self.upgrades,
+                     desc="read-allocated MSHRs upgraded to ownership")

@@ -4,8 +4,15 @@ Pipelined DMA in the paper splits transfers into *page sized* blocks
 specifically "to optimize for DRAM row buffer hits" (Section IV-B1), so the
 model must distinguish row hits from row misses.  We model N banks, each
 with one open row; consecutive rows interleave across banks.
+
+Observability: per-bank busy intervals feed the timeline export
+(:mod:`repro.obs.timeline`), ``bank_conflict_ticks`` counts ticks each
+request waited for its bank to free up, and :meth:`reg_stats` mirrors all
+counters into a stats registry.  Tracing rides the ``dram`` debug flag.
 """
 
+from repro.obs import trace
+from repro.sim.stats import IntervalTracker
 from repro.units import ns_to_ticks
 
 
@@ -26,6 +33,12 @@ class DRAM:
         self.row_misses = 0
         self.reads = 0
         self.writes = 0
+        # Ticks spent waiting on a busy bank, per bank (bank conflicts).
+        self.bank_conflict_ticks = [0] * banks
+        # Per-bank busy intervals, for the timeline export.
+        self.bank_busy = [IntervalTracker(f"{name}.bank{i}")
+                          for i in range(banks)]
+        self._trace = trace.tracer("dram", name)
 
     def _decode(self, addr):
         row_id = addr // self.row_bytes
@@ -34,7 +47,12 @@ class DRAM:
     def handle(self, req):
         """Service one request; completion fires when the access finishes."""
         bank, row = self._decode(req.addr)
-        start = max(self.sim.now, self._bank_free[bank])
+        now = self.sim.now
+        start = self._bank_free[bank]
+        if start > now:
+            self.bank_conflict_ticks[bank] += start - now
+        else:
+            start = now
         if self._open_row[bank] == row:
             latency = self.t_hit
             self.row_hits += 1
@@ -42,15 +60,42 @@ class DRAM:
             latency = self.t_miss
             self.row_misses += 1
             self._open_row[bank] = row
-        self._bank_free[bank] = start + latency
+        done = start + latency
+        self._bank_free[bank] = done
+        self.bank_busy[bank].add(start, done)
         if req.is_write:
             self.writes += 1
         else:
             self.reads += 1
-        done = start + latency
+        if self._trace is not None:
+            self._trace(now, "%s 0x%x bank=%d row=%d %s wait=%d done=%d",
+                        "wr" if req.is_write else "rd", req.addr, bank, row,
+                        "hit" if latency == self.t_hit else "miss",
+                        start - now, done)
         self.sim.schedule_at(done, req.complete, done)
 
     def row_hit_rate(self):
         """Fraction of accesses that hit an open row."""
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
+
+    def reg_stats(self, stats, prefix="soc.dram"):
+        """Mirror this controller's counters into a stats registry."""
+        stats.scalar(f"{prefix}.reads", lambda: self.reads,
+                     desc="read requests serviced")
+        stats.scalar(f"{prefix}.writes", lambda: self.writes,
+                     desc="write requests serviced")
+        stats.scalar(f"{prefix}.row_hits", lambda: self.row_hits,
+                     desc="row-buffer hits")
+        stats.scalar(f"{prefix}.row_misses", lambda: self.row_misses,
+                     desc="row-buffer misses (activations)")
+        stats.formula(f"{prefix}.row_hit_rate",
+                      lambda hits, misses: hits / (hits + misses),
+                      deps=(f"{prefix}.row_hits", f"{prefix}.row_misses"),
+                      desc="row hits / accesses")
+        stats.vector(f"{prefix}.bank_conflict_ticks",
+                     lambda: self.bank_conflict_ticks,
+                     desc="ticks requests waited on a busy bank, per bank")
+        stats.vector(f"{prefix}.bank_busy_ticks",
+                     lambda: [t.total_busy() for t in self.bank_busy],
+                     desc="busy ticks per bank")

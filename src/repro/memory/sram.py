@@ -90,3 +90,15 @@ class Scratchpad:
     def bandwidth_words_per_cycle(self):
         """Peak local-memory bandwidth: one word per port per bank per cycle."""
         return self.partitions * self.ports
+
+    def reg_stats(self, stats, prefix="accel0.spad"):
+        """Mirror this scratchpad's counters into a stats registry."""
+        stats.scalar(f"{prefix}.accesses", lambda: self.accesses,
+                     desc="accepted bank accesses")
+        stats.scalar(f"{prefix}.conflicts", lambda: self.conflicts,
+                     desc="accesses rejected by bank-port arbitration")
+        stats.formula(f"{prefix}.conflict_rate",
+                      lambda conflicts, accesses:
+                      conflicts / (conflicts + accesses),
+                      deps=(f"{prefix}.conflicts", f"{prefix}.accesses"),
+                      desc="conflicts / attempted accesses")

@@ -10,6 +10,7 @@ penalty (Figure 3), with a single page-table walker serializing misses.
 
 from collections import OrderedDict
 
+from repro.obs import trace
 from repro.units import ns_to_ticks
 
 PAGE_SIZE = 4096
@@ -31,6 +32,8 @@ class AcceleratorTLB:
         self.hits = 0
         self.misses = 0
         self.walks = 0
+        self.evictions = 0
+        self._trace = trace.tracer("tlb", name)
 
     def _vpn(self, vaddr):
         return vaddr // self.page_size
@@ -60,12 +63,23 @@ class AcceleratorTLB:
         done = start + self.miss_ticks
         self._walker_free = done
         ppn = (vaddr + phys_offset) // self.page_size
+        if self._trace is not None:
+            self._trace(self.sim.now, "miss vpn=0x%x walk done=%d", vpn, done)
         self.sim.schedule_at(done, self._finish_walk, vpn, ppn)
         return False
 
     def _finish_walk(self, vpn, ppn):
-        if vpn not in self._tlb and len(self._tlb) >= self.entries:
-            self._tlb.popitem(last=False)
+        # Refills must refresh recency: an already-resident vpn is moved to
+        # the MRU end, not left at its stale position (and never triggers a
+        # spurious eviction).  Residency is checked *before* the capacity
+        # test so the two cases stay disjoint.
+        if vpn in self._tlb:
+            self._tlb.move_to_end(vpn)
+        elif len(self._tlb) >= self.entries:
+            victim, _ = self._tlb.popitem(last=False)
+            self.evictions += 1
+            if self._trace is not None:
+                self._trace(self.sim.now, "evict vpn=0x%x", victim)
         self._tlb[vpn] = ppn
         for callback, offset in self._pending.pop(vpn):
             callback(ppn * self.page_size + offset)
@@ -74,3 +88,18 @@ class AcceleratorTLB:
         """TLB misses over all translations."""
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
+
+    def reg_stats(self, stats, prefix="accel0.tlb"):
+        """Mirror this TLB's counters into a stats registry."""
+        stats.scalar(f"{prefix}.hits", lambda: self.hits,
+                     desc="translations hitting a resident entry")
+        stats.scalar(f"{prefix}.misses", lambda: self.misses,
+                     desc="translations missing the TLB")
+        stats.scalar(f"{prefix}.walks", lambda: self.walks,
+                     desc="page-table walks issued (coalesced misses share)")
+        stats.scalar(f"{prefix}.evictions", lambda: self.evictions,
+                     desc="LRU entries evicted on refill")
+        stats.formula(f"{prefix}.miss_rate",
+                      lambda misses, hits: misses / (hits + misses),
+                      deps=(f"{prefix}.misses", f"{prefix}.hits"),
+                      desc="misses / translations")

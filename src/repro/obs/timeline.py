@@ -1,0 +1,124 @@
+"""Chrome ``trace_event`` timeline export.
+
+Converts the busy intervals that components already record through
+:class:`~repro.sim.stats.IntervalTracker` — plus any buffered debug-trace
+events — into the JSON Object Format consumed by Perfetto and
+``chrome://tracing``:
+
+* one *row* (a ``tid`` under one ``pid``) per engine: CPU driver, CPU
+  flush engine, DMA, system bus, each DRAM bank, accelerator datapath;
+* a complete ``"X"`` event per merged busy interval;
+* an instant ``"i"`` event per recorded ``dprintf`` line, on a row per
+  debug flag.
+
+Ticks are picoseconds; Chrome timestamps are microseconds, so ``ts =
+tick / 1e6``.  Load the file via Perfetto's "Open trace file" or
+``chrome://tracing`` to see the Section IV-C flush / DMA / compute
+decomposition as an actual timeline.
+"""
+
+import json
+
+from repro.units import TICKS_PER_US
+
+_PID = 0
+
+
+class TimelineBuilder:
+    """Accumulates rows and events; serializes to trace_event JSON."""
+
+    def __init__(self, process_name="repro-soc"):
+        self._events = []
+        self._tids = {}
+        self._events.append({
+            "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+            "args": {"name": process_name},
+        })
+
+    def _tid(self, row):
+        tid = self._tids.get(row)
+        if tid is None:
+            tid = self._tids[row] = len(self._tids) + 1
+            self._events.append({
+                "ph": "M", "pid": _PID, "tid": tid, "name": "thread_name",
+                "args": {"name": row},
+            })
+            self._events.append({
+                "ph": "M", "pid": _PID, "tid": tid,
+                "name": "thread_sort_index", "args": {"sort_index": tid},
+            })
+        return tid
+
+    def add_track(self, row, intervals, label=None, cat="engine"):
+        """One engine row: a complete event per [start, end) tick interval."""
+        tid = self._tid(row)
+        name = label or row
+        for start, end in intervals:
+            self._events.append({
+                "ph": "X", "pid": _PID, "tid": tid, "name": name,
+                "cat": cat, "ts": start / TICKS_PER_US,
+                "dur": (end - start) / TICKS_PER_US,
+            })
+
+    def add_instant(self, row, tick, name, cat="trace"):
+        """A zero-duration marker on ``row`` at ``tick``."""
+        tid = self._tid(row)
+        self._events.append({
+            "ph": "i", "s": "t", "pid": _PID, "tid": tid, "name": name,
+            "cat": cat, "ts": tick / TICKS_PER_US,
+        })
+
+    def add_trace_events(self, events):
+        """Instants from recorded debug-trace events, one row per flag."""
+        for event in events:
+            self.add_instant(f"trace.{event.flag}", event.tick,
+                             f"{event.name}: {event.text}")
+
+    def rows(self):
+        """Row names in display order."""
+        return list(self._tids)
+
+    def num_events(self, phase=None):
+        if phase is None:
+            return sum(1 for e in self._events if e["ph"] != "M")
+        return sum(1 for e in self._events if e["ph"] == phase)
+
+    def to_dict(self):
+        return {"traceEvents": list(self._events), "displayTimeUnit": "ns"}
+
+    def write(self, path):
+        """Serialize to ``path``; returns the number of non-metadata events."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=None, separators=(",", ":"))
+            fh.write("\n")
+        return self.num_events()
+
+
+def soc_timeline(soc, trace_events=None, process_name=None):
+    """A :class:`TimelineBuilder` populated from one finished ``SoC`` run.
+
+    Rows: CPU driver and its flush engine, the DMA engine (DMA designs),
+    the system bus, every DRAM bank that saw traffic, and the accelerator
+    datapath.  ``trace_events`` (from :func:`repro.obs.trace.
+    start_recording`) become instant markers on per-flag rows.
+    """
+    builder = TimelineBuilder(
+        process_name=process_name or f"repro:{soc.workload}")
+    accel = f"accel{soc.accel_id}"
+    cpu = f"cpu{soc.accel_id}"
+    builder.add_track(f"{cpu}.driver", soc.driver.busy.merged(),
+                      label="cpu")
+    builder.add_track(f"{cpu}.flush", soc.driver.flush_busy.merged(),
+                      label="flush")
+    if soc.dma is not None:
+        builder.add_track(f"{accel}.dma", soc.dma.busy.merged(), label="dma")
+    builder.add_track("bus", soc.bus.busy.merged(), label="bus")
+    for bank, tracker in enumerate(soc.dram.bank_busy):
+        if tracker.intervals:
+            builder.add_track(f"dram.bank{bank}", tracker.merged(),
+                              label=f"bank{bank}")
+    builder.add_track(f"{accel}.datapath", soc.scheduler.busy.merged(),
+                      label="compute")
+    if trace_events:
+        builder.add_trace_events(trace_events)
+    return builder

@@ -1,0 +1,192 @@
+"""Debug-flag tracing (gem5's ``DPRINTF``, in miniature).
+
+Every instrumented component asks for a :func:`tracer` bound to its debug
+flag and instance name at construction time::
+
+    self._trace = trace.tracer("dram", name)   # None unless "dram" enabled
+    ...
+    if self._trace is not None:
+        self._trace(self.sim.now, "bank %d row %d miss", bank, row)
+
+With the flag disabled the site costs one attribute load and an ``is
+None`` check — the same zero-detached-overhead discipline as the event
+profiler, so the perf gate stays flat and golden runs stay bit-identical.
+Formatting is lazy: ``fmt % args`` only runs for enabled flags.
+
+Flags are process-global and must be set *before* the SoC is built
+(components capture their tracer in ``__init__``).  Enable them with
+:func:`set_flags`, the CLI's ``--debug-flags bus,dram,...`` or the
+``REPRO_DEBUG_FLAGS`` environment variable.  Output lines follow gem5:
+
+    1234567: dma0: transaction 3 done (4096 bytes)
+
+where the first column is the tick.  The sink is pluggable; recording
+mode buffers :class:`TraceEvent` objects instead, which the timeline
+exporter (:mod:`repro.obs.timeline`) turns into Perfetto instants.
+"""
+
+import os
+import sys
+from contextlib import contextmanager
+
+from repro.errors import ConfigError
+
+#: Known debug flags, one per instrumented subsystem.
+FLAGS = ("bus", "cache", "coh", "dma", "dram", "driver", "kernel", "sched",
+         "tlb")
+
+ENV_VAR = "REPRO_DEBUG_FLAGS"
+
+_active = frozenset()
+_sink = None      # callable(str) or None for sys.stderr
+_record = None    # list[TraceEvent] while recording, else None
+
+
+class TraceEvent:
+    """One emitted trace line, kept structured for the timeline export."""
+
+    __slots__ = ("tick", "flag", "name", "text")
+
+    def __init__(self, tick, flag, name, text):
+        self.tick = tick
+        self.flag = flag
+        self.name = name
+        self.text = text
+
+    def __repr__(self):
+        return f"TraceEvent({self.tick}, {self.flag!r}, {self.name!r}, " \
+               f"{self.text!r})"
+
+
+def parse_flags(spec):
+    """Normalize a flag spec (comma string or iterable; ``all`` allowed)."""
+    if spec is None:
+        return frozenset()
+    if isinstance(spec, str):
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+    else:
+        parts = list(spec)
+    if "all" in parts:
+        return frozenset(FLAGS)
+    unknown = sorted(set(parts) - set(FLAGS))
+    if unknown:
+        raise ConfigError(
+            f"unknown debug flag(s) {', '.join(unknown)}; "
+            f"known: {', '.join(FLAGS)} (or 'all')")
+    return frozenset(parts)
+
+
+def set_flags(spec, sink=None):
+    """Enable the given debug flags (replacing the current set).
+
+    ``spec`` is a comma-separated string or an iterable of flag names;
+    ``"all"`` enables everything, ``None`` / ``""`` disables tracing.
+    ``sink`` is a ``callable(line)`` receiving each formatted line
+    (default: write to ``sys.stderr``).
+    """
+    global _active, _sink
+    _active = parse_flags(spec)
+    _sink = sink
+
+
+def clear_flags():
+    """Disable all tracing and detach any custom sink."""
+    global _active, _sink
+    _active = frozenset()
+    _sink = None
+
+
+def active_flags():
+    """The currently enabled flags, sorted."""
+    return sorted(_active)
+
+
+def enabled(flag):
+    """True when ``flag`` is currently enabled."""
+    return flag in _active
+
+
+def flags_from_env(environ=None):
+    """Enable flags from ``REPRO_DEBUG_FLAGS`` if set; returns the set."""
+    spec = (environ if environ is not None else os.environ).get(ENV_VAR)
+    if spec:
+        set_flags(spec)
+    return active_flags()
+
+
+@contextmanager
+def flags(spec, sink=None):
+    """Temporarily enable flags (restores the previous state on exit)."""
+    global _active, _sink
+    saved = (_active, _sink)
+    set_flags(spec, sink=sink)
+    try:
+        yield
+    finally:
+        _active, _sink = saved
+
+
+# -- recording ---------------------------------------------------------------
+
+def start_recording():
+    """Buffer every emitted event (for timeline export); returns the list."""
+    global _record
+    _record = []
+    return _record
+
+
+def stop_recording():
+    """Stop buffering; returns the recorded :class:`TraceEvent` list."""
+    global _record
+    events, _record = _record, None
+    return events or []
+
+
+# -- emission ----------------------------------------------------------------
+
+class Tracer:
+    """A bound (flag, component-name) emitter.  Cheap to call; only ever
+    handed out while its flag is enabled."""
+
+    __slots__ = ("flag", "name")
+
+    def __init__(self, flag, name):
+        self.flag = flag
+        self.name = name
+
+    def __call__(self, tick, fmt, *args):
+        _emit(tick, self.flag, self.name, fmt % args if args else fmt)
+
+
+def tracer(flag, name):
+    """A :class:`Tracer` for ``flag``, or ``None`` while it is disabled.
+
+    Components store the result once at construction; the ``None`` case is
+    the zero-overhead detached path.
+    """
+    if flag not in FLAGS:
+        raise ConfigError(f"unknown debug flag {flag!r}")
+    if flag in _active:
+        return Tracer(flag, name)
+    return None
+
+
+def dprintf(flag, tick, fmt, *args):
+    """One-shot trace emission with an early-out on disabled flags.
+
+    Convenience for cold paths; hot paths should cache :func:`tracer`.
+    """
+    if flag not in _active:
+        return
+    _emit(tick, flag, flag, fmt % args if args else fmt)
+
+
+def _emit(tick, flag, name, text):
+    if _record is not None:
+        _record.append(TraceEvent(tick, flag, name, text))
+        return
+    line = f"{tick:>12d}: {name}: {text}\n"
+    if _sink is not None:
+        _sink(line)
+    else:
+        sys.stderr.write(line)

@@ -25,6 +25,7 @@ import heapq
 from collections import deque
 
 from repro.errors import SimulationError
+from repro.obs import trace
 
 
 class EventQueue:
@@ -214,11 +215,15 @@ class Simulator:
     This mirrors gem5's exit-event idiom without global state.
     """
 
-    __slots__ = ("queue", "_done_checks")
+    __slots__ = ("queue", "_done_checks", "events_executed", "_trace")
 
     def __init__(self):
         self.queue = EventQueue()
         self._done_checks = []
+        # Total events drained across every run() call: accumulated from
+        # the loop's own counter, so the per-event hot path is untouched.
+        self.events_executed = 0
+        self._trace = trace.tracer("kernel", "sim")
 
     @property
     def now(self):
@@ -248,7 +253,12 @@ class Simulator:
         component still had outstanding work — that is a deadlock (e.g. a
         load waiting on a full/empty bit that no DMA will ever set).
         """
+        if self._trace is not None:
+            self._trace(self.now, "run: draining event queue")
         executed = self.queue.run(max_events=max_events)
+        self.events_executed += executed
+        if self._trace is not None:
+            self._trace(self.now, "run: drained %d event(s)", executed)
         if not self.all_done():
             pending = [check for check in self._done_checks if not check()]
             raise SimulationError(
@@ -256,3 +266,10 @@ class Simulator:
                 f"at tick {self.now} with an empty event queue"
             )
         return executed
+
+    def reg_stats(self, stats, prefix="soc.sim"):
+        """Mirror the event-loop's bookkeeping into a stats registry."""
+        stats.scalar(f"{prefix}.events", lambda: self.events_executed,
+                     desc="events executed across all run() calls")
+        stats.scalar(f"{prefix}.final_tick", lambda: self.now,
+                     desc="simulated tick at the last dump")

@@ -98,6 +98,89 @@ class TestCommands:
         assert exc.value.code == 2
         assert "must be >= 0" in capsys.readouterr().err
 
+    def test_stats_text_dump(self):
+        code, text = run_cli(["stats", "gemm-ncubed"])
+        assert code == 0
+        assert "Begin Simulation Statistics" in text
+        for name in ("soc.bus.bytes", "soc.dram.row_hit_rate",
+                     "soc.cpu_cache.hits", "accel0.dma.bytes_moved",
+                     "accel0.sched.nodes", "cpu0.lines_flushed"):
+            assert name in text, name
+
+    def test_stats_json_file(self, tmp_path):
+        import json
+        path = tmp_path / "stats.json"
+        code, text = run_cli(["stats", "gemm-ncubed", "--no-text",
+                              "--json", str(path)])
+        assert code == 0
+        assert "Begin Simulation Statistics" not in text
+        doc = json.loads(path.read_text())
+        assert doc["soc.sim.events"] > 0
+        assert isinstance(doc["soc.dram.bank_conflict_ticks"], dict)
+
+    def test_stats_json_stdout(self):
+        code, text = run_cli(["stats", "gemm-ncubed", "--no-text",
+                              "--json", "-"])
+        assert code == 0
+        import json
+        doc = json.loads(text[text.index("{"):])
+        assert "soc.bus.requests" in doc
+
+    def test_stats_cache_design_covers_tlb(self):
+        code, text = run_cli(["stats", "gemm-ncubed", "--mem", "cache",
+                              "--cache-size", "4"])
+        assert code == 0
+        assert "accel0.tlb.miss_rate" in text
+        assert "accel0.cache.misses" in text
+
+    def test_trace_export(self, tmp_path):
+        import json
+        path = tmp_path / "trace.json"
+        code, text = run_cli(["trace", "gemm-ncubed", "-o", str(path),
+                              "--debug-flags", "dma,sched"])
+        assert code == 0
+        assert "perfetto" in text
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        rows = {e["args"]["name"] for e in events
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert len(rows) >= 5
+        assert "accel0.dma" in rows
+        assert "trace.dma" in rows
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "i" for e in events)
+
+    def test_trace_flags_do_not_leak(self, tmp_path):
+        from repro.obs import trace as obs_trace
+        code, _text = run_cli(["trace", "gemm-ncubed", "-o",
+                               str(tmp_path / "t.json"),
+                               "--debug-flags", "all"])
+        assert code == 0
+        assert obs_trace.active_flags() == []
+
+    def test_run_rejects_unknown_debug_flag(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="bogus"):
+            run_cli(["run", "aes-aes", "--debug-flags", "bogus"])
+
+    def test_sweep_dump_stats(self, tmp_path):
+        import json
+        import os
+        code, _text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                               "--no-cache", "--dump-stats", str(tmp_path)])
+        assert code == 0
+        dma_dir = tmp_path / "dma"
+        cache_dir = tmp_path / "cache"
+        assert dma_dir.is_dir() and cache_dir.is_dir()
+        dma_files = sorted(os.listdir(dma_dir))
+        assert dma_files[0] == "aes-aes-0000.json"
+        doc = json.loads((dma_dir / dma_files[0]).read_text())
+        assert doc["soc.sim.events"] > 0
+        assert doc["design"].startswith("DesignPoint(")
+        cache_doc = json.loads(
+            (cache_dir / sorted(os.listdir(cache_dir))[0]).read_text())
+        assert "accel0.tlb.misses" in cache_doc
+
     def test_validate_subset(self):
         code, text = run_cli(["validate", "aes-aes"])
         assert code == 0

@@ -89,6 +89,56 @@ class TestTiming:
         assert times == [50_000] * 4
 
 
+class TestBankConflicts:
+    def test_back_to_back_same_bank_accumulates_wait(self):
+        sim, dram = make_dram(row_hit_ns=25.0, row_miss_ns=50.0)
+        # Two requests at tick 0 into bank 0: the first (a row miss) holds
+        # the bank for 50 ns, so the second waits exactly that long.
+        dram.handle(MemRequest(0, 64, False))
+        dram.handle(MemRequest(64, 64, False))
+        sim.run()
+        assert dram.bank_conflict_ticks[0] == 50_000
+        assert all(t == 0 for t in dram.bank_conflict_ticks[1:])
+
+    def test_different_banks_no_conflict(self):
+        sim, dram = make_dram(banks=8, row_bytes=4096)
+        dram.handle(MemRequest(0, 64, False))      # bank 0
+        dram.handle(MemRequest(4096, 64, False))   # bank 1
+        sim.run()
+        assert sum(dram.bank_conflict_ticks) == 0
+
+    def test_conflicts_accumulate_per_request(self):
+        sim, dram = make_dram(row_hit_ns=25.0, row_miss_ns=50.0)
+        for i in range(3):
+            dram.handle(MemRequest(i * 64, 64, False))
+        sim.run()
+        # Request 1 waits 50 ns (behind the miss); request 2 waits 75 ns
+        # (miss + one hit).
+        assert dram.bank_conflict_ticks[0] == 50_000 + 75_000
+
+    def test_vector_stat_mirrors_counters(self):
+        from repro.obs.stats import StatRegistry
+        sim, dram = make_dram()
+        dram.handle(MemRequest(0, 64, False))
+        dram.handle(MemRequest(64, 64, False))
+        sim.run()
+        reg = StatRegistry()
+        dram.reg_stats(reg, "soc.dram")
+        vec = reg["soc.dram.bank_conflict_ticks"]
+        assert vec.value() == dram.bank_conflict_ticks
+        assert vec.total() == 50_000
+        assert reg.value("soc.dram.row_hits") == 1
+
+    def test_bank_busy_intervals_recorded(self):
+        sim, dram = make_dram()
+        dram.handle(MemRequest(0, 64, False))
+        dram.handle(MemRequest(64, 64, False))
+        sim.run()
+        assert dram.bank_busy[0].intervals == [(0, 50_000),
+                                               (50_000, 75_000)]
+        assert all(not t.intervals for t in dram.bank_busy[1:])
+
+
 class TestStats:
     def test_read_write_counters(self):
         sim, dram = make_dram()

@@ -91,6 +91,41 @@ class TestLRU:
         sim.run()
         assert tlb.translate(0, OFFSET, lambda p: None)  # still resident
 
+    def test_refill_of_resident_page_refreshes_lru(self):
+        """Regression: a walk completing for an already-resident vpn must
+        move it to the MRU position, not leave it at its stale LRU slot
+        (and must not evict anything)."""
+        sim, tlb = make_tlb(entries=2)
+        tlb.translate(0 * 4096, OFFSET, lambda p: None)
+        sim.run()
+        tlb.translate(1 * 4096, OFFSET, lambda p: None)
+        sim.run()
+        # Page 0 is now LRU.  Deliver a refill for it directly, as a walk
+        # racing with residency would.
+        tlb._pending[0] = []
+        tlb._finish_walk(0, OFFSET // 4096)
+        tlb.evictions = 0
+        # Insert page 2: the victim must be page 1, not the refreshed page 0.
+        tlb.translate(2 * 4096, OFFSET, lambda p: None)
+        sim.run()
+        assert tlb.evictions == 1
+        assert tlb.translate(0, OFFSET, lambda p: None)      # hit
+        assert not tlb.translate(1 * 4096, OFFSET, lambda p: None)  # evicted
+        sim.run()
+
+    def test_refill_of_resident_page_never_evicts(self):
+        sim, tlb = make_tlb(entries=2)
+        tlb.translate(0 * 4096, OFFSET, lambda p: None)
+        sim.run()
+        tlb.translate(1 * 4096, OFFSET, lambda p: None)
+        sim.run()
+        assert len(tlb._tlb) == tlb.entries
+        tlb._pending[0] = []
+        tlb._finish_walk(0, OFFSET // 4096)  # TLB is full and 0 is resident
+        assert tlb.evictions == 0
+        assert len(tlb._tlb) == tlb.entries
+        assert tlb.translate(1 * 4096, OFFSET, lambda p: None)  # untouched
+
 
 class TestStats:
     def test_miss_rate(self):

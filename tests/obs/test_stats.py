@@ -1,0 +1,268 @@
+"""Hierarchical stats registry: types, dumping, per-ROI reset."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.stats import (
+    Distribution,
+    Formula,
+    Scalar,
+    StatRegistry,
+    Vector,
+)
+
+
+class TestScalar:
+    def test_stored_counter(self):
+        s = Scalar("a.b")
+        s.inc()
+        s.inc(4)
+        assert s.value() == 5
+        s.set(2)
+        assert s.value() == 2
+
+    def test_getter_backed_mirrors_live_attribute(self):
+        box = {"n": 0}
+        s = Scalar("a.b", getter=lambda: box["n"])
+        assert s.value() == 0
+        box["n"] = 7
+        assert s.value() == 7
+
+    def test_getter_backed_is_read_only(self):
+        s = Scalar("a.b", getter=lambda: 1)
+        with pytest.raises(ConfigError):
+            s.inc()
+        with pytest.raises(ConfigError):
+            s.set(3)
+
+    def test_none_passthrough(self):
+        s = Scalar("a.b", getter=lambda: None)
+        assert s.value() is None
+
+    def test_reset_rebases(self):
+        box = {"n": 10}
+        s = Scalar("a.b", getter=lambda: box["n"])
+        s.reset()
+        assert s.value() == 0
+        box["n"] = 25
+        assert s.value() == 15
+
+    def test_invalid_names_rejected(self):
+        for bad in ("", ".", "a..b", "a."):
+            with pytest.raises(ConfigError):
+                Scalar(bad)
+
+
+class TestVector:
+    def test_getter_backed(self):
+        data = [1, 2, 3]
+        v = Vector("a.v", getter=lambda: data)
+        assert v.value() == [1, 2, 3]
+        data[1] = 10
+        assert v.value() == [1, 10, 3]
+        assert v.total() == 14
+
+    def test_stored(self):
+        v = Vector("a.v", size=2)
+        v.inc(0)
+        v.inc(1, 5)
+        assert v.value() == [0 + 1, 5]
+
+    def test_needs_size_or_getter(self):
+        with pytest.raises(ConfigError):
+            Vector("a.v")
+
+    def test_reset_elementwise(self):
+        data = [5, 5]
+        v = Vector("a.v", getter=lambda: data)
+        v.reset()
+        data[0] = 8
+        assert v.value() == [3, 0]
+
+    def test_lines_include_subnames_and_total(self):
+        v = Vector("a.v", getter=lambda: [1, 2], subnames=("x", "y"))
+        lines = dict(v.lines())
+        assert lines["::x"] == 1
+        assert lines["::y"] == 2
+        assert lines["::total"] == 3
+
+
+class TestFormula:
+    def test_rate_over_deps(self):
+        reg = StatRegistry()
+        box = {"hits": 3, "misses": 1}
+        reg.scalar("c.hits", lambda: box["hits"])
+        reg.scalar("c.misses", lambda: box["misses"])
+        reg.formula("c.miss_rate", lambda m, h: m / (m + h),
+                    deps=("c.misses", "c.hits"))
+        assert reg.value("c.miss_rate") == pytest.approx(0.25)
+
+    def test_division_by_zero_is_zero(self):
+        reg = StatRegistry()
+        reg.scalar("c.n", lambda: 0)
+        reg.formula("c.rate", lambda n: 1 / n, deps=("c.n",))
+        assert reg.value("c.rate") == 0.0
+
+    def test_none_dep_propagates_none(self):
+        reg = StatRegistry()
+        reg.scalar("c.n", lambda: None)
+        reg.formula("c.double", lambda n: n * 2, deps=("c.n",))
+        assert reg.value("c.double") is None
+
+    def test_formula_sees_roi_reset(self):
+        reg = StatRegistry()
+        box = {"hits": 10, "misses": 10}
+        reg.scalar("c.hits", lambda: box["hits"])
+        reg.scalar("c.misses", lambda: box["misses"])
+        reg.formula("c.miss_rate", lambda m, h: m / (m + h),
+                    deps=("c.misses", "c.hits"))
+        reg.reset()
+        box["hits"] = 13   # +3 hits, +1 miss inside the ROI
+        box["misses"] = 11
+        assert reg.value("c.miss_rate") == pytest.approx(0.25)
+
+
+class TestDistribution:
+    def test_summary_moments(self):
+        d = Distribution("a.d")
+        for v in (0, 10, 20):
+            d.sample(v)
+        s = d.summary()
+        assert s["count"] == 3
+        assert s["min"] == 0
+        assert s["max"] == 20
+        assert s["mean"] == pytest.approx(10.0)
+
+    def test_histogram_covers_all_samples(self):
+        d = Distribution("a.d", buckets=4)
+        for v in range(100):
+            d.sample(v)
+        s = d.summary()
+        assert sum(b["count"] for b in s["histogram"]) == 100
+        assert len(s["histogram"]) == 4
+
+    def test_single_value_histogram(self):
+        d = Distribution("a.d")
+        d.sample(5)
+        d.sample(5)
+        s = d.summary()
+        assert s["histogram"] == [{"lo": 5, "hi": 5, "count": 2}]
+
+    def test_empty(self):
+        d = Distribution("a.d")
+        assert d.summary()["count"] == 0
+
+    def test_reset_discards_prior_samples(self):
+        d = Distribution("a.d")
+        d.sample(1)
+        d.reset()
+        d.sample(9)
+        assert d.summary() == pytest.approx(d.summary())
+        assert d.summary()["count"] == 1
+        assert d.summary()["min"] == 9
+
+
+class TestRegistry:
+    def make(self):
+        reg = StatRegistry()
+        box = {"n": 4}
+        reg.scalar("soc.dram.row_hits", lambda: box["n"],
+                   desc="row-buffer hits")
+        reg.vector("soc.dram.per_bank", lambda: [1, 2])
+        reg.formula("soc.dram.double", lambda n: 2 * n,
+                    deps=("soc.dram.row_hits",))
+        return reg, box
+
+    def test_duplicate_rejected(self):
+        reg, _ = self.make()
+        with pytest.raises(ConfigError):
+            reg.scalar("soc.dram.row_hits", lambda: 0)
+
+    def test_lookup_and_group(self):
+        reg, _ = self.make()
+        assert "soc.dram.row_hits" in reg
+        assert reg.value("soc.dram.row_hits") == 4
+        group = reg.group("soc.dram")
+        assert set(group) == {"soc.dram.row_hits", "soc.dram.per_bank",
+                              "soc.dram.double"}
+        assert reg.group("soc.dram.row_hits") == {"soc.dram.row_hits": 4}
+        assert reg.group("soc.dr") == {}
+
+    def test_dump_text_format(self):
+        reg, _ = self.make()
+        text = reg.dump_text()
+        assert text.startswith("---------- Begin Simulation Statistics")
+        assert text.rstrip().endswith(
+            "---------- End Simulation Statistics   ----------")
+        assert "soc.dram.row_hits" in text
+        assert "# row-buffer hits" in text
+        assert "soc.dram.per_bank::total" in text
+
+    def test_to_json_flat_and_nested(self):
+        reg, _ = self.make()
+        flat = reg.to_json()
+        assert flat["soc.dram.row_hits"] == 4
+        assert flat["soc.dram.per_bank"] == {"0": 1, "1": 2}
+        nested = reg.to_json(nested=True)
+        assert nested["soc"]["dram"]["row_hits"] == 4
+
+    def test_dump_json_roundtrip(self, tmp_path):
+        reg, _ = self.make()
+        path = tmp_path / "stats.json"
+        reg.dump_json(str(path))
+        assert json.loads(path.read_text())["soc.dram.double"] == 8
+
+    def test_reset_all(self):
+        reg, box = self.make()
+        reg.reset()
+        box["n"] = 9
+        assert reg.value("soc.dram.row_hits") == 5
+        assert reg.value("soc.dram.double") == 10
+
+
+class TestSoCIntegration:
+    """reg_stats over a real run: names, coverage, and non-perturbation."""
+
+    def test_dma_design_coverage(self):
+        from repro.core.soc import run_design
+        reg = StatRegistry()
+        run_design("gemm-ncubed", registry=reg)
+        names = reg.names()
+        for prefix in ("soc.sim.", "soc.bus.", "soc.dram.",
+                       "soc.cpu_cache.", "soc.coherence.", "accel0.dma.",
+                       "accel0.sched.", "accel0.spad.", "cpu0."):
+            assert any(n.startswith(prefix) for n in names), prefix
+        assert reg.value("soc.sim.events") > 0
+        assert reg.value("accel0.dma.bytes_moved") > 0
+        assert reg.value("accel0.sched.completed") == \
+            reg.value("accel0.sched.nodes")
+
+    def test_cache_design_has_tlb_and_cache(self):
+        from repro.core.config import DesignPoint
+        from repro.core.soc import run_design
+        reg = StatRegistry()
+        design = DesignPoint(mem_interface="cache", cache_size_kb=4)
+        run_design("gemm-ncubed", design, registry=reg)
+        assert reg.value("accel0.tlb.misses") > 0
+        assert 0.0 <= reg.value("accel0.tlb.miss_rate") <= 1.0
+        assert reg.value("accel0.cache.misses") > 0
+
+    def test_registry_does_not_perturb_simulation(self):
+        from repro.core.soc import run_design
+        bare = run_design("gemm-ncubed")
+        reg = StatRegistry()
+        observed = run_design("gemm-ncubed", registry=reg)
+        assert observed.total_ticks == bare.total_ticks
+        assert observed.stats == bare.stats
+
+    def test_registry_agrees_with_run_result_stats(self):
+        from repro.core.soc import run_design
+        reg = StatRegistry()
+        result = run_design("gemm-ncubed", registry=reg)
+        assert reg.value("soc.bus.bytes") == result.stats["bus_bytes"]
+        assert reg.value("accel0.dma.bytes_moved") == \
+            result.stats["dma_bytes"]
+        assert reg.value("soc.dram.row_hit_rate") == \
+            pytest.approx(result.stats["dram_row_hit_rate"])

@@ -1,0 +1,121 @@
+"""Chrome trace_event timeline export: builder and SoC integration."""
+
+import json
+
+from repro.obs import trace
+from repro.obs.timeline import TimelineBuilder, soc_timeline
+from repro.units import TICKS_PER_US
+
+
+class TestBuilder:
+    def test_tracks_become_complete_events(self):
+        b = TimelineBuilder()
+        b.add_track("bus", [(0, 2 * TICKS_PER_US), (5 * TICKS_PER_US,
+                                                    6 * TICKS_PER_US)])
+        xs = [e for e in b.to_dict()["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        assert xs[0]["ts"] == 0
+        assert xs[0]["dur"] == 2.0
+        assert xs[1]["ts"] == 5.0
+        assert all(e["name"] == "bus" for e in xs)
+
+    def test_rows_get_distinct_tids_and_metadata(self):
+        b = TimelineBuilder(process_name="p")
+        b.add_track("a", [(0, 1)])
+        b.add_track("b", [(0, 1)])
+        b.add_track("a", [(2, 3)])  # same row reuses its tid
+        events = b.to_dict()["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == {"a", "b"}
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert len(tids) == 2
+        assert b.rows() == ["a", "b"]
+
+    def test_process_name_metadata(self):
+        b = TimelineBuilder(process_name="repro:gemm")
+        meta = [e for e in b.to_dict()["traceEvents"]
+                if e["name"] == "process_name"]
+        assert meta[0]["args"]["name"] == "repro:gemm"
+
+    def test_instants(self):
+        b = TimelineBuilder()
+        b.add_instant("trace.dma", 3 * TICKS_PER_US, "txn 0 done")
+        inst = [e for e in b.to_dict()["traceEvents"] if e["ph"] == "i"]
+        assert len(inst) == 1
+        assert inst[0]["ts"] == 3.0
+        assert inst[0]["s"] == "t"
+
+    def test_trace_events_grouped_by_flag(self):
+        b = TimelineBuilder()
+        b.add_trace_events([
+            trace.TraceEvent(10, "dma", "dma0", "start"),
+            trace.TraceEvent(20, "sched", "accel", "issue"),
+            trace.TraceEvent(30, "dma", "dma0", "done"),
+        ])
+        assert b.rows() == ["trace.dma", "trace.sched"]
+        assert b.num_events("i") == 3
+
+    def test_num_events_excludes_metadata(self):
+        b = TimelineBuilder()
+        b.add_track("a", [(0, 1)])
+        assert b.num_events() == 1
+
+    def test_write_valid_json(self, tmp_path):
+        b = TimelineBuilder()
+        b.add_track("a", [(0, TICKS_PER_US)])
+        path = tmp_path / "trace.json"
+        n = b.write(str(path))
+        assert n == 1
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ns"
+
+
+class TestSoCTimeline:
+    def run_soc(self, design=None):
+        from repro.core.soc import SoC
+        soc = SoC("gemm-ncubed", design)
+        soc.run()
+        return soc
+
+    def test_dma_run_has_expected_rows(self):
+        soc = self.run_soc()
+        builder = soc_timeline(soc)
+        rows = builder.rows()
+        assert "cpu0.driver" in rows
+        assert "cpu0.flush" in rows
+        assert "accel0.dma" in rows
+        assert "bus" in rows
+        assert "accel0.datapath" in rows
+        assert any(r.startswith("dram.bank") for r in rows)
+        assert len(rows) >= 5  # the acceptance bar
+        assert builder.num_events("X") > 0
+
+    def test_events_are_well_formed(self, tmp_path):
+        soc = self.run_soc()
+        builder = soc_timeline(soc)
+        path = tmp_path / "trace.json"
+        builder.write(str(path))
+        doc = json.loads(path.read_text())
+        for e in doc["traceEvents"]:
+            assert e["ph"] in ("M", "X", "i")
+            if e["ph"] == "X":
+                assert e["ts"] >= 0
+                assert e["dur"] >= 0
+
+    def test_trace_instants_from_recording(self):
+        from repro.core.soc import SoC
+        with trace.flags("dma,sched"):
+            trace.start_recording()
+            try:
+                soc = SoC("gemm-ncubed")
+                soc.run()
+            finally:
+                events = trace.stop_recording()
+        assert events
+        builder = soc_timeline(soc, trace_events=events)
+        rows = builder.rows()
+        assert "trace.dma" in rows
+        assert "trace.sched" in rows
+        assert builder.num_events("i") == len(events)

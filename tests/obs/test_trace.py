@@ -1,0 +1,148 @@
+"""Debug-flag trace layer: flag parsing, tracers, dprintf, recording."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_flags():
+    trace.clear_flags()
+    yield
+    trace.clear_flags()
+
+
+class TestFlagParsing:
+    def test_comma_string(self):
+        assert trace.parse_flags("bus,dram") == frozenset({"bus", "dram"})
+
+    def test_iterable(self):
+        assert trace.parse_flags(["tlb", "dma"]) == frozenset({"tlb", "dma"})
+
+    def test_all_expands(self):
+        assert trace.parse_flags("all") == frozenset(trace.FLAGS)
+
+    def test_whitespace_and_empties_ignored(self):
+        assert trace.parse_flags(" bus , ,dram ") == \
+            frozenset({"bus", "dram"})
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ConfigError):
+            trace.parse_flags("bus,bogus")
+
+    def test_none_and_empty(self):
+        assert trace.parse_flags(None) == frozenset()
+        assert trace.parse_flags("") == frozenset()
+
+
+class TestEnableDisable:
+    def test_set_and_query(self):
+        trace.set_flags("bus,tlb")
+        assert trace.enabled("bus")
+        assert trace.enabled("tlb")
+        assert not trace.enabled("dram")
+        assert trace.active_flags() == ["bus", "tlb"]
+
+    def test_clear(self):
+        trace.set_flags("bus")
+        trace.clear_flags()
+        assert trace.active_flags() == []
+
+    def test_context_manager_restores(self):
+        trace.set_flags("bus")
+        with trace.flags("dram"):
+            assert trace.active_flags() == ["dram"]
+        assert trace.active_flags() == ["bus"]
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with trace.flags("dram"):
+                raise RuntimeError("boom")
+        assert trace.active_flags() == []
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv(trace.ENV_VAR, "dma,sched")
+        assert trace.flags_from_env() == ["dma", "sched"]
+        monkeypatch.delenv(trace.ENV_VAR)
+        trace.clear_flags()
+        assert trace.flags_from_env() == []  # unset env leaves flags alone
+
+
+class TestTracer:
+    def test_disabled_flag_yields_none(self):
+        assert trace.tracer("bus", "membus") is None
+
+    def test_enabled_flag_yields_tracer(self):
+        sink = io.StringIO()
+        trace.set_flags("bus", sink=sink.write)
+        t = trace.tracer("bus", "membus")
+        assert t is not None
+        t(1500, "req addr=%#x size=%d", 0x40, 64)
+        line = sink.getvalue()
+        assert line == f"{1500:>12d}: membus: req addr=0x40 size=64\n"
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ConfigError):
+            trace.tracer("bogus", "x")
+
+    def test_dprintf_no_op_when_disabled(self):
+        sink = io.StringIO()
+        # No crash, no output, and args must not even be formatted.
+        trace.dprintf("bus", 10, "boom %s", object())
+        assert sink.getvalue() == ""
+
+    def test_dprintf_writes_when_enabled(self):
+        sink = io.StringIO()
+        trace.set_flags("dram", sink=sink.write)
+        trace.dprintf("dram", 42, "bank %d", 3)
+        assert "bank 3" in sink.getvalue()
+        assert sink.getvalue().startswith(f"{42:>12d}: ")
+
+
+class TestRecording:
+    def test_record_captures_events(self):
+        trace.set_flags("dma", sink=io.StringIO().write)
+        trace.start_recording()
+        try:
+            trace.dprintf("dma", 100, "txn %d start", 0)
+            trace.dprintf("dma", 250, "txn %d done", 0)
+        finally:
+            events = trace.stop_recording()
+        assert [e.tick for e in events] == [100, 250]
+        assert all(e.flag == "dma" for e in events)
+        assert events[0].text == "txn 0 start"
+
+    def test_stop_without_start(self):
+        assert trace.stop_recording() == []
+
+    def test_recording_stops_cleanly(self):
+        trace.set_flags("dma", sink=io.StringIO().write)
+        trace.start_recording()
+        trace.dprintf("dma", 1, "x")
+        trace.stop_recording()
+        trace.dprintf("dma", 2, "y")
+        assert trace.stop_recording() == []
+
+
+class TestSoCWiring:
+    """End-to-end: flags set before build produce component trace lines."""
+
+    def test_run_emits_flagged_lines_only(self):
+        from repro.core.soc import run_design
+        sink = io.StringIO()
+        with trace.flags("dma,driver", sink=sink.write):
+            run_design("gemm-ncubed")
+        out = sink.getvalue()
+        assert ": dma0: " in out
+        assert ": cpu0: " in out
+        assert ": bus: " not in out  # bus flag was not enabled
+
+    def test_flags_empty_means_silent(self):
+        from repro.core.soc import run_design
+        sink = io.StringIO()
+        with trace.flags("", sink=sink.write):
+            run_design("gemm-ncubed")
+        assert sink.getvalue() == ""

@@ -111,3 +111,55 @@ class TestIntervalTracker:
         t.add(5, 20)
         t.add(30, 35)
         assert t.total_busy() == 25
+
+    def test_zero_length_add_dropped(self):
+        t = IntervalTracker()
+        t.add(7, 7)
+        t.add(9, 8)  # backwards is dropped too, not recorded inverted
+        assert t.intervals == []
+        assert t.total_busy() == 0
+
+    def test_zero_length_nested_inner_keeps_outer(self):
+        t = IntervalTracker()
+        t.begin(0)
+        t.begin(5)
+        t.end(5)   # inner closes at its own start: no record at depth > 0
+        t.end(10)
+        assert t.intervals == [(0, 10)]
+
+    def test_interleaved_add_and_nested_begin(self):
+        t = IntervalTracker()
+        t.begin(0)
+        t.add(100, 120)     # direct record while an interval is open
+        t.begin(5)
+        t.add(200, 210)
+        t.end(8)
+        t.end(10)
+        assert t.intervals == [(100, 120), (200, 210), (0, 10)]
+        assert t.merged() == [(0, 10), (100, 120), (200, 210)]
+        assert t.total_busy() == 40
+
+    def test_add_overlapping_open_interval_merges(self):
+        t = IntervalTracker()
+        t.begin(0)
+        t.add(5, 15)
+        t.end(10)
+        assert t.merged() == [(0, 15)]
+
+    def test_merged_adjacent_intervals_coalesce(self):
+        t = IntervalTracker()
+        t.add(0, 10)
+        t.add(10, 20)
+        t.add(20, 30)
+        t.add(40, 50)
+        assert t.merged() == [(0, 30), (40, 50)]
+        assert t.intervals == [(0, 10), (10, 20), (20, 30), (40, 50)]
+
+    def test_reuse_after_close(self):
+        t = IntervalTracker()
+        t.begin(0)
+        t.end(10)
+        t.begin(20)
+        t.end(30)
+        assert t.intervals == [(0, 10), (20, 30)]
+        assert not t.busy
