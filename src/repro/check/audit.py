@@ -1,0 +1,166 @@
+"""End-of-run resource-leak audits.
+
+A simulation that *completes* can still be wrong: an MSHR entry that was
+allocated but never released, a full/empty-bit waiter that never woke, a
+DMA transaction left in flight, a bus reservation stretching past the
+final tick — all of these mean some modeled work silently vanished, and
+the run's timing is quietly optimistic.
+
+:func:`audit_platform` walks one :class:`~repro.core.soc.Platform` (the
+shared bus / DRAM / coherence / CPU-cache half plus every attached
+:class:`~repro.core.soc.SoC`) after the event queue has drained and
+returns a structured result; :class:`~repro.check.Checker` raises
+:class:`~repro.errors.LeakError` when any finding survives.
+
+Audited resources:
+
+* cache MSHR files (CPU and accelerator side) — no unreleased entries;
+* coherence domain — no pending or deferred line fetches;
+* full/empty ``ReadyBits`` — no callbacks still blocked on unfilled lines;
+* DMA engine — channel idle, no queued transactions, no bursts in flight,
+  busy interval closed;
+* accelerator TLB — no pending page-table walks;
+* datapath scheduler — finished, nothing in flight, ready or parked;
+* CPU driver — busy/flush intervals closed;
+* system bus — ``next_free`` not beyond the final tick;
+* cache/scratchpad port accounting — per-cycle counters within bounds.
+"""
+
+
+def _leak(leaks, component, kind, detail):
+    leaks.append({"component": component, "kind": kind, "detail": detail})
+
+
+def _audit_cache(leaks, name, cache):
+    mshrs = cache.mshrs
+    if mshrs.in_use:
+        lines = ", ".join(f"0x{a:x}" for a in mshrs.pending_lines()[:8])
+        _leak(leaks, name, "mshr_leak",
+              f"{mshrs.in_use} unreleased MSHR entrie(s): {lines}")
+
+
+def _audit_soc(leaks, soc):
+    prefix = f"accel{soc.accel_id}"
+    count = 0
+
+    sched = soc.scheduler
+    count += 1
+    if not sched.done:
+        _leak(leaks, f"{prefix}.sched", "datapath_unfinished",
+              f"{sched._completed}/{sched._num_nodes} nodes completed")
+    if sched._in_flight:
+        _leak(leaks, f"{prefix}.sched", "nodes_in_flight",
+              f"{sched._in_flight} node(s) still in flight")
+    if sched._num_ready:
+        _leak(leaks, f"{prefix}.sched", "nodes_ready_unissued",
+              f"{sched._num_ready} ready node(s) never issued")
+    if sched._round_parked:
+        parked = sum(len(v) for v in sched._round_parked.values())
+        _leak(leaks, f"{prefix}.sched", "nodes_parked",
+              f"{parked} node(s) parked behind round barriers")
+
+    if soc.dma is not None:
+        count += 1
+        dma = soc.dma
+        if not dma.idle():
+            active = dma._active
+            detail = (f"active transaction "
+                      f"({active.completed_bursts}/{len(active.bursts)} "
+                      f"bursts)" if active is not None else
+                      f"{len(dma._queue)} transaction(s) still queued")
+            _leak(leaks, f"{prefix}.dma", "dma_channel_busy", detail)
+        if dma._in_flight:
+            _leak(leaks, f"{prefix}.dma", "dma_bursts_in_flight",
+                  f"{dma._in_flight} burst(s) never completed")
+        if dma.busy.busy:
+            _leak(leaks, f"{prefix}.dma", "open_busy_interval",
+                  "busy interval opened but never closed")
+
+    for array, bits in soc.ready_bits.items():
+        count += 1
+        waiters = bits.pending_waiters()
+        if waiters:
+            _leak(leaks, f"{prefix}.ready_bits.{array}", "pending_waiters",
+                  f"{waiters} lane callback(s) still blocked on unfilled "
+                  f"lines of {array!r}")
+
+    if soc.accel_cache is not None:
+        count += 1
+        _audit_cache(leaks, f"{prefix}.cache", soc.accel_cache)
+
+    if soc.tlb is not None:
+        count += 1
+        if soc.tlb._pending:
+            _leak(leaks, f"{prefix}.tlb", "pending_walks",
+                  f"{len(soc.tlb._pending)} page-table walk(s) never "
+                  f"finished")
+
+    mem_if = sched.mem_if
+    ports = getattr(mem_if, "ports", None)
+    if ports is not None:
+        count += 1
+        used = mem_if._ports_used
+        if not 0 <= used <= ports:
+            _leak(leaks, f"{prefix}.cache_ports", "port_accounting",
+                  f"{used} ports in use, {ports} exist (refund imbalance)")
+
+    count += 1
+    spad = soc.spad
+    for array, banks in spad._banks.items():
+        for bank, slot in enumerate(banks):
+            if slot[1] > spad.ports:
+                _leak(leaks, f"{prefix}.spad.{array}", "port_accounting",
+                      f"bank {bank} recorded {slot[1]} accesses in one "
+                      f"cycle with {spad.ports} port(s)")
+                break
+
+    driver = soc.driver
+    count += 1
+    if driver.busy.busy or driver.flush_busy.busy:
+        _leak(leaks, f"cpu{soc.accel_id}", "open_busy_interval",
+              "driver busy interval opened but never closed")
+
+    return count
+
+
+def audit_platform(platform):
+    """Audit every component of ``platform`` for leaked end-of-run state.
+
+    Returns ``{"tick", "components_audited", "leaks", "clean"}``; callers
+    that want an exception on findings go through
+    :meth:`repro.check.Checker.audit`.
+    """
+    leaks = []
+    now = platform.sim.now
+    components = 0
+
+    components += 1
+    bus = platform.bus
+    if bus.next_free > now:
+        _leak(leaks, "soc.bus", "bus_busy_past_end",
+              f"bus reserved until tick {bus.next_free}, simulation ended "
+              f"at {now}")
+
+    components += 1
+    domain = platform.domain
+    pending = getattr(domain, "_pending", None)
+    if pending:
+        lines = ", ".join(f"0x{a:x}" for a in list(pending)[:8])
+        _leak(leaks, "soc.coherence", "pending_fetches",
+              f"{len(pending)} line fetch(es) still in flight or "
+              f"deferred: {lines}")
+
+    components += 1
+    _audit_cache(leaks, "soc.cpu_cache", platform.cpu_cache)
+
+    for soc in platform.socs:
+        components += _audit_soc(leaks, soc)
+
+    return {"tick": now, "components_audited": components,
+            "leaks": leaks, "clean": not leaks}
+
+
+def format_leaks(leaks):
+    """One human-readable line per leak finding."""
+    return [f"{leak['component']}: {leak['kind']} — {leak['detail']}"
+            for leak in leaks]

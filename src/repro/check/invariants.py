@@ -1,0 +1,102 @@
+"""MOESI protocol invariant checking.
+
+The coherence model (:mod:`repro.memory.coherence`) keeps per-line MOESI
+state in every cache of a snooping domain.  The paper's co-design results
+depend on that state staying *globally* consistent: a line silently held
+MODIFIED by two caches, or SHARED copies surviving next to a MODIFIED one,
+would skew modeled bus/DRAM traffic without failing any run.
+
+A :class:`MOESIChecker` attaches to one :class:`~repro.memory.coherence.
+CoherenceDomain` (``domain.attach_checker``) and is invoked from every
+line-state installation and writeback.  Detached (the default) the hook
+sites cost a single ``is None`` test, the same zero-overhead discipline as
+:mod:`repro.obs.trace`; attached, every transition re-validates the global
+invariants for the affected line and raises
+:class:`~repro.errors.InvariantError` on the first violation.
+
+Invariants enforced (per line, across all caches of the domain):
+
+* **single owner** — at most one cache in MODIFIED or EXCLUSIVE;
+* **owner exclusivity** — a MODIFIED/EXCLUSIVE copy is the *only* copy
+  (in particular: no stale SHARED beside MODIFIED);
+* **unique OWNED** — at most one cache in OWNED (O may coexist with S);
+* **dirty writebacks only** — writeback traffic is generated only from a
+  line that was MODIFIED or OWNED.
+"""
+
+from repro.errors import InvariantError
+from repro.memory.coherence import LineState
+
+
+class MOESIChecker:
+    """Validates global MOESI invariants for one coherence domain.
+
+    Purely observational: it reads cache state through ``peek_state`` and
+    never schedules events or mutates anything, so an attached checker
+    leaves simulation results bit-identical.
+    """
+
+    __slots__ = ("domain", "checks", "writeback_checks", "violations")
+
+    def __init__(self, domain):
+        self.domain = domain
+        self.checks = 0
+        self.writeback_checks = 0
+        self.violations = 0
+
+    # -- hook entry points (called from Cache / CoherenceDomain) -----------
+
+    def on_install(self, cache, line_addr, state):
+        """A cache installed or upgraded ``line_addr`` to ``state``."""
+        self.checks += 1
+        states = [(c, c.peek_state(line_addr)) for c in self.domain.caches]
+        owners = [c for c, s in states if s in (LineState.MODIFIED,
+                                                LineState.EXCLUSIVE)]
+        owned = [c for c, s in states if s == LineState.OWNED]
+        valid = [c for c, s in states if s != LineState.INVALID]
+        if len(owners) > 1:
+            self._violation(
+                "multiple_owners", line_addr, states,
+                f"{len(owners)} caches hold the line MODIFIED/EXCLUSIVE")
+        if owners and len(valid) > 1:
+            kind = ("stale_shared_beside_modified"
+                    if owners[0].peek_state(line_addr) == LineState.MODIFIED
+                    else "owner_not_exclusive")
+            self._violation(
+                kind, line_addr, states,
+                f"{owners[0].name} owns the line exclusively but "
+                f"{len(valid) - 1} other cache(s) still hold a copy")
+        if len(owned) > 1:
+            self._violation(
+                "multiple_owned", line_addr, states,
+                f"{len(owned)} caches hold the line OWNED")
+
+    def on_writeback(self, cache, line_addr, state):
+        """``cache`` generated writeback traffic for ``line_addr``; the
+        line's state at eviction time was ``state`` (``None`` = unknown,
+        e.g. an external caller that predates the check hook — skipped)."""
+        if state is None:
+            return
+        self.writeback_checks += 1
+        if state not in LineState.DIRTY_STATES:
+            self.violations += 1
+            raise InvariantError(
+                f"MOESI invariant violated [writeback_from_clean_state]: "
+                f"{cache.name} wrote back line 0x{line_addr:x} from state "
+                f"{state!r} (only {'/'.join(LineState.DIRTY_STATES)} may "
+                f"generate writeback traffic)")
+
+    # -- reporting ---------------------------------------------------------
+
+    def check_line(self, line_addr):
+        """Re-validate one line on demand (used by tests and audits)."""
+        self.on_install(None, line_addr, None)
+
+    def _violation(self, kind, line_addr, states, detail):
+        self.violations += 1
+        held = ", ".join(f"{c.name}={s}" for c, s in states
+                         if s != LineState.INVALID) or "<no copies>"
+        raise InvariantError(
+            f"MOESI invariant violated [{kind}] at tick "
+            f"{self.domain.sim.now}: line 0x{line_addr:x}: {detail} "
+            f"({held})")

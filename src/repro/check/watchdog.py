@@ -1,0 +1,149 @@
+"""Deadlock diagnosis for drained-but-unfinished simulations.
+
+The event kernel already *detects* deadlock: :meth:`repro.sim.kernel.
+Simulator.run` raises when the queue drains while a registered done-check
+still reports outstanding work.  What it cannot say is *why* — which lane
+is parked on which full/empty bit, whether the DMA channel wedged with a
+transaction half done, which MSHR fills never came back.
+
+:func:`diagnose_platform` walks a :class:`~repro.core.soc.Platform` at the
+moment of deadlock and builds a structured report with an embedded
+``"summary"`` string.  :class:`~repro.check.Checker` registers it as a
+diagnoser on the simulator (``add_deadlock_diagnoser``); the kernel then
+raises :class:`~repro.errors.DeadlockError` carrying the report, with the
+summary appended to the exception message.  The report dict (not an
+exception type) crosses the kernel/check boundary, so the kernel never
+imports this package.
+"""
+
+
+def _stalled_ready_bits(soc):
+    stalls = []
+    for array, bits in soc.ready_bits.items():
+        if bits._waiters:
+            first_bit = min(bits._waiters)
+            stalls.append({
+                "array": array,
+                "stalled_lanes": bits.pending_waiters(),
+                "unfilled_lines": len(bits._waiters),
+                "first_unfilled_offset": first_bit * bits.granularity,
+            })
+    return stalls
+
+
+def _dma_state(dma):
+    if dma is None:
+        return None
+    active = dma._active
+    state = {
+        "idle": dma.idle(),
+        "queued_transactions": len(dma._queue),
+        "bursts_in_flight": dma._in_flight,
+        "active": None,
+    }
+    if active is not None:
+        state["active"] = {
+            "label": active.label,
+            "completed_bursts": active.completed_bursts,
+            "total_bursts": len(active.bursts),
+            "descriptors": len(active.descriptors),
+        }
+    return state
+
+
+def _mshr_lines(cache):
+    if cache is None:
+        return []
+    return [f"0x{addr:x}" for addr in cache.mshrs.pending_lines()]
+
+
+def _diagnose_soc(soc):
+    sched = soc.scheduler
+    return {
+        "accel": soc.accel_id,
+        "workload": soc.workload,
+        "flow_done": soc._flow_done,
+        "signaled": soc._signaled,
+        "scheduler": {
+            "started": sched._started,
+            "done": sched.done,
+            "completed": sched._completed,
+            "nodes": sched._num_nodes,
+            "in_flight": sched._in_flight,
+            "ready": sched._num_ready,
+            "current_round": sched._current_round,
+            "parked": sum(len(v) for v in sched._round_parked.values()),
+        },
+        "ready_bit_stalls": _stalled_ready_bits(soc),
+        "dma": _dma_state(soc.dma),
+        "mshr_pending": _mshr_lines(soc.accel_cache),
+        "tlb_pending_walks": (len(soc.tlb._pending)
+                              if soc.tlb is not None else 0),
+        "driver_polls": soc.driver.polls,
+    }
+
+
+def _summarize_soc(diag):
+    sched = diag["scheduler"]
+    parts = []
+    if not sched["started"]:
+        parts.append("datapath never started")
+    elif not sched["done"]:
+        parts.append(
+            f"datapath stuck at {sched['completed']}/{sched['nodes']} "
+            f"nodes ({sched['in_flight']} in flight, {sched['ready']} "
+            f"ready, {sched['parked']} parked)")
+    elif not diag["signaled"]:
+        parts.append("compute finished but completion flag never written")
+    else:
+        parts.append("completion flag written but CPU never saw it")
+    for stall in diag["ready_bit_stalls"]:
+        parts.append(
+            f"{stall['stalled_lanes']} lane(s) stalled on full/empty bits "
+            f"of {stall['array']!r} (first unfilled offset "
+            f"0x{stall['first_unfilled_offset']:x})")
+    dma = diag["dma"]
+    if dma is not None and not dma["idle"]:
+        active = dma["active"]
+        if active is not None:
+            parts.append(
+                f"DMA wedged mid-transaction "
+                f"({active['completed_bursts']}/{active['total_bursts']} "
+                f"bursts, {dma['bursts_in_flight']} in flight, "
+                f"{dma['queued_transactions']} queued behind it)")
+        else:
+            parts.append(f"DMA has {dma['queued_transactions']} "
+                         f"transaction(s) queued but none active")
+    if diag["mshr_pending"]:
+        parts.append(f"{len(diag['mshr_pending'])} MSHR fill(s) pending "
+                     f"({', '.join(diag['mshr_pending'][:4])})")
+    if diag["tlb_pending_walks"]:
+        parts.append(f"{diag['tlb_pending_walks']} TLB walk(s) pending")
+    return (f"accel{diag['accel']} ({diag['workload']}): "
+            + "; ".join(parts))
+
+
+def diagnose_platform(platform):
+    """Build the structured deadlock report for one platform.
+
+    Returns a dict with per-SoC diagnoses and a human-readable
+    ``"summary"`` the kernel appends to the :class:`~repro.errors.
+    DeadlockError` message.  Purely observational — safe to call on a
+    healthy platform too (every SoC then reports ``flow_done``).
+    """
+    socs = [_diagnose_soc(soc) for soc in platform.socs]
+    report = {
+        "tick": platform.sim.now,
+        "socs": socs,
+        "cpu_cache_mshr_pending": _mshr_lines(platform.cpu_cache),
+    }
+    stuck = [d for d in socs if not d["flow_done"]]
+    lines = ["deadlock diagnosis:"]
+    lines.extend(f"  {_summarize_soc(d)}" for d in stuck)
+    if not stuck:
+        lines.append("  every offload flow reports done")
+    if report["cpu_cache_mshr_pending"]:
+        lines.append(f"  cpu cache: {len(report['cpu_cache_mshr_pending'])} "
+                     f"MSHR fill(s) pending")
+    report["summary"] = "\n".join(lines)
+    return report

@@ -17,6 +17,12 @@ Observability (see :mod:`repro.obs`):
     python -m repro trace gemm-ncubed -o trace.json --debug-flags dma,sched
     python -m repro run aes-aes --debug-flags bus,dram
     REPRO_DEBUG_FLAGS=tlb python -m repro run spmv-crs --mem cache
+
+Correctness checking (see :mod:`repro.check`):
+
+    python -m repro run gemm-ncubed --check --check-report health.json
+    python -m repro sweep md-knn --density quick --check
+    REPRO_CHECK=1 python -m repro run fft-transpose --mem cache
 """
 
 import argparse
@@ -43,6 +49,9 @@ def build_parser():
 
     run_p = sub.add_parser("run", help="run one (workload, design) offload")
     run_p.add_argument("workload", choices=ALL_WORKLOADS)
+    run_p.add_argument("--check-report", metavar="PATH", default=None,
+                       help="write the checker's health report as JSON "
+                            "(implies --check)")
     _add_design_args(run_p)
     _add_platform_args(run_p)
 
@@ -134,6 +143,20 @@ def _add_platform_args(parser):
                         help="comma-separated debug-trace flags "
                              "(e.g. bus,dram,tlb,dma,sched or 'all'; "
                              "default: $REPRO_DEBUG_FLAGS)")
+    # default=None (not False) so an absent flag falls back to $REPRO_CHECK.
+    parser.add_argument("--check", action="store_true", default=None,
+                        help="enable runtime correctness checking: MOESI "
+                             "invariants, end-of-run leak audits, deadlock "
+                             "diagnosis (default: $REPRO_CHECK)")
+
+
+def _checker_from_args(args):
+    """Resolve --check / $REPRO_CHECK into a Checker (or None)."""
+    from repro.check import resolve_check
+    enabled = getattr(args, "check", None)
+    if enabled is None and getattr(args, "check_report", None):
+        enabled = True
+    return resolve_check(enabled)
 
 
 @contextmanager
@@ -219,8 +242,10 @@ def cmd_list(_args, out):
 def cmd_run(args, out):
     """``repro run``: one offload, metrics + breakdown + stats."""
     design = design_from_args(args)
+    checker = _checker_from_args(args)
     with _debug_flags(args):
-        result = run_design(args.workload, design, config_from_args(args))
+        result = run_design(args.workload, design, config_from_args(args),
+                            check=checker if checker is not None else False)
     out(f"workload : {args.workload}")
     out(f"design   : {design!r}")
     out(f"time     : {result.time_us:.2f} us  "
@@ -235,6 +260,15 @@ def cmd_run(args, out):
     for key, value in sorted(result.stats.items()):
         if value is not None:
             out(f"  {key:20s} {value}")
+    if checker is not None:
+        audit = checker.last_audit or {}
+        out("")
+        out(f"check    : clean ({checker.invariant_checks} invariant "
+            f"checks, {audit.get('components_audited', 0)} components "
+            f"audited, 0 leaks)")
+        if args.check_report:
+            checker.dump_json(args.check_report)
+            out(f"wrote health report to {args.check_report}")
     return 0
 
 
@@ -244,8 +278,10 @@ def cmd_profile(args, out):
     from repro.sim.profiling import EventProfiler
     design = design_from_args(args)
     profiler = EventProfiler()
+    checker = _checker_from_args(args)
     result = run_design(args.workload, design, config_from_args(args),
-                        profiler=profiler)
+                        profiler=profiler,
+                        check=checker if checker is not None else False)
     out(f"workload : {args.workload}")
     out(f"design   : {design!r}")
     out(f"time     : {result.time_us:.2f} us  "
@@ -271,15 +307,21 @@ def cmd_sweep(args, out):
         import os
         dump_dma = os.path.join(args.dump_stats, "dma")
         dump_cache = os.path.join(args.dump_stats, "cache")
-    if args.profile or args.dump_stats:
+    # An *explicit* --check builds one accumulating checker and forces the
+    # serial engine (its counters live in this process).  Env-only checking
+    # ($REPRO_CHECK) stays on the parallel/cached path: check=None defers
+    # resolution to each run_design call, and worker processes inherit the
+    # variable.
+    checker = _checker_from_args(args) if args.check else None
+    if args.profile or args.dump_stats or checker is not None:
         parallel, cache_dir, metrics = None, None, None
     dma = run_sweep(args.workload, dma_design_space(args.density), cfg,
                     parallel=parallel, cache_dir=cache_dir, metrics=metrics,
-                    profiler=profiler, dump_stats=dump_dma)
+                    profiler=profiler, dump_stats=dump_dma, check=checker)
     cache = run_sweep(args.workload, cache_design_space(args.density), cfg,
                       parallel=parallel, cache_dir=cache_dir,
                       metrics=metrics, profiler=profiler,
-                      dump_stats=dump_cache)
+                      dump_stats=dump_cache, check=checker)
     if args.json or args.csv:
         from repro.core.export import results_to_csv, results_to_json
         if args.json:
@@ -298,6 +340,10 @@ def cmd_sweep(args, out):
     winner = "DMA" if best_dma.edp <= best_cache.edp else "cache"
     out(f"-> {winner} wins for {args.workload}")
     out("")
+    if checker is not None:
+        out(f"check: clean across {checker.audits} design points "
+            f"({checker.invariant_checks} invariant checks, 0 violations, "
+            f"0 leaks)")
     if args.dump_stats:
         out(f"wrote per-point stats registries under {args.dump_stats}/")
     if profiler is not None:
@@ -319,8 +365,10 @@ def cmd_stats(args, out):
     from repro.obs.stats import StatRegistry
     design = design_from_args(args)
     registry = StatRegistry()
+    checker = _checker_from_args(args)
     with _debug_flags(args):
-        soc = SoC(args.workload, design, config_from_args(args))
+        soc = SoC(args.workload, design, config_from_args(args),
+                  check=checker if checker is not None else False)
         soc.reg_stats(registry)
         result = soc.run()
     out(f"workload : {args.workload}")
@@ -349,10 +397,12 @@ def cmd_trace(args, out):
     from repro.core.soc import SoC
     from repro.obs.timeline import soc_timeline
     design = design_from_args(args)
+    checker = _checker_from_args(args)
     with _debug_flags(args) as trace:
         trace.start_recording()
         try:
-            soc = SoC(args.workload, design, config_from_args(args))
+            soc = SoC(args.workload, design, config_from_args(args),
+                      check=checker if checker is not None else False)
             result = soc.run()
         finally:
             events = trace.stop_recording()

@@ -27,16 +27,22 @@ from repro.core.soc import Platform, SoC, run_design
 class MultiAcceleratorSoC:
     """N accelerators sharing one platform, offloaded concurrently."""
 
-    def __init__(self, jobs, cfg=None):
-        """``jobs`` is a list of (workload, DesignPoint) pairs."""
+    def __init__(self, jobs, cfg=None, check=None):
+        """``jobs`` is a list of (workload, DesignPoint) pairs.
+
+        ``check`` enables runtime correctness checking on the shared
+        platform (see :mod:`repro.check`); ``None`` honors
+        ``$REPRO_CHECK``.
+        """
         if not jobs:
             raise ValueError("need at least one (workload, design) job")
         self.cfg = cfg or SoCConfig()
-        self.platform = Platform(self.cfg)
+        self.platform = Platform(self.cfg, check=check)
         self.socs = [SoC(workload, design, platform=self.platform)
                      for workload, design in jobs]
         self.jobs = list(jobs)
         self._results = None
+        self._solo_results = None
 
     def run(self):
         """Launch every accelerator at tick 0 and run to completion.
@@ -48,6 +54,8 @@ class MultiAcceleratorSoC:
         for soc in self.socs:
             soc.launch()
         self.platform.sim.run()
+        if self.platform.checker is not None:
+            self.platform.checker.audit(self.platform)
         self._results = [soc.collect() for soc in self.socs]
         return self._results
 
@@ -62,9 +70,16 @@ class MultiAcceleratorSoC:
         return max(r.total_ticks for r in self.results)
 
     def solo_results(self):
-        """Each job re-run alone on an identical (private) platform."""
-        return [run_design(workload, design, self.cfg)
-                for workload, design in self.jobs]
+        """Each job re-run alone on an identical (private) platform.
+
+        Memoized: the solo runs are deterministic functions of (job, cfg),
+        so repeated calls — e.g. ``contention_slowdowns()`` after
+        ``makespan_ticks()`` analyses — re-simulate nothing.
+        """
+        if self._solo_results is None:
+            self._solo_results = [run_design(workload, design, self.cfg)
+                                  for workload, design in self.jobs]
+        return self._solo_results
 
     def contention_slowdowns(self):
         """Per-job runtime ratio shared-platform / alone (>= ~1.0).

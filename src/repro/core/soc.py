@@ -27,6 +27,7 @@ ACCEL0 and ACCEL1 on one bus; see :mod:`repro.core.multi`.
 
 from repro.aladdin.area import AreaModel
 from repro.aladdin.power import PowerModel
+from repro.check import resolve_check
 from repro.aladdin.scheduler import (
     CacheInterface,
     DatapathScheduler,
@@ -75,7 +76,7 @@ class Platform:
     Section IV-A.
     """
 
-    def __init__(self, cfg=None):
+    def __init__(self, cfg=None, check=None):
         self.cfg = cfg or SoCConfig()
         self.sim = Simulator()
         self.accel_clock = ClockDomain(self.cfg.accel_clock_mhz)
@@ -95,6 +96,13 @@ class Platform:
         self.domain.register(self.cpu_cache)
         self._next_offset = 0
         self._num_accels = 0
+        self.socs = []  # every SoC built on this platform registers here
+        # Runtime correctness checking (repro.check): ``check`` may be a
+        # Checker, a bool, or None (= honor $REPRO_CHECK).  Detached, the
+        # per-transition hooks cost one ``is None`` test.
+        self.checker = resolve_check(check)
+        if self.checker is not None:
+            self.checker.attach(self)
 
     def alloc_region(self, size_bytes):
         """Reserve a page-aligned window of the shared address space."""
@@ -132,6 +140,8 @@ class Platform:
         self.dram.reg_stats(stats, "soc.dram")
         self.domain.reg_stats(stats, "soc.coherence")
         self.cpu_cache.reg_stats(stats, "soc.cpu_cache")
+        if self.checker is not None:
+            self.checker.reg_stats(stats, "check")
 
 
 class SoC:
@@ -142,17 +152,23 @@ class SoC:
     MultiAcceleratorSoC`).
     """
 
-    def __init__(self, workload, design=None, cfg=None, platform=None):
+    def __init__(self, workload, design=None, cfg=None, platform=None,
+                 check=None):
         self.workload = workload
         self.design = design or DesignPoint()
-        self.platform = platform or Platform(cfg)
-        if cfg is not None and platform is not None:
-            raise SimulationError(
-                "pass cfg via the shared Platform, not per-SoC")
+        if platform is not None:
+            if cfg is not None:
+                raise SimulationError(
+                    "pass cfg via the shared Platform, not per-SoC")
+            if check is not None:
+                raise SimulationError(
+                    "pass check via the shared Platform, not per-SoC")
+        self.platform = platform or Platform(cfg, check=check)
         self.cfg = self.platform.cfg
         self.trace = cached_trace(workload)
         self.ddg = cached_ddg(workload)
         self.accel_id = self.platform.next_accel_id()
+        self.platform.socs.append(self)
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -300,9 +316,18 @@ class SoC:
         self.sim.add_done_dependency(lambda: self._flow_done)
 
     def run(self):
-        """Execute the offload to completion; returns a :class:`RunResult`."""
+        """Execute the offload to completion; returns a :class:`RunResult`.
+
+        With checking enabled (``check=`` / ``$REPRO_CHECK``) the
+        end-of-run leak audit runs before results are collected, so a run
+        that leaked resources raises instead of reporting optimistic
+        numbers.
+        """
         self.launch()
         self.sim.run()
+        checker = self.platform.checker
+        if checker is not None:
+            checker.audit(self.platform)
         return self.collect()
 
     # DMA mode ---------------------------------------------------------------
@@ -478,7 +503,7 @@ class SoC:
 
 
 def run_design(workload, design=None, cfg=None, profiler=None,
-               registry=None):
+               registry=None, check=None):
     """Convenience wrapper: build an SoC and run one offload.
 
     ``profiler`` — an :class:`repro.sim.profiling.EventProfiler` — attaches
@@ -490,8 +515,13 @@ def run_design(workload, design=None, cfg=None, profiler=None,
     every component counter of the run under ``soc.*`` / ``accel0.*``
     names (see :meth:`SoC.reg_stats`); dump it afterwards with
     ``registry.dump_text()`` / ``registry.to_json()``.
+
+    ``check`` — a :class:`repro.check.Checker`, ``True`` for a fresh one,
+    ``False`` to force checking off, or ``None`` to honor ``$REPRO_CHECK``
+    — enables MOESI invariant checking, the end-of-run leak audit, and
+    deadlock diagnosis for this run.
     """
-    soc = SoC(workload, design, cfg)
+    soc = SoC(workload, design, cfg, check=check)
     if profiler is not None:
         soc.sim.queue.set_profiler(profiler)
     if registry is not None:

@@ -69,7 +69,8 @@ def cache_design_space(density="standard"):
 
 
 def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
-              cache_dir=None, metrics=None, profiler=None, dump_stats=None):
+              cache_dir=None, metrics=None, profiler=None, dump_stats=None,
+              check=None):
     """Evaluate every design point; returns the list of RunResults.
 
     ``parallel`` fans the evaluations out over a worker pool (``N`` workers;
@@ -86,8 +87,14 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
     Either option forces the serial, uncached engine: worker processes
     could not report into the caller's profiler or registry, and cached
     points run no events at all.
+
+    ``check`` enables runtime correctness checking per point (see
+    :mod:`repro.check`).  An explicit checker likewise forces the serial
+    engine — its accumulated counters live in this process.  ``None``
+    defers to ``$REPRO_CHECK``, which worker processes inherit, so the
+    parallel engine still checks every point when the variable is set.
     """
-    if (profiler is None and dump_stats is None
+    if (profiler is None and dump_stats is None and not check
             and (parallel not in (None, 1)
                  or cache_dir is not None or metrics is not None)):
         from repro.core.sweeppool import run_sweep_pool
@@ -104,7 +111,7 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
             from repro.obs.stats import StatRegistry
             registry = StatRegistry()
         results.append(run_design(workload, design, cfg, profiler=profiler,
-                                  registry=registry))
+                                  registry=registry, check=check))
         if registry is not None:
             path = os.path.join(dump_stats, f"{workload}-{i:04d}.json")
             payload = registry.to_json()

@@ -15,8 +15,9 @@ class DMADescriptor:
     __slots__ = ("mem_addr", "array", "array_offset", "size", "to_accel")
 
     def __init__(self, mem_addr, array, array_offset, size, to_accel):
-        if size <= 0:
-            raise ConfigError(f"DMA descriptor size must be positive, got {size}")
+        if size < 0:
+            raise ConfigError(
+                f"DMA descriptor size must be non-negative, got {size}")
         self.mem_addr = mem_addr
         self.array = array          # scratchpad array name
         self.array_offset = array_offset

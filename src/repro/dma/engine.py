@@ -95,6 +95,13 @@ class DMAEngine:
     def _pump(self):
         """Keep up to ``max_outstanding`` bursts on the bus, in order."""
         txn = self._active
+        if not txn.bursts:
+            # Empty descriptor chain (or all descriptors zero-size): there
+            # is no data to move, so no _burst_done will ever fire.  The
+            # transaction must complete right after setup or the channel
+            # wedges forever, deadlocking every later transaction.
+            self._finish_active(txn)
+            return
         while (txn.next_burst < len(txn.bursts)
                and self._in_flight < self.max_outstanding):
             desc, offset, chunk = txn.bursts[txn.next_burst]
@@ -119,17 +126,21 @@ class DMAEngine:
             if bits is not None:
                 bits.set_range(desc.array_offset + offset, chunk)
         if txn.completed_bursts == len(txn.bursts):
-            self.busy.end(self.sim.now)
-            if self._trace is not None:
-                self._trace(self.sim.now, "txn done: %d burst(s) complete",
-                            txn.completed_bursts)
-            self._active = None
-            on_done = txn.on_done
-            if on_done is not None:
-                on_done()
-            self._start_next()
+            self._finish_active(txn)
         else:
             self._pump()
+
+    def _finish_active(self, txn):
+        """Complete the active transaction and start the next queued one."""
+        self.busy.end(self.sim.now)
+        if self._trace is not None:
+            self._trace(self.sim.now, "txn done: %d burst(s) complete",
+                        txn.completed_bursts)
+        self._active = None
+        on_done = txn.on_done
+        if on_done is not None:
+            on_done()
+        self._start_next()
 
     def reg_stats(self, stats, prefix="accel0.dma"):
         """Mirror this engine's counters into a stats registry."""

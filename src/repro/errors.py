@@ -17,6 +17,42 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state (e.g. deadlock)."""
 
 
+class InvariantError(SimulationError):
+    """A runtime correctness invariant was violated (see :mod:`repro.check`).
+
+    Raised by the MOESI invariant checker when the coherence protocol
+    reaches an illegal global state — e.g. two caches both holding a line
+    MODIFIED, or a writeback generated from a clean line.
+    """
+
+
+class LeakError(SimulationError):
+    """An end-of-run resource audit found leaked state (see
+    :mod:`repro.check`): unreleased MSHR entries, pending full/empty-bit
+    waiters, an in-flight DMA transaction, and the like.
+
+    ``leaks`` holds the structured findings, one dict per leak.
+    """
+
+    def __init__(self, message, leaks=None):
+        super().__init__(message)
+        self.leaks = list(leaks or [])
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while an offload was still unfinished.
+
+    Raised in place of the generic deadlock :class:`SimulationError` when a
+    watchdog diagnoser is attached (see :mod:`repro.check.watchdog`);
+    ``report`` carries the structured diagnosis — which lanes stalled on
+    which full/empty bits, which MSHRs are pending, DMA channel state.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report or {}
+
+
 class TraceError(ReproError):
     """A kernel produced an invalid dynamic trace."""
 

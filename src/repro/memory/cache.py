@@ -56,6 +56,7 @@ class Cache:
         # set index -> OrderedDict(line_addr -> state), LRU order (oldest first)
         self._sets = [OrderedDict() for _ in range(self.num_sets)]
         self.domain = None  # set by CoherenceDomain.register
+        self._checker = None  # set by CoherenceDomain.attach_checker
         if prefetcher == "stride":
             self.prefetcher = StridePrefetcher(degree=prefetch_degree)
         else:
@@ -118,7 +119,7 @@ class Cache:
         input data sitting dirty in the CPU's cache before offload."""
         line = self.line_addr(start)
         while line < start + size:
-            self._install(line, state, count_fill=False)
+            self._install(line, state)
             line += self.line_size
 
     def flush_line(self, line_addr):
@@ -131,7 +132,7 @@ class Cache:
         if state in LineState.DIRTY_STATES:
             self.writebacks += 1
             if self.domain is not None:
-                self.domain.writeback(self, line_addr)
+                self.domain.writeback(self, line_addr, state)
             return True
         return False
 
@@ -178,6 +179,8 @@ class Cache:
             cache_set.move_to_end(line)
             if is_write:
                 cache_set[line] = LineState.MODIFIED
+                if self._checker is not None:
+                    self._checker.on_install(self, line, LineState.MODIFIED)
             self.sim.schedule(self._hit_ticks, callback)
             return "hit"
 
@@ -250,19 +253,24 @@ class Cache:
         for cb, _is_write in waiters:
             self.sim.schedule(delay, cb)
 
-    def _install(self, line_addr, state, count_fill=True):
+    def _install(self, line_addr, state):
         cache_set = self._set_of(line_addr)
         if line_addr in cache_set:
             cache_set.move_to_end(line_addr)
             cache_set[line_addr] = state
-            return
-        if len(cache_set) >= self.assoc:
-            victim, victim_state = cache_set.popitem(last=False)
-            if victim_state in LineState.DIRTY_STATES:
-                self.writebacks += 1
-                if count_fill and self.domain is not None:
-                    self.domain.writeback(self, victim)
-        cache_set[line_addr] = state
+        else:
+            if len(cache_set) >= self.assoc:
+                victim, victim_state = cache_set.popitem(last=False)
+                if victim_state in LineState.DIRTY_STATES:
+                    # Every dirty eviction generates writeback traffic —
+                    # including preload-path evictions, which used to skip
+                    # the domain and silently drop modeled bus/DRAM work.
+                    self.writebacks += 1
+                    if self.domain is not None:
+                        self.domain.writeback(self, victim, victim_state)
+            cache_set[line_addr] = state
+        if self._checker is not None:
+            self._checker.on_install(self, line_addr, state)
 
     # -- stats ----------------------------------------------------------------
 

@@ -55,12 +55,30 @@ class CoherenceDomain:
         self.memory_fetches = 0
         self.invalidations = 0
         self.upgrades = 0
+        # Same-line fetch serialization: line_addr -> list of deferred
+        # (requester, for_write, callback) fetches.  Two caches fetching
+        # one line concurrently would both compute their fill state from
+        # the *pre-fill* snoop picture — e.g. a read probe finding INVALID
+        # everywhere installs EXCLUSIVE next to the peer's in-flight
+        # MODIFIED fill.  Conflicting fetches wait for the in-flight fill
+        # and then re-probe against the updated state.
+        self._pending = {}
+        self.deferred_fetches = 0
+        self.checker = None  # set by attach_checker (see repro.check)
         self._trace = trace.tracer("coh", "coherence")
 
     def register(self, cache):
         """Attach a cache to this snooping domain."""
         self.caches.append(cache)
         cache.domain = self
+        cache._checker = self.checker
+
+    def attach_checker(self, checker):
+        """Hook a :class:`repro.check.invariants.MOESIChecker` into every
+        line-state transition of this domain (None detaches)."""
+        self.checker = checker
+        for cache in self.caches:
+            cache._checker = checker
 
     def _peers(self, requester):
         return [c for c in self.caches if c is not requester]
@@ -70,7 +88,22 @@ class CoherenceDomain:
 
         ``callback(fill_state)`` fires when the data arrives, where
         ``fill_state`` is the MOESI state the requester should install.
+        A fetch for a line with another fetch already in flight is
+        deferred until that fill lands, so its snoop probe sees the
+        post-fill state.
         """
+        pending = self._pending
+        if line_addr in pending:
+            self.deferred_fetches += 1
+            pending[line_addr].append((requester, for_write, callback))
+            if self._trace is not None:
+                self._trace(self.sim.now, "defer 0x%x for %s (fetch in flight)",
+                            line_addr, requester.name)
+            return
+        pending[line_addr] = []
+        self._issue_fetch(requester, line_addr, for_write, callback)
+
+    def _issue_fetch(self, requester, line_addr, for_write, callback):
         owner = None
         sharers = []
         for peer in self._peers(requester):
@@ -100,7 +133,8 @@ class CoherenceDomain:
         req = MemRequest(
             line_addr, line_size, is_write=False,
             requester=requester.name,
-            callback=lambda _req: callback(fill_state),
+            callback=lambda _req: self._fetch_complete(line_addr, callback,
+                                                       fill_state),
         )
         if self._trace is not None:
             self._trace(self.sim.now,
@@ -115,6 +149,15 @@ class CoherenceDomain:
         else:
             self.memory_fetches += 1
             self.bus.request(req, extra_delay=self.snoop_ticks)
+
+    def _fetch_complete(self, line_addr, callback, fill_state):
+        """A fill arrived: install it, then release one deferred fetch."""
+        callback(fill_state)
+        deferred = self._pending.pop(line_addr)
+        if deferred:
+            requester, for_write, next_cb = deferred.pop(0)
+            self._pending[line_addr] = deferred
+            self._issue_fetch(requester, line_addr, for_write, next_cb)
 
     def upgrade_line(self, requester, line_addr):
         """Upgrade ``requester``'s pending fill to ownership.
@@ -131,8 +174,15 @@ class CoherenceDomain:
                 peer.snoop_invalidate(line_addr)
                 self.invalidations += 1
 
-    def writeback(self, cache, line_addr):
-        """Evict dirty data to memory (fire-and-forget for timing)."""
+    def writeback(self, cache, line_addr, state=None):
+        """Evict dirty data to memory (fire-and-forget for timing).
+
+        ``state`` is the line's MOESI state at eviction time; the
+        invariant checker uses it to reject writebacks from clean lines
+        (``None`` skips that check for callers that predate the hook).
+        """
+        if self.checker is not None:
+            self.checker.on_writeback(cache, line_addr, state)
         req = MemRequest(line_addr, cache.line_size, is_write=True,
                          requester=f"{cache.name}-wb")
         self.bus.request(req)
@@ -149,3 +199,7 @@ class CoherenceDomain:
                      desc="peer copies invalidated")
         stats.scalar(f"{prefix}.upgrades", lambda: self.upgrades,
                      desc="read-allocated MSHRs upgraded to ownership")
+        stats.scalar(f"{prefix}.deferred_fetches",
+                     lambda: self.deferred_fetches,
+                     desc="same-line fetches serialized behind an "
+                          "in-flight fill")

@@ -22,16 +22,21 @@ class ReadyBits:
         self.stalls = 0
 
     def _bit(self, offset):
-        if not 0 <= offset < max(self.size_bytes, 1):
+        if not 0 <= offset < self.size_bytes:
+            if offset == 0 and not self.size_bytes:
+                return 0  # zero-size array: single vacuous offset
             raise SimulationError(
                 f"ready-bit offset {offset} outside array {self.array!r} "
-                f"of {self.size_bytes} bytes"
+                f"of {self.size_bytes} bytes (granularity "
+                f"{self.granularity}; legal offsets are "
+                f"[0, {self.size_bytes}))"
             )
         return offset // self.granularity
 
     def is_ready(self, offset):
         """True when the line covering ``offset`` has arrived."""
-        return bool(self._ready[self._bit(offset)])
+        bit = self._bit(offset)
+        return bool(self._ready[bit]) if self.num_bits else True
 
     def wait(self, offset, callback):
         """Invoke ``callback`` when the line covering ``offset`` is filled.
@@ -40,7 +45,7 @@ class ReadyBits:
         considered stalled until the DMA engine fills the line.
         """
         bit = self._bit(offset)
-        if self._ready[bit]:
+        if not self.num_bits or self._ready[bit]:
             callback()
             return False
         self.stalls += 1
@@ -58,8 +63,14 @@ class ReadyBits:
         return True
 
     def set_range(self, offset, size):
-        """Mark [offset, offset+size) ready and wake any waiters."""
-        if size <= 0:
+        """Mark [offset, offset+size) ready and wake any waiters.
+
+        Boundary-tolerant: an empty range (``size <= 0``) and a range
+        starting exactly at the end of the array — a zero-byte tail
+        descriptor lands there — are no-ops; only ranges genuinely outside
+        the array raise.
+        """
+        if size <= 0 or not self.num_bits or offset == self.size_bytes:
             return
         first = self._bit(offset)
         last = self._bit(min(offset + size, self.size_bytes) - 1)

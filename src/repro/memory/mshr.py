@@ -46,6 +46,10 @@ class MSHRFile:
         """Complete a fill; returns the waiters that merged into it."""
         return self._entries.pop(line_addr)
 
+    def pending_lines(self):
+        """Line addresses with fills still outstanding (audit/diagnosis)."""
+        return list(self._entries)
+
     @property
     def in_use(self):
         return len(self._entries)

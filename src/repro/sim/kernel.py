@@ -24,7 +24,7 @@ Hot-path notes (see DESIGN.md "Kernel fast paths"):
 import heapq
 from collections import deque
 
-from repro.errors import SimulationError
+from repro.errors import DeadlockError, SimulationError
 from repro.obs import trace
 
 
@@ -215,7 +215,8 @@ class Simulator:
     This mirrors gem5's exit-event idiom without global state.
     """
 
-    __slots__ = ("queue", "_done_checks", "events_executed", "_trace")
+    __slots__ = ("queue", "_done_checks", "events_executed", "_trace",
+                 "_diagnosers")
 
     def __init__(self):
         self.queue = EventQueue()
@@ -224,6 +225,7 @@ class Simulator:
         # the loop's own counter, so the per-event hot path is untouched.
         self.events_executed = 0
         self._trace = trace.tracer("kernel", "sim")
+        self._diagnosers = []
 
     @property
     def now(self):
@@ -241,6 +243,15 @@ class Simulator:
         """Register a zero-arg callable that returns True once its component
         has finished all its work."""
         self._done_checks.append(check)
+
+    def add_deadlock_diagnoser(self, diagnoser):
+        """Register a zero-arg callable invoked when the queue drains with
+        unfinished work.  It must return a report dict; a ``"summary"``
+        entry, if present, is appended to the raised
+        :class:`~repro.errors.DeadlockError`'s message.  Installed by
+        :class:`repro.check.Checker` — without one, deadlocks raise the
+        plain :class:`SimulationError` as before."""
+        self._diagnosers.append(diagnoser)
 
     def all_done(self):
         """True when every registered component reports done."""
@@ -261,10 +272,20 @@ class Simulator:
             self._trace(self.now, "run: drained %d event(s)", executed)
         if not self.all_done():
             pending = [check for check in self._done_checks if not check()]
-            raise SimulationError(
-                f"simulation deadlocked: {len(pending)} component(s) still busy "
-                f"at tick {self.now} with an empty event queue"
+            message = (
+                f"simulation deadlocked: {len(pending)} component(s) still "
+                f"busy at tick {self.now} with an empty event queue"
             )
+            if self._diagnosers:
+                reports = [diagnose() for diagnose in self._diagnosers]
+                report = (reports[0] if len(reports) == 1
+                          else {"reports": reports})
+                summaries = [r.get("summary") for r in reports
+                             if r.get("summary")]
+                for summary in summaries:
+                    message += f"\n{summary}"
+                raise DeadlockError(message, report)
+            raise SimulationError(message)
         return executed
 
     def reg_stats(self, stats, prefix="soc.sim"):

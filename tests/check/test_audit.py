@@ -1,0 +1,145 @@
+"""End-of-run leak audits (repro.check.audit) and the Checker facade."""
+
+import json
+
+import pytest
+
+from repro.check import Checker, audit_platform, enabled_from_env, \
+    resolve_check
+from repro.core.config import DesignPoint
+from repro.core.soc import Platform, SoC, run_design
+from repro.errors import LeakError, SimulationError
+
+
+def small_dma(lanes=2):
+    return DesignPoint(lanes=lanes, partitions=lanes)
+
+
+class TestCleanRuns:
+    def test_dma_run_audits_clean(self):
+        checker = Checker()
+        result = run_design("aes-aes", small_dma(), check=checker)
+        assert result.total_ticks > 0
+        assert checker.audits == 1
+        assert checker.last_audit["clean"]
+        assert checker.last_audit["components_audited"] >= 8
+        assert checker.invariant_checks > 0
+        assert checker.violations == 0
+
+    def test_cache_run_audits_clean(self):
+        checker = Checker()
+        design = DesignPoint(lanes=2, mem_interface="cache",
+                             cache_size_kb=4)
+        run_design("aes-aes", design, check=checker)
+        assert checker.last_audit["clean"]
+        # Cache flow exercises the accelerator-side MSHR/TLB audits too.
+        components = checker.last_audit["components_audited"]
+        assert components >= 9
+
+    def test_checker_accumulates_across_runs(self):
+        checker = Checker()
+        run_design("aes-aes", small_dma(), check=checker)
+        first = checker.invariant_checks
+        run_design("kmp", small_dma(), check=checker)
+        assert checker.audits == 2
+        assert checker.invariant_checks > first
+
+    def test_audit_platform_shape(self):
+        soc = SoC("aes-aes", small_dma(), check=True)
+        soc.run()
+        report = audit_platform(soc.platform)
+        assert report["clean"]
+        assert report["leaks"] == []
+        assert report["tick"] == soc.platform.sim.now
+
+
+class TestLeakDetection:
+    def test_leaked_mshr_entry_raises(self):
+        checker = Checker()
+        soc = SoC("aes-aes", small_dma(), check=checker)
+        soc.run()
+        soc.platform.cpu_cache.mshrs.allocate(0x4000)
+        with pytest.raises(LeakError, match="mshr_leak") as exc:
+            checker.audit()
+        leaks = exc.value.leaks
+        assert leaks[0]["component"] == "soc.cpu_cache"
+        assert "0x4000" in leaks[0]["detail"]
+
+    def test_pending_ready_bit_waiter_raises(self):
+        checker = Checker()
+        soc = SoC("gemm-ncubed", small_dma(), check=checker)
+        soc.run()
+        bits = next(iter(soc.ready_bits.values()))
+        bits._waiters[0] = [lambda: None]
+        with pytest.raises(LeakError, match="pending_waiters"):
+            checker.audit()
+
+    def test_pending_domain_fetch_raises(self):
+        checker = Checker()
+        soc = SoC("aes-aes", small_dma(), check=checker)
+        soc.run()
+        soc.platform.domain._pending[0x100] = []
+        with pytest.raises(LeakError, match="pending_fetches"):
+            checker.audit()
+
+    def test_unattached_checker_rejects_audit(self):
+        with pytest.raises(LeakError, match="never attached"):
+            Checker().audit()
+
+
+class TestResolveAndEnv:
+    def test_resolve_passthrough_and_bool(self):
+        checker = Checker()
+        assert resolve_check(checker) is checker
+        assert isinstance(resolve_check(True), Checker)
+        assert resolve_check(False) is None
+
+    def test_resolve_none_honors_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECK", raising=False)
+        assert resolve_check(None) is None
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert isinstance(resolve_check(None), Checker)
+
+    def test_env_falsy_spellings(self):
+        for value in ("", "0", "false", "off", "no", "False", " OFF "):
+            assert not enabled_from_env({"REPRO_CHECK": value})
+        assert enabled_from_env({"REPRO_CHECK": "1"})
+        assert enabled_from_env({"REPRO_CHECK": "yes"})
+        assert not enabled_from_env({})
+
+    def test_platform_rejects_per_soc_check(self):
+        plat = Platform()
+        with pytest.raises(SimulationError, match="shared Platform"):
+            SoC("aes-aes", small_dma(), platform=plat, check=True)
+
+
+class TestHealthReport:
+    def test_report_fields(self):
+        checker = Checker()
+        run_design("aes-aes", small_dma(), check=checker)
+        report = checker.health_report()
+        assert report["enabled"]
+        assert report["audits"] == 1
+        assert report["violations"] == 0
+        assert report["audit"]["clean"]
+
+    def test_dump_json(self, tmp_path):
+        checker = Checker()
+        run_design("aes-aes", small_dma(), check=checker)
+        path = tmp_path / "health.json"
+        checker.dump_json(path)
+        doc = json.loads(path.read_text())
+        assert doc["enabled"] is True
+        assert doc["invariant_checks"] > 0
+        assert doc["audit"]["leaks"] == []
+
+    def test_reg_stats_exposed(self):
+        from repro.obs.stats import StatRegistry
+        checker = Checker()
+        registry = StatRegistry()
+        run_design("aes-aes", small_dma(), check=checker,
+                   registry=registry)
+        doc = registry.to_json()
+        assert doc["check.invariant_checks"] > 0
+        assert doc["check.audits"] == 1
+        assert doc["check.violations"] == 0

@@ -1,0 +1,97 @@
+"""Deadlock watchdog (repro.check.watchdog)."""
+
+import pytest
+
+from repro.check import Checker, diagnose_platform
+from repro.core.config import DesignPoint
+from repro.core.soc import SoC
+from repro.errors import DeadlockError, SimulationError
+
+
+def small_dma(lanes=2):
+    return DesignPoint(lanes=lanes, partitions=lanes)
+
+
+def test_healthy_platform_diagnoses_done():
+    soc = SoC("aes-aes", small_dma(), check=True)
+    soc.run()
+    report = diagnose_platform(soc.platform)
+    assert report["socs"][0]["flow_done"]
+    assert "every offload flow reports done" in report["summary"]
+
+
+class TestDeadlockDiagnosis:
+    def _wedge_dma(self, soc):
+        """Reintroduce the zero-burst DMA bug: a transaction with no
+        bursts never completes, wedging the channel (the shipped engine
+        completes it right after setup — see DMAEngine._pump)."""
+        dma = soc.dma
+        original = dma._pump
+
+        def buggy_pump():
+            if not dma._active.bursts:
+                return  # pre-fix behavior: nothing in flight, no finish
+            original()
+
+        dma._pump = buggy_pump
+        dma.enqueue([], label="empty-chain")
+
+    def test_wedged_dma_raises_structured_deadlock(self):
+        soc = SoC("gemm-ncubed", small_dma(), check=True)
+        self._wedge_dma(soc)
+        with pytest.raises(DeadlockError) as exc:
+            soc.run()
+        report = exc.value.report
+        assert report["tick"] == soc.platform.sim.now
+        diag = report["socs"][0]
+        assert diag["workload"] == "gemm-ncubed"
+        assert not diag["flow_done"]
+        dma = diag["dma"]
+        assert not dma["idle"]
+        assert dma["active"]["total_bursts"] == 0
+        assert dma["queued_transactions"] >= 1
+
+    def test_summary_names_the_wedged_channel(self):
+        soc = SoC("gemm-ncubed", small_dma(), check=True)
+        self._wedge_dma(soc)
+        with pytest.raises(DeadlockError) as exc:
+            soc.run()
+        message = str(exc.value)
+        assert "deadlock diagnosis:" in message
+        assert "accel0 (gemm-ncubed)" in message
+        assert "DMA wedged mid-transaction (0/0 bursts" in message
+
+    def test_deadlock_error_is_a_simulation_error(self):
+        soc = SoC("gemm-ncubed", small_dma(), check=True)
+        self._wedge_dma(soc)
+        with pytest.raises(SimulationError, match="simulation deadlocked"):
+            soc.run()
+
+    def test_unchecked_deadlock_stays_plain(self):
+        soc = SoC("gemm-ncubed", small_dma(), check=False)
+        self._wedge_dma(soc)
+        with pytest.raises(SimulationError) as exc:
+            soc.run()
+        assert not isinstance(exc.value, DeadlockError)
+        assert "deadlock diagnosis" not in str(exc.value)
+
+    def test_stalled_lanes_reported(self):
+        """Swallowing the input DMA leaves triggered compute parked on
+        full/empty bits; the diagnosis must say which array stalled."""
+        soc = SoC("gemm-ncubed", small_dma(), check=True)
+        soc.dma.enqueue = lambda *a, **k: None
+        with pytest.raises(DeadlockError) as exc:
+            soc.run()
+        diag = exc.value.report["socs"][0]
+        assert not diag["flow_done"]
+        summary = exc.value.report["summary"]
+        assert "accel0 (gemm-ncubed)" in summary
+
+
+class TestCheckerRegistersDiagnoser:
+    def test_checker_attach_installs_diagnoser(self):
+        checker = Checker()
+        soc = SoC("aes-aes", small_dma(), check=checker)
+        assert soc.platform.sim._diagnosers
+        soc.run()
+        assert checker.last_audit["clean"]

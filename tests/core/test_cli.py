@@ -181,6 +181,52 @@ class TestCommands:
             (cache_dir / sorted(os.listdir(cache_dir))[0]).read_text())
         assert "accel0.tlb.misses" in cache_doc
 
+    def test_run_with_check(self):
+        code, text = run_cli(["run", "aes-aes", "--lanes", "2",
+                              "--partitions", "2", "--check"])
+        assert code == 0
+        assert "check    : clean" in text
+        assert "invariant checks" in text
+        assert "0 leaks" in text
+
+    def test_run_check_report(self, tmp_path):
+        import json
+        path = tmp_path / "health.json"
+        # --check-report implies --check.
+        code, text = run_cli(["run", "aes-aes", "--lanes", "2",
+                              "--partitions", "2",
+                              "--check-report", str(path)])
+        assert code == 0
+        assert "wrote health report" in text
+        doc = json.loads(path.read_text())
+        assert doc["enabled"] is True
+        assert doc["invariant_checks"] > 0
+        assert doc["violations"] == 0
+        assert doc["audit"]["clean"] is True
+        assert doc["audit"]["leaks"] == []
+
+    def test_sweep_with_check(self):
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--no-cache", "--check"])
+        assert code == 0
+        assert "check: clean across" in text
+        assert "Pareto" in text
+
+    def test_check_env_does_not_break_sweep_metrics(self, monkeypatch):
+        # Env-only checking keeps the parallel/memoized engine (workers
+        # inherit REPRO_CHECK); only an explicit --check forces serial.
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--no-cache"])
+        assert code == 0
+        assert "sweep metrics" in text
+
+    def test_stats_with_check_registers_counters(self):
+        code, text = run_cli(["stats", "gemm-ncubed", "--check"])
+        assert code == 0
+        assert "check.invariant_checks" in text
+        assert "check.audits" in text
+
     def test_validate_subset(self):
         code, text = run_cli(["validate", "aes-aes"])
         assert code == 0

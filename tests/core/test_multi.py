@@ -90,6 +90,39 @@ class TestConcurrentOffloads:
             [r.total_ticks for r in b.results]
 
 
+class TestSoloMemoization:
+    def test_solo_results_computed_once(self, monkeypatch):
+        """Regression: contention_slowdowns() re-simulated every solo run
+        on each call; solo results are deterministic in (job, cfg) and
+        must be memoized."""
+        import repro.core.multi as multi_mod
+        soc = run_pair("aes-aes", small_dma(), "kmp", small_dma())
+        first = soc.solo_results()
+        monkeypatch.setattr(
+            multi_mod, "run_design",
+            lambda *a, **k: pytest.fail("solo run re-simulated"))
+        assert soc.solo_results() is first
+        slowdowns_a = soc.contention_slowdowns()
+        slowdowns_b = soc.contention_slowdowns()
+        assert slowdowns_a == slowdowns_b
+
+    def test_slowdowns_unchanged_by_memoization(self):
+        a = run_pair("aes-aes", small_dma(), "kmp", small_dma())
+        b = run_pair("aes-aes", small_dma(), "kmp", small_dma())
+        assert a.contention_slowdowns() == b.contention_slowdowns()
+
+    def test_checked_multi_soc_audits_clean(self):
+        from repro.check import Checker
+        checker = Checker()
+        soc = MultiAcceleratorSoC([("aes-aes", small_dma()),
+                                   ("kmp", small_dma())], check=checker)
+        soc.run()
+        assert checker.audits == 1
+        assert checker.last_audit["clean"]
+        # Both accelerators' components were walked by the audit.
+        assert checker.last_audit["components_audited"] >= 14
+
+
 class TestDoubleBuffering:
     def test_double_buffer_runs_and_completes(self):
         from repro.core.soc import run_design

@@ -12,9 +12,16 @@ class TestDescriptor:
         assert d.mem_addr == 0x1000
         assert d.size == 256
 
-    def test_zero_size_rejected(self):
+    def test_negative_size_rejected(self):
         with pytest.raises(ConfigError):
-            DMADescriptor(0, "a", 0, 0, True)
+            DMADescriptor(0, "a", 0, -1, True)
+
+    def test_zero_size_allowed(self):
+        # A zero-length descriptor (empty array region) is legal; the DMA
+        # engine completes the transaction right after setup.
+        d = DMADescriptor(0, "a", 0, 0, True)
+        assert d.size == 0
+        assert d.split(4096) == []
 
     def test_split_into_blocks(self):
         d = DMADescriptor(0x1000, "a", 0, 10_000, True)

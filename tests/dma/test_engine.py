@@ -122,6 +122,52 @@ class TestReadyBits:
         assert not bits.is_ready(0)
 
 
+class TestEmptyChain:
+    """Zero-burst transactions must complete instead of wedging the
+    channel (regression: an empty/all-zero-size descriptor chain produced
+    no bursts, so no completion ever fired and every later transaction
+    deadlocked behind it)."""
+
+    def test_empty_descriptor_chain_completes(self):
+        sim, engine, _bus, _c = make_engine()
+        done = []
+        engine.enqueue([], on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 1
+        assert engine.idle()
+        assert engine.bytes_moved == 0
+
+    def test_all_zero_size_descriptors_complete(self):
+        sim, engine, _bus, _c = make_engine()
+        done = []
+        engine.enqueue([DMADescriptor(0, "a", 0, 0, True),
+                        DMADescriptor(0x1000, "b", 0, 0, True)],
+                       on_done=lambda: done.append(1))
+        sim.run()
+        assert done == [1]
+        assert engine.idle()
+
+    def test_empty_chain_does_not_wedge_queue(self):
+        sim, engine, _bus, _c = make_engine()
+        order = []
+        engine.enqueue([], on_done=lambda: order.append("empty"))
+        engine.enqueue([DMADescriptor(0, "a", 0, 256, True)],
+                       on_done=lambda: order.append("data"))
+        sim.run()
+        assert order == ["empty", "data"]
+        assert engine.transactions == 2
+        assert engine.bytes_moved == 256
+
+    def test_empty_chain_still_pays_setup(self):
+        sim, engine, _bus, clock = make_engine(setup=40)
+        done = []
+        engine.enqueue([], on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done[0] >= clock.cycles_to_ticks(40)
+        merged = engine.busy.merged()
+        assert merged and merged[0][1] == done[0]
+
+
 class TestBusyTracking:
     def test_busy_interval_covers_transfer(self):
         sim, engine, _bus, _c = make_engine()

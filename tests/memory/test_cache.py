@@ -205,6 +205,41 @@ class TestFlushInvalidate:
             assert cache.peek_state(line) == LineState.MODIFIED
 
 
+class TestPreloadEviction:
+    """Preload-path dirty evictions must generate real writeback traffic
+    (regression: `preload` used a fill-counting flag that also skipped
+    `domain.writeback`, silently dropping modeled bus/DRAM work)."""
+
+    def test_preload_dirty_eviction_reaches_domain(self):
+        # 1 set, assoc 2: the third preloaded line evicts a dirty victim.
+        sim, cache, _domain, bus, dram, _ = make_system(size=128, line=64,
+                                                        assoc=2)
+        cache.preload(0x0000, 64)
+        cache.preload(0x1000, 64)
+        requests_before = bus.num_requests
+        cache.preload(0x2000, 64)
+        assert cache.writebacks == 1
+        sim.run()
+        assert bus.num_requests == requests_before + 1
+        assert dram.writes == 1
+
+    def test_preload_clean_eviction_no_writeback(self):
+        sim, cache, _domain, bus, dram, _ = make_system(size=128, line=64,
+                                                        assoc=2)
+        cache.preload(0x0000, 64, state=LineState.EXCLUSIVE)
+        cache.preload(0x1000, 64, state=LineState.SHARED)
+        cache.preload(0x2000, 64)
+        sim.run()
+        assert cache.writebacks == 0
+        assert dram.writes == 0
+
+    def test_preload_does_not_count_demand_fills(self):
+        sim, cache, *_ = make_system()
+        cache.preload(0x0, 256)
+        assert cache.fills == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+
 class TestPrefetch:
     def test_stride_prefetch_fills(self):
         sim, cache, *_ = make_system(size=8192, prefetcher="stride")

@@ -135,6 +135,74 @@ class TestWritebackPath:
         sim.run()
         assert dram.writes == 1
 
+    def test_writeback_accepts_eviction_state(self):
+        sim, domain, a, _b, dram = make_pair()
+        domain.writeback(a, 0x100, LineState.MODIFIED)
+        sim.run()
+        assert dram.writes == 1
+
+
+class TestFetchSerialization:
+    """Concurrent fetches for one line are serialized: the second probe
+    must see the first fill's state, not the pre-fill picture (which used
+    to install EXCLUSIVE beside an in-flight MODIFIED fill)."""
+
+    def test_concurrent_reads_end_up_shared(self):
+        sim, domain, a, b, _ = make_pair()
+        a.access(0x100, 4, False, lambda: None)
+        b.access(0x100, 4, False, lambda: None)
+        sim.run()
+        assert domain.deferred_fetches == 1
+        assert a.peek_state(0x100) == LineState.SHARED
+        assert b.peek_state(0x100) == LineState.SHARED
+
+    def test_concurrent_read_and_write_never_double_own(self):
+        sim, domain, a, b, _ = make_pair()
+        a.access(0x100, 4, False, lambda: None)
+        b.access(0x100, 4, True, lambda: None)
+        sim.run()
+        states = {a.peek_state(0x100), b.peek_state(0x100)}
+        owners = states & {LineState.MODIFIED, LineState.EXCLUSIVE}
+        assert len(owners) <= 1
+        assert b.peek_state(0x100) == LineState.MODIFIED
+        assert a.peek_state(0x100) == LineState.INVALID
+
+    def test_concurrent_writes_serialize(self):
+        sim, domain, a, b, _ = make_pair()
+        a.access(0x100, 4, True, lambda: None)
+        b.access(0x100, 4, True, lambda: None)
+        sim.run()
+        assert domain.deferred_fetches == 1
+        # The later write wins; the earlier copy is invalidated.
+        assert b.peek_state(0x100) == LineState.MODIFIED
+        assert a.peek_state(0x100) == LineState.INVALID
+
+    def test_three_way_same_line_race(self):
+        sim, domain, a, b, _ = make_pair()
+        c = Cache(sim, ClockDomain(100), "c", 4096, 64, 4)
+        domain.register(c)
+        for cache in (a, b, c):
+            cache.access(0x100, 4, False, lambda: None)
+        sim.run()
+        assert domain.deferred_fetches == 2
+        for cache in (a, b, c):
+            assert cache.peek_state(0x100) == LineState.SHARED
+
+    def test_both_requesters_complete(self):
+        sim, _domain, a, b, _ = make_pair()
+        done = []
+        a.access(0x100, 4, False, lambda: done.append("a"))
+        b.access(0x100, 4, False, lambda: done.append("b"))
+        sim.run()
+        assert sorted(done) == ["a", "b"]
+
+    def test_disjoint_lines_not_serialized(self):
+        sim, domain, a, b, _ = make_pair()
+        a.access(0x100, 4, False, lambda: None)
+        b.access(0x200, 4, False, lambda: None)
+        sim.run()
+        assert domain.deferred_fetches == 0
+
 
 class TestTimingProperties:
     def test_c2c_faster_than_flush_dma_roundtrip(self):

@@ -40,6 +40,59 @@ class TestBasics:
         assert bits.all_ready()
 
 
+class TestBoundaries:
+    """End-of-array edge cases (regression: legal boundary ranges used to
+    raise, wedging transfers whose last descriptor ended exactly at the
+    array boundary)."""
+
+    def test_set_range_ending_at_boundary(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_range(192, 64)
+        assert bits.is_ready(255)
+        assert bits.all_ready() is False
+
+    def test_set_range_starting_at_end_is_noop(self):
+        # A zero-byte tail descriptor lands exactly at size_bytes.
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_range(256, 0)
+        bits.set_range(256, 64)
+        assert not bits.is_ready(192)
+
+    def test_set_range_empty_is_noop(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_range(0, 0)
+        bits.set_range(64, -8)
+        assert not bits.is_ready(0)
+
+    def test_set_range_clamps_past_end(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_range(128, 1024)
+        assert bits.is_ready(255)
+        assert not bits.is_ready(0)
+
+    def test_unaligned_array_tail_line(self):
+        # 300 bytes at 64-byte granularity: 5 bits, last covers [256, 300).
+        bits = ReadyBits("a", 300, granularity=64)
+        bits.set_range(256, 44)
+        assert bits.is_ready(299)
+        with pytest.raises(SimulationError):
+            bits.is_ready(300)
+
+    def test_out_of_range_message_names_legal_offsets(self):
+        bits = ReadyBits("a", 128, granularity=64)
+        with pytest.raises(SimulationError, match=r"\[0, 128\)"):
+            bits.set_range(192, 64)
+
+    def test_wait_on_zero_size_array_fires_immediately(self):
+        bits = ReadyBits("empty", 0)
+        fired = []
+        stalled = bits.wait(0, lambda: fired.append(1))
+        assert not stalled
+        assert fired == [1]
+        assert bits.is_ready(0)
+        assert bits.pending_waiters() == 0
+
+
 class TestWaiters:
     def test_wait_fires_immediately_when_ready(self):
         bits = ReadyBits("a", 256, granularity=64)
