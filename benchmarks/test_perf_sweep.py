@@ -1,0 +1,80 @@
+"""Perf guard for the sweep robustness layer (``core.sweeppool``).
+
+The fault-tolerance machinery (structured capture, retry bookkeeping,
+manifest plumbing) must cost ~nothing when nothing fails: a fault-free
+sweep under ``on_error="collect"`` + ``retries`` has to stay within
+``MAX_OVERHEAD`` of the plain serial engine, and return byte-identical
+results.  Wall-clock ratios of the *same* workload on the *same* host
+need no calibration, so this file compares the two paths directly.
+
+As with ``test_perf_core.py``, the overhead check always reports but only
+fails the suite under ``REPRO_PERF_ENFORCE=1`` (CI's perf-smoke job); the
+results-identical check is deterministic and always enforced.  Numbers are
+emitted to ``BENCH_sweep.json`` (override with ``REPRO_BENCH_SWEEP_OUT``).
+
+Run directly with ``python -m pytest benchmarks/test_perf_sweep.py -s``.
+"""
+
+import json
+import os
+import time
+
+from repro.core.export import results_to_json
+from repro.core.sweep import dma_design_space, run_sweep
+
+WORKLOAD = "aes-aes"
+OUT_PATH = os.environ.get("REPRO_BENCH_SWEEP_OUT", "BENCH_sweep.json")
+ENFORCE = os.environ.get("REPRO_PERF_ENFORCE") == "1"
+REPS = max(1, int(os.environ.get("REPRO_BENCH_REPS", "3")))
+MAX_OVERHEAD = 1.35
+
+
+def _best(fn, reps=REPS):
+    return min(fn() for _ in range(reps))
+
+
+def _timed(**kwargs):
+    designs = dma_design_space("quick")
+
+    def once():
+        t0 = time.perf_counter()
+        results = run_sweep(WORKLOAD, designs, **kwargs)
+        return time.perf_counter() - t0, results
+
+    best, results = once()
+    for _ in range(REPS - 1):
+        elapsed, results = once()
+        best = min(best, elapsed)
+    return best, results
+
+
+def test_robust_path_overhead_and_parity():
+    # Warm the trace/DDG caches so neither path pays one-time setup.
+    run_sweep(WORKLOAD, dma_design_space("quick")[:1])
+
+    plain_s, plain = _timed()
+    robust_s, robust = _timed(on_error="collect", retries=1, fault="")
+
+    assert results_to_json(robust) == results_to_json(plain), \
+        "fault-free robust sweep diverged from the serial engine"
+
+    overhead = robust_s / plain_s
+    doc = {
+        "workload": WORKLOAD,
+        "points": len(plain),
+        "plain_seconds": plain_s,
+        "robust_seconds": robust_s,
+        "overhead_ratio": overhead,
+        "max_overhead": MAX_OVERHEAD,
+        "enforced": ENFORCE,
+    }
+    with open(OUT_PATH, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+    print(f"\nsweep robustness overhead: plain {plain_s:.3f}s, "
+          f"robust {robust_s:.3f}s -> {overhead:.3f}x "
+          f"(limit {MAX_OVERHEAD}x, enforce={ENFORCE})")
+
+    if ENFORCE:
+        assert overhead <= MAX_OVERHEAD, (
+            f"fault-free robust sweep is {overhead:.2f}x the plain serial "
+            f"engine (limit {MAX_OVERHEAD}x)")

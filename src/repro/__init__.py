@@ -29,8 +29,11 @@ from repro.core.sweep import (
     run_sweep,
 )
 from repro.core.sweeppool import (
+    FailedPoint,
     SweepCache,
+    SweepManifest,
     SweepMetrics,
+    partition_results,
     sweep_key,
 )
 from repro.core.pareto import pareto_frontier, edp_optimal, sweep_pareto
@@ -55,6 +58,7 @@ from repro.errors import (
     ReproError,
     ConfigError,
     SimulationError,
+    SweepError,
     TraceError,
     WorkloadError,
 )
@@ -71,8 +75,11 @@ __all__ = [
     "dma_design_space",
     "cache_design_space",
     "run_sweep",
+    "FailedPoint",
     "SweepCache",
+    "SweepManifest",
     "SweepMetrics",
+    "partition_results",
     "sweep_key",
     "pareto_frontier",
     "edp_optimal",
@@ -95,6 +102,7 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "SimulationError",
+    "SweepError",
     "TraceError",
     "WorkloadError",
     "__version__",

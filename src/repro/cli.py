@@ -23,6 +23,12 @@ Correctness checking (see :mod:`repro.check`):
     python -m repro run gemm-ncubed --check --check-report health.json
     python -m repro sweep md-knn --density quick --check
     REPRO_CHECK=1 python -m repro run fft-transpose --mem cache
+
+Robust sweeps (see :mod:`repro.core.sweeppool`):
+
+    python -m repro sweep md-knn --on-error collect --retries 2
+    python -m repro sweep md-knn --jobs 4 --timeout 300
+    python -m repro sweep md-knn --resume      # after a crash / Ctrl-C
 """
 
 import argparse
@@ -194,6 +200,22 @@ def _add_sweep_engine_args(parser):
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="sweep cache directory "
                              "(default .sweep-cache)")
+    parser.add_argument("--on-error", choices=("raise", "collect"),
+                        default="raise",
+                        help="'collect' records a failing design point as "
+                             "a structured FailedPoint and keeps sweeping "
+                             "(default: abort on first failure)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-issue a failing design point up to N "
+                             "extra attempts (default 0)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-point wall-clock limit in seconds; an "
+                             "overdue point's worker is killed and the "
+                             "point retried or failed")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep: re-evaluate "
+                             "only the missing/failed points recorded in "
+                             "the cache + manifest (requires the cache)")
 
 
 def sweep_engine_from_args(args):
@@ -205,6 +227,18 @@ def sweep_engine_from_args(args):
     else:
         cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
     return parallel, cache_dir
+
+
+def sweep_robustness_from_args(args):
+    """Robust-engine kwargs for run_sweep from parsed CLI arguments."""
+    if args.resume and args.no_cache:
+        raise SystemExit("--resume needs the sweep cache; drop --no-cache")
+    return {
+        "on_error": args.on_error,
+        "retries": args.retries,
+        "timeout": args.timeout,
+        "resume": args.resume,
+    }
 
 
 def design_from_args(args):
@@ -313,32 +347,51 @@ def cmd_sweep(args, out):
     # resolution to each run_design call, and worker processes inherit the
     # variable.
     checker = _checker_from_args(args) if args.check else None
+    robust = sweep_robustness_from_args(args)
     if args.profile or args.dump_stats or checker is not None:
-        parallel, cache_dir, metrics = None, None, None
-    dma = run_sweep(args.workload, dma_design_space(args.density), cfg,
+        parallel, cache_dir = None, None
+        # The forced-serial engine fills metrics too, but cannot resume
+        # (no cache) or enforce a per-point timeout (no workers).
+        robust["resume"] = False
+        robust["timeout"] = None
+    dma_space = dma_design_space(args.density)
+    cache_space = cache_design_space(args.density)
+    if args.resume and cache_dir is not None:
+        _print_resume_summary(out, args.workload, cfg, cache_dir,
+                              [("DMA", dma_space), ("cache", cache_space)])
+    dma = run_sweep(args.workload, dma_space, cfg,
                     parallel=parallel, cache_dir=cache_dir, metrics=metrics,
-                    profiler=profiler, dump_stats=dump_dma, check=checker)
-    cache = run_sweep(args.workload, cache_design_space(args.density), cfg,
+                    profiler=profiler, dump_stats=dump_dma, check=checker,
+                    **robust)
+    cache = run_sweep(args.workload, cache_space, cfg,
                       parallel=parallel, cache_dir=cache_dir,
                       metrics=metrics, profiler=profiler,
-                      dump_stats=dump_cache, check=checker)
+                      dump_stats=dump_cache, check=checker, **robust)
+    from repro.core.sweeppool import partition_results
+    dma_ok, dma_failed = partition_results(dma)
+    cache_ok, cache_failed = partition_results(cache)
+    failed = dma_failed + cache_failed
     if args.json or args.csv:
         from repro.core.export import results_to_csv, results_to_json
+        ok = dma_ok + cache_ok
         if args.json:
-            results_to_json(dma + cache, args.json)
-            out(f"wrote {len(dma) + len(cache)} design points to {args.json}")
+            results_to_json(ok, args.json)
+            out(f"wrote {len(ok)} design points to {args.json}")
         if args.csv:
-            results_to_csv(dma + cache, args.csv)
-            out(f"wrote {len(dma) + len(cache)} design points to {args.csv}")
-    out(pareto_table(pareto_frontier(dma), "DMA Pareto frontier:"))
+            results_to_csv(ok, args.csv)
+            out(f"wrote {len(ok)} design points to {args.csv}")
+    out(pareto_table(pareto_frontier(dma_ok), "DMA Pareto frontier:"))
     out("")
-    out(pareto_table(pareto_frontier(cache), "cache Pareto frontier:"))
-    best_dma, best_cache = edp_optimal(dma), edp_optimal(cache)
-    out("")
-    out(f"DMA   EDP optimum: {best_dma.design!r}  edp={best_dma.edp:.3e}")
-    out(f"cache EDP optimum: {best_cache.design!r}  edp={best_cache.edp:.3e}")
-    winner = "DMA" if best_dma.edp <= best_cache.edp else "cache"
-    out(f"-> {winner} wins for {args.workload}")
+    out(pareto_table(pareto_frontier(cache_ok), "cache Pareto frontier:"))
+    if dma_ok and cache_ok:
+        best_dma, best_cache = edp_optimal(dma_ok), edp_optimal(cache_ok)
+        out("")
+        out(f"DMA   EDP optimum: {best_dma.design!r}  "
+            f"edp={best_dma.edp:.3e}")
+        out(f"cache EDP optimum: {best_cache.design!r}  "
+            f"edp={best_cache.edp:.3e}")
+        winner = "DMA" if best_dma.edp <= best_cache.edp else "cache"
+        out(f"-> {winner} wins for {args.workload}")
     out("")
     if checker is not None:
         out(f"check: clean across {checker.audits} design points "
@@ -350,7 +403,29 @@ def cmd_sweep(args, out):
         out(profiler.report())
     elif metrics is not None:
         out(metrics.report())
+    if failed:
+        out("")
+        out(f"FAILED points: {len(failed)} "
+            f"(re-run with --resume to retry them)")
+        for fp in failed:
+            out(f"  {fp.design!r}: [{fp.kind}] {fp.error} "
+                f"(attempts={fp.attempts})")
+        return 2
     return 0
+
+
+def _print_resume_summary(out, workload, cfg, cache_dir, spaces):
+    """Report what a --resume sweep is about to skip / re-evaluate."""
+    from repro.core.sweeppool import SweepManifest
+    for label, designs in spaces:
+        doc = SweepManifest.peek(cache_dir, workload, designs, cfg)
+        if doc is None:
+            out(f"resume {label:5s}: no manifest (fresh sweep of "
+                f"{len(designs)} points)")
+        else:
+            out(f"resume {label:5s}: {doc['done']} done, "
+                f"{doc['failed']} failed, {doc['pending']} pending "
+                f"of {doc['points']} points")
 
 
 def cmd_stats(args, out):
@@ -440,9 +515,10 @@ def cmd_figure(args, out):
     from repro.core import figures
     from repro.core.sweeppool import SweepMetrics
     parallel, cache_dir = sweep_engine_from_args(args)
+    robust = sweep_robustness_from_args(args)
     metrics = SweepMetrics()
     figures.set_sweep_options(parallel=parallel, cache_dir=cache_dir,
-                              metrics=metrics)
+                              metrics=metrics, **robust)
     try:
         fn = getattr(figures, args.name)
         if args.name in ("fig1", "fig8", "fig9", "fig10"):

@@ -39,31 +39,57 @@ FIG7_WORKLOADS = ["gemm-ncubed", "stencil-stencil3d", "md-knn", "spmv-crs",
 
 _memo = {}
 
-# Process-wide sweep execution options (worker pool + on-disk memo cache),
-# consumed by every figure that runs a design-space sweep.  Configured by
-# the CLI's --jobs/--no-cache flags and the benchmark harness.
-_sweep_options = {"parallel": None, "cache_dir": None, "metrics": None}
+# Process-wide sweep execution options (worker pool + on-disk memo cache +
+# robustness knobs), consumed by every figure that runs a design-space
+# sweep.  Configured by the CLI's --jobs/--no-cache/--on-error flags and
+# the benchmark harness.
+_sweep_options = {"parallel": None, "cache_dir": None, "metrics": None,
+                  "on_error": "raise", "retries": 0, "timeout": None,
+                  "resume": False}
 
 
-def set_sweep_options(parallel=None, cache_dir=None, metrics=None):
+def set_sweep_options(parallel=None, cache_dir=None, metrics=None,
+                      on_error="raise", retries=0, timeout=None,
+                      resume=False):
     """Configure how figure sweeps execute (see :mod:`repro.core.sweeppool`).
 
     ``parallel`` is the worker count (``0`` = one per CPU, ``None`` =
     serial), ``cache_dir`` the on-disk memo cache root, and ``metrics`` an
     optional :class:`~repro.core.sweeppool.SweepMetrics` that accumulates
-    counters across every sweep the figures run.
+    counters across every sweep the figures run.  ``on_error``/``retries``
+    / ``timeout`` / ``resume`` select the robust engine; with
+    ``on_error="collect"`` the figures drop failed points and compute over
+    the survivors (every figure reduces sweeps with Pareto/EDP optima, so
+    a missing point degrades the figure rather than aborting it).
     """
     _sweep_options["parallel"] = parallel
     _sweep_options["cache_dir"] = cache_dir
     _sweep_options["metrics"] = metrics
+    _sweep_options["on_error"] = on_error
+    _sweep_options["retries"] = retries
+    _sweep_options["timeout"] = timeout
+    _sweep_options["resume"] = resume
 
 
 def _sweep(workload, designs, cfg=None):
-    """One design-space sweep under the configured execution options."""
-    return run_sweep(workload, designs, cfg,
-                     parallel=_sweep_options["parallel"],
-                     cache_dir=_sweep_options["cache_dir"],
-                     metrics=_sweep_options["metrics"])
+    """One design-space sweep under the configured execution options.
+
+    Under ``on_error="collect"`` the failed points are filtered out here:
+    figure code consumes results positionally only through Pareto/EDP
+    reductions, which want successes.
+    """
+    results = run_sweep(workload, designs, cfg,
+                        parallel=_sweep_options["parallel"],
+                        cache_dir=_sweep_options["cache_dir"],
+                        metrics=_sweep_options["metrics"],
+                        on_error=_sweep_options["on_error"],
+                        retries=_sweep_options["retries"],
+                        timeout=_sweep_options["timeout"],
+                        resume=_sweep_options["resume"])
+    if _sweep_options["on_error"] == "collect":
+        from repro.core.sweeppool import partition_results
+        results, _failed = partition_results(results)
+    return results
 
 
 def _memoized(key, fn):

@@ -69,27 +69,40 @@ class MultiAcceleratorSoC:
         """Completion time of the slowest offload."""
         return max(r.total_ticks for r in self.results)
 
-    def solo_results(self):
+    def solo_results(self, on_error="raise", retries=0):
         """Each job re-run alone on an identical (private) platform.
 
         Memoized: the solo runs are deterministic functions of (job, cfg),
         so repeated calls — e.g. ``contention_slowdowns()`` after
         ``makespan_ticks()`` analyses — re-simulate nothing.
+
+        The solo re-runs go through the sweep engine's fault handling:
+        ``on_error="collect"`` turns a failing solo run into a
+        :class:`~repro.core.sweeppool.FailedPoint` slot (with ``retries``
+        extra attempts first) instead of aborting the whole contention
+        analysis.
         """
         if self._solo_results is None:
-            self._solo_results = [run_design(workload, design, self.cfg)
-                                  for workload, design in self.jobs]
+            from repro.core.sweep import run_sweep
+            solo = []
+            for workload, design in self.jobs:
+                solo.extend(run_sweep(workload, [design], self.cfg,
+                                      on_error=on_error, retries=retries))
+            self._solo_results = solo
         return self._solo_results
 
-    def contention_slowdowns(self):
+    def contention_slowdowns(self, on_error="raise", retries=0):
         """Per-job runtime ratio shared-platform / alone (>= ~1.0).
 
         This is the direct measurement of the paper's shared-resource-
         contention effect: how much each accelerator's offload stretches
-        because its neighbours occupy the bus and DRAM.
+        because its neighbours occupy the bus and DRAM.  A job whose solo
+        re-run failed (``on_error="collect"``) yields ``None`` in its
+        slot rather than poisoning the other ratios.
         """
-        solo = self.solo_results()
-        return [shared.total_ticks / alone.total_ticks
+        solo = self.solo_results(on_error=on_error, retries=retries)
+        return [None if getattr(alone, "is_failure", False)
+                else shared.total_ticks / alone.total_ticks
                 for shared, alone in zip(self.results, solo)]
 
     def bus_utilization(self):

@@ -37,15 +37,25 @@ def dominates(a, b, x=lambda r: r.total_ticks, y=lambda r: r.power_mw):
 
 
 def sweep_pareto(workload, designs, cfg=None, parallel=None, cache_dir=None,
-                 metrics=None):
+                 metrics=None, on_error="raise", retries=0, timeout=None,
+                 resume=False):
     """Sweep a design space and reduce it to its Pareto view.
 
     Runs the sweep through :func:`repro.core.sweep.run_sweep` (parallel
-    and/or memoized when ``parallel``/``cache_dir`` are given) and returns
+    and/or memoized when ``parallel``/``cache_dir`` are given; robust when
+    ``on_error``/``retries``/``timeout``/``resume`` are) and returns
     ``(frontier, edp_optimum, all_results)`` — the shape Figures 1 and 8
-    and the CLI's sweep command consume.
+    and the CLI's sweep command consume.  Under ``on_error="collect"``
+    the frontier and optimum are computed over the successful points only;
+    ``all_results`` keeps the :class:`~repro.core.sweeppool.FailedPoint`
+    entries in input order, and a sweep with zero successes raises
+    ``ValueError``.
     """
     from repro.core.sweep import run_sweep
+    from repro.core.sweeppool import partition_results
     results = run_sweep(workload, designs, cfg, parallel=parallel,
-                        cache_dir=cache_dir, metrics=metrics)
-    return pareto_frontier(results), edp_optimal(results), results
+                        cache_dir=cache_dir, metrics=metrics,
+                        on_error=on_error, retries=retries, timeout=timeout,
+                        resume=resume)
+    ok, _failed = partition_results(results)
+    return pareto_frontier(ok), edp_optimal(ok), results

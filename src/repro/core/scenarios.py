@@ -85,19 +85,28 @@ def isolated_sweep(workload, density="standard"):
 
 
 def run_scenario_optimum(workload, scenario, density="standard",
-                         base_cfg=None, parallel=None, cache_dir=None):
+                         base_cfg=None, parallel=None, cache_dir=None,
+                         on_error="raise", retries=0, timeout=None):
     """Sweep the scenario's design space; return (optimum, all results).
 
     ``parallel``/``cache_dir`` select the pooled / memoized sweep engine
-    (:mod:`repro.core.sweeppool`) for the detailed-simulation scenarios.
+    (:mod:`repro.core.sweeppool`) for the detailed-simulation scenarios;
+    ``on_error``/``retries``/``timeout`` its robustness layer.  Under
+    ``on_error="collect"`` the optimum is taken over the successful points
+    (the returned results list still carries the
+    :class:`~repro.core.sweeppool.FailedPoint` entries in input order).
     """
     if scenario.mem_interface == "isolated":
         results = isolated_sweep(workload, density)
     else:
         cfg = scenario.soc_config(base_cfg)
         results = run_sweep(workload, scenario.design_space(density), cfg,
-                            parallel=parallel, cache_dir=cache_dir)
-    return edp_optimal(results), results
+                            parallel=parallel, cache_dir=cache_dir,
+                            on_error=on_error, retries=retries,
+                            timeout=timeout)
+    from repro.core.sweeppool import partition_results
+    ok, _failed = partition_results(results)
+    return edp_optimal(ok), results
 
 
 def naive_design_for(workload, isolated_design, scenario):
@@ -126,14 +135,16 @@ def naive_design_for(workload, isolated_design, scenario):
 
 def edp_improvement(workload, scenario, density="standard", base_cfg=None,
                     isolated_optimum=None, codesigned_optimum=None,
-                    parallel=None, cache_dir=None):
+                    parallel=None, cache_dir=None, on_error="raise",
+                    retries=0, timeout=None):
     """Figure 10's metric for one (workload, scenario) pair.
 
     Returns a dict with the naive EDP (isolated-optimal design under the
     scenario's system), the co-designed EDP (scenario optimum), and their
     ratio (improvement; > 1 means co-design wins).  Precomputed optima can
     be passed in to reuse sweep work; ``parallel``/``cache_dir`` select
-    the pooled / memoized sweep engine when a sweep is needed.
+    the pooled / memoized sweep engine when a sweep is needed, and
+    ``on_error``/``retries``/``timeout`` its robustness layer.
     """
     if isolated_optimum is None:
         isolated_optimum, _ = run_scenario_optimum(
@@ -146,7 +157,8 @@ def edp_improvement(workload, scenario, density="standard", base_cfg=None,
     else:
         codesigned, results = run_scenario_optimum(
             workload, scenario, density, base_cfg,
-            parallel=parallel, cache_dir=cache_dir)
+            parallel=parallel, cache_dir=cache_dir, on_error=on_error,
+            retries=retries, timeout=timeout)
     # The co-design space is a superset of the naive point, but a
     # sub-sampled sweep grid may miss it; the optimum over the union keeps
     # the metric well defined (improvement >= 1 by construction).

@@ -70,7 +70,8 @@ def cache_design_space(density="standard"):
 
 def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
               cache_dir=None, metrics=None, profiler=None, dump_stats=None,
-              check=None):
+              check=None, on_error="raise", retries=0, retry_backoff=0.0,
+              timeout=None, resume=False, fault=None):
     """Evaluate every design point; returns the list of RunResults.
 
     ``parallel`` fans the evaluations out over a worker pool (``N`` workers;
@@ -80,13 +81,23 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
     Results are always in the order of ``designs``, and the parallel/cached
     paths produce results identical to the serial one.
 
+    Robustness (see :func:`repro.core.sweeppool.run_sweep_pool` for the
+    full semantics): ``on_error="collect"`` turns a failing point into a
+    :class:`~repro.core.sweeppool.FailedPoint` result instead of aborting
+    the sweep, ``retries``/``retry_backoff`` re-issue transient failures,
+    ``timeout`` bounds each point's wall-clock seconds (worker-process
+    engines only), and ``resume`` re-evaluates only the missing/failed
+    points of a previously interrupted cached sweep.  ``fault`` is the
+    deterministic fault-injection spec (default ``$REPRO_SWEEP_FAULT``).
+
     ``profiler`` (an :class:`repro.sim.profiling.EventProfiler`) accumulates
     per-component event costs over every design point.  ``dump_stats``
     names a directory that receives one full stats-registry JSON per
     design point (``<workload>-NNNN.json``; see :mod:`repro.obs.stats`).
     Either option forces the serial, uncached engine: worker processes
     could not report into the caller's profiler or registry, and cached
-    points run no events at all.
+    points run no events at all.  The serial engine still fills
+    ``metrics`` and honours ``on_error``/``retries`` (not ``timeout``).
 
     ``check`` enables runtime correctness checking per point (see
     :mod:`repro.check`).  An explicit checker likewise forces the serial
@@ -94,31 +105,99 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
     defers to ``$REPRO_CHECK``, which worker processes inherit, so the
     parallel engine still checks every point when the variable is set.
     """
+    robust = on_error != "raise" or retries > 0 or timeout is not None \
+        or resume
     if (profiler is None and dump_stats is None and not check
-            and (parallel not in (None, 1)
-                 or cache_dir is not None or metrics is not None)):
+            and (parallel not in (None, 1) or cache_dir is not None
+                 or metrics is not None or robust or fault is not None)):
         from repro.core.sweeppool import run_sweep_pool
         return run_sweep_pool(workload, designs, cfg,
                               jobs=1 if parallel is None else parallel,
                               cache_dir=cache_dir, progress=progress,
-                              metrics=metrics)
+                              metrics=metrics, on_error=on_error,
+                              retries=retries, retry_backoff=retry_backoff,
+                              timeout=timeout, resume=resume, fault=fault)
+    return _run_sweep_serial(workload, designs, cfg, progress=progress,
+                             metrics=metrics, profiler=profiler,
+                             dump_stats=dump_stats, check=check,
+                             on_error=on_error, retries=retries,
+                             retry_backoff=retry_backoff, fault=fault)
+
+
+def _run_sweep_serial(workload, designs, cfg=None, progress=None,
+                      metrics=None, profiler=None, dump_stats=None,
+                      check=None, on_error="raise", retries=0,
+                      retry_backoff=0.0, fault=None):
+    """The in-process engine behind profiled / stats-dumping / checked
+    sweeps: one ``run_design`` per point, with the same metrics filling
+    and fault capture as the pooled engine (minus timeout enforcement)."""
+    import time
+
+    from repro.core.sweeppool import (
+        ENV_FAULT,
+        FailedPoint,
+        SweepMetrics,
+        inject_fault,
+        parse_fault_spec,
+    )
+    from repro.errors import SweepError
+    robust = on_error == "collect" or retries > 0
+    faults = parse_fault_spec(
+        fault if fault is not None else os.environ.get(ENV_FAULT, ""))
+    metrics = metrics if metrics is not None else SweepMetrics()
+    metrics.points += len(designs)
+    metrics.jobs = max(metrics.jobs, 1)
+    sweep_start = time.perf_counter()
     if dump_stats is not None:
         os.makedirs(dump_stats, exist_ok=True)
     results = []
-    for i, design in enumerate(designs):
-        registry = None
-        if dump_stats is not None:
-            from repro.obs.stats import StatRegistry
-            registry = StatRegistry()
-        results.append(run_design(workload, design, cfg, profiler=profiler,
-                                  registry=registry, check=check))
-        if registry is not None:
-            path = os.path.join(dump_stats, f"{workload}-{i:04d}.json")
-            payload = registry.to_json()
-            payload["design"] = repr(design)
-            with open(path, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.write("\n")
-        if progress is not None:
-            progress(i + 1, len(designs))
+    try:
+        for i, design in enumerate(designs):
+            registry = None
+            if dump_stats is not None:
+                from repro.obs.stats import StatRegistry
+                registry = StatRegistry()
+            attempt = 1
+            while True:
+                start = time.perf_counter()
+                try:
+                    if faults:
+                        inject_fault(faults, i, attempt)
+                    result = run_design(workload, design, cfg,
+                                        profiler=profiler,
+                                        registry=registry, check=check)
+                except Exception as exc:
+                    if not robust:
+                        raise
+                    if attempt <= retries:
+                        metrics.retries += 1
+                        if retry_backoff > 0.0:
+                            time.sleep(retry_backoff * attempt)
+                        attempt += 1
+                        continue
+                    metrics.failures += 1
+                    failure = FailedPoint(workload, design, repr(exc),
+                                          attempts=attempt)
+                    if on_error == "raise":
+                        raise SweepError(
+                            f"design point {i} ({design!r}) failed after "
+                            f"{attempt} attempt(s) [error]: {exc!r}",
+                            failure=failure) from exc
+                    results.append(failure)
+                    break
+                metrics.evaluated += 1
+                metrics.point_seconds.append(time.perf_counter() - start)
+                results.append(result)
+                break
+            if registry is not None:
+                path = os.path.join(dump_stats, f"{workload}-{i:04d}.json")
+                payload = registry.to_json()
+                payload["design"] = repr(design)
+                with open(path, "w") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            if progress is not None:
+                progress(i + 1, len(designs))
+    finally:
+        metrics.wall_seconds += time.perf_counter() - sweep_start
     return results

@@ -21,6 +21,16 @@ sweeps run as fast as the hardware allows:
   hits, wall time per point, and worker utilization, so sweep time is
   observable rather than guessed at.
 
+* **Robustness** — long sweeps treat per-point failure as routine, not
+  fatal (in the tradition of gem5 batch infrastructure): a raising design
+  point becomes a structured :class:`FailedPoint` under
+  ``on_error="collect"``, transient failures retry with backoff, a
+  per-point wall-clock ``timeout`` and dead-worker detection keep the pool
+  from ever hanging, evaluated results flush incrementally through the
+  cache plus a sweep-level :class:`SweepManifest` so interrupted sweeps
+  resume where they left off, and repeated pool-level failure degrades
+  gracefully to serial evaluation.
+
 Cache format (see :data:`CACHE_FORMAT_VERSION`):
 
 ``<cache_dir>/<key[:2]>/<key>.pkl`` where ``key`` is the hex SHA-256 of
@@ -30,8 +40,10 @@ payload; ``design`` and ``config`` are the complete ``__dict__`` of the
 including ones not on the sweep grid — invalidates the entry.  Each file
 pickles ``{"key": payload, "result": RunResult}``; the embedded payload
 guards against hash collisions and lets tooling inspect entries without
-re-deriving keys.  Corrupt or unreadable entries are treated as misses
-and rewritten.
+re-deriving keys (entries written without a payload skip the guard).
+Corrupt or unreadable entries are treated as misses and rewritten.
+Failed points are never cached, so a resumed sweep re-evaluates exactly
+the missing and failed points.
 """
 
 import hashlib
@@ -41,10 +53,14 @@ import pickle
 import sys
 import tempfile
 import time
+import traceback as _traceback
+import warnings
+from collections import deque
 from multiprocessing import get_context
 
 from repro.core.config import SoCConfig
 from repro.core.soc import run_design
+from repro.errors import SweepError
 
 #: Bump when the simulator's timing/energy models change in ways that make
 #: previously cached RunResults stale.
@@ -92,14 +108,22 @@ class SweepCache:
         return os.path.join(self.root, key[:2], key + ".pkl")
 
     def get(self, key, payload=None):
-        """The cached RunResult for ``key``, or None on a miss."""
+        """The cached RunResult for ``key``, or None on a miss.
+
+        When both the caller and the stored entry carry a payload, they
+        must match (hash-collision guard).  An entry stored *without* a
+        payload cannot be verified, so it is accepted on the key alone —
+        a ``put(key, result)`` followed by a payload-verifying ``get``
+        must round-trip, not read as a permanent collision miss.
+        """
         try:
             with open(self._path(key), "rb") as f:
                 entry = pickle.load(f)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             return None
-        if payload is not None and entry.get("key") != payload:
+        stored = entry.get("key")
+        if payload is not None and stored is not None and stored != payload:
             return None  # hash collision or stale format: treat as miss
         return entry.get("result")
 
@@ -140,17 +164,28 @@ class SweepCache:
 class SweepMetrics:
     """Counters describing where one sweep's time went.
 
-    ``points`` partitions into ``cache_hits`` + ``evaluated``; per-point
-    wall times accumulate in ``point_seconds`` (evaluated points only).
-    ``worker_utilization`` is total simulation time over total pool
-    capacity (jobs x wall-clock span) — near 1.0 means the pool stayed
-    busy, near 1/jobs means the sweep was effectively serial.
+    ``points`` partitions into ``cache_hits`` + ``evaluated`` +
+    ``failures``; per-point wall times accumulate in ``point_seconds``
+    (successfully evaluated points only).  ``worker_utilization`` is total
+    simulation time over total pool capacity (jobs x wall-clock span) —
+    near 1.0 means the pool stayed busy, near 1/jobs means the sweep was
+    effectively serial.  ``jobs`` records the worker count the engine
+    *actually* used (after any spawn-safety fallback to inline
+    evaluation), not merely the one requested.
+
+    Robustness counters (see the robust engine knobs on
+    :func:`run_sweep_pool`): ``failures`` points that exhausted their
+    retry budget, ``retries`` re-issued attempts, ``timeouts`` the subset
+    of failed attempts killed by the per-point wall-clock limit.
     """
 
     def __init__(self):
         self.points = 0
         self.cache_hits = 0
         self.evaluated = 0
+        self.failures = 0
+        self.retries = 0
+        self.timeouts = 0
         self.jobs = 1
         self.wall_seconds = 0.0
         self.point_seconds = []
@@ -173,6 +208,9 @@ class SweepMetrics:
         self.points += other.points
         self.cache_hits += other.cache_hits
         self.evaluated += other.evaluated
+        self.failures += other.failures
+        self.retries += other.retries
+        self.timeouts += other.timeouts
         self.jobs = max(self.jobs, other.jobs)
         self.wall_seconds += other.wall_seconds
         self.point_seconds.extend(other.point_seconds)
@@ -183,6 +221,9 @@ class SweepMetrics:
             "points": self.points,
             "evaluated": self.evaluated,
             "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
             "jobs": self.jobs,
             "wall_seconds": self.wall_seconds,
             "seconds_per_point": self.seconds_per_point,
@@ -191,23 +232,237 @@ class SweepMetrics:
 
     def report(self):
         """Human-readable multi-line summary."""
-        return "\n".join([
+        lines = [
             "sweep metrics:",
             f"  points       : {self.points}",
             f"  evaluated    : {self.evaluated}",
             f"  cache hits   : {self.cache_hits}",
+        ]
+        if self.failures or self.retries or self.timeouts:
+            lines.append(f"  failures     : {self.failures} "
+                         f"({self.timeouts} timed out, "
+                         f"{self.retries} retries)")
+        lines.extend([
             f"  wall time    : {self.wall_seconds:.2f} s "
             f"({self.seconds_per_point:.3f} s/point evaluated)",
             f"  worker util  : {self.worker_utilization:.2f} "
             f"(jobs={self.jobs})",
         ])
+        return "\n".join(lines)
+
+
+# -- structured failures ------------------------------------------------------
+
+class FailedPoint:
+    """Structured record of one design point that could not be evaluated.
+
+    Takes a :class:`~repro.core.metrics.RunResult` slot in the results
+    list under ``on_error="collect"`` so ordering is preserved; filter
+    with :func:`partition_results` before Pareto/EDP analyses.  ``kind``
+    is ``"error"`` (the evaluation raised), ``"timeout"`` (killed by the
+    per-point wall-clock limit) or ``"worker-lost"`` (the worker process
+    died — crashed or OOM-killed).
+    """
+
+    is_failure = True
+
+    def __init__(self, workload, design, error, traceback="", attempts=1,
+                 kind="error"):
+        self.workload = workload
+        self.design = design
+        self.error = error            # repr() of the exception
+        self.traceback = traceback    # formatted text ("" if unavailable)
+        self.attempts = attempts
+        self.kind = kind
+
+    def as_dict(self):
+        return {
+            "workload": self.workload,
+            "design": repr(self.design),
+            "error": self.error,
+            "attempts": self.attempts,
+            "kind": self.kind,
+        }
+
+    def __repr__(self):
+        return (f"FailedPoint({self.workload!r}, {self.design!r}, "
+                f"kind={self.kind!r}, attempts={self.attempts}, "
+                f"error={self.error!r})")
+
+
+def partition_results(results):
+    """Split a sweep's results into ``(successes, failures)``.
+
+    ``on_error="collect"`` sweeps interleave :class:`FailedPoint` entries
+    with RunResults (in input order); every numeric consumer (Pareto
+    frontiers, EDP optima, export) wants only the successes.
+    """
+    ok = [r for r in results if not getattr(r, "is_failure", False)]
+    failed = [r for r in results if getattr(r, "is_failure", False)]
+    return ok, failed
+
+
+# -- deterministic fault injection (testing hook) -----------------------------
+
+#: Fault-injection spec consulted by every sweep when no explicit
+#: ``fault=`` argument is given; see :func:`parse_fault_spec`.
+ENV_FAULT = "REPRO_SWEEP_FAULT"
+
+
+def parse_fault_spec(spec):
+    """Parse ``"raise@2,exit@0,hang@1*2"`` into ``{index: (kind, n)}``.
+
+    Each comma-separated entry is ``kind@index`` or ``kind@index*n``:
+    design point ``index`` misbehaves on its first ``n`` attempts
+    (default: every attempt).  Kinds: ``raise`` (the evaluation raises),
+    ``exit`` (the worker process hard-exits, as an OOM kill would),
+    ``hang`` (the evaluation blocks until the per-point timeout fires).
+    """
+    faults = {}
+    if not spec:
+        return faults
+    for part in str(spec).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, rest = part.partition("@")
+        kind = kind.strip()
+        if not sep or kind not in ("raise", "exit", "hang"):
+            raise ValueError(
+                f"bad fault entry {part!r}: want raise@i, exit@i or "
+                f"hang@i (optionally *n)")
+        index_text, _sep, count = rest.partition("*")
+        faults[int(index_text)] = (kind, int(count) if count else sys.maxsize)
+    return faults
+
+
+def inject_fault(faults, index, attempt):
+    """Misbehave per the parsed fault spec (no-op for unlisted points)."""
+    kind, failing_attempts = faults.get(index, (None, 0))
+    if kind is None or attempt > failing_attempts:
+        return
+    if kind == "raise":
+        raise RuntimeError(
+            f"injected fault: point {index} attempt {attempt}")
+    if kind == "exit":
+        os._exit(17)
+    if kind == "hang":
+        time.sleep(3600.0)
+
+
+# -- sweep manifest (checkpoint / resume) -------------------------------------
+
+#: Subdirectory of the cache root holding sweep-level manifests.
+MANIFEST_DIR = "manifests"
+MANIFEST_VERSION = 1
+
+
+def sweep_id(workload, designs, cfg=None):
+    """Stable hex digest identifying one (workload, design list, cfg) sweep."""
+    cfg = cfg or SoCConfig()
+    payload = {
+        "version": MANIFEST_VERSION,
+        "workload": workload,
+        "config": dict(cfg.__dict__),
+        "designs": [dict(d.__dict__) for d in designs],
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SweepManifest:
+    """Sweep-level checkpoint: per-point done/failed/pending status.
+
+    Lives at ``<cache_dir>/manifests/<sweep_id>.json`` next to the result
+    cache; rewritten atomically on every status change, so a crashed or
+    interrupted sweep leaves an accurate record behind and
+    ``repro sweep --resume`` can report (and re-evaluate) exactly the
+    missing and failed points.
+    """
+
+    def __init__(self, cache_dir, workload, designs, cfg=None, keys=None):
+        self.id = sweep_id(workload, designs, cfg)
+        self.path = os.path.join(cache_dir, MANIFEST_DIR, self.id + ".json")
+        self.workload = workload
+        self.entries = [
+            {
+                "index": i,
+                "key": keys[i] if keys else None,
+                "design": repr(design),
+                "status": "pending",
+                "attempts": 0,
+                "kind": None,
+                "error": None,
+            }
+            for i, design in enumerate(designs)
+        ]
+
+    def mark(self, index, status, attempts=0, kind=None, error=None,
+             save=True):
+        entry = self.entries[index]
+        entry["status"] = status
+        entry["attempts"] = attempts
+        entry["kind"] = kind
+        entry["error"] = error
+        if save:
+            self.save()
+
+    def counts(self):
+        out = {"done": 0, "failed": 0, "pending": 0}
+        for entry in self.entries:
+            out[entry["status"]] = out.get(entry["status"], 0) + 1
+        return out
+
+    def as_dict(self):
+        counts = self.counts()
+        return {
+            "version": MANIFEST_VERSION,
+            "sweep_id": self.id,
+            "workload": self.workload,
+            "points": len(self.entries),
+            "done": counts["done"],
+            "failed": counts["failed"],
+            "pending": counts["pending"],
+            "entries": self.entries,
+        }
+
+    def save(self):
+        """Atomically write the manifest (temp file + ``os.replace``)."""
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(self.path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(self.as_dict(), f, indent=2, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def peek(cls, cache_dir, workload, designs, cfg=None):
+        """The previously saved manifest dict for this sweep, or None."""
+        path = os.path.join(cache_dir, MANIFEST_DIR,
+                            sweep_id(workload, designs, cfg) + ".json")
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            return None
+        return doc if doc.get("version") == MANIFEST_VERSION else None
 
 
 # -- execution ----------------------------------------------------------------
 
 def _evaluate_task(task):
     """Pool worker: evaluate one design point (module-level => spawn-safe)."""
-    index, workload, design, cfg = task
+    index, workload, design, cfg, attempt, faults = task
+    if faults:
+        inject_fault(faults, index, attempt)
     start = time.perf_counter()
     result = run_design(workload, design, cfg)
     return index, result, time.perf_counter() - start
@@ -239,8 +494,85 @@ def resolve_jobs(jobs):
     return jobs
 
 
+def _robust_worker_main(conn):
+    """Robust-pool worker: one task per message over a private pipe.
+
+    Replies ``("ok", index, result, elapsed)`` or ``("err", index,
+    error_repr, traceback_text)``; exits on ``None`` or a closed pipe.
+    Module-level and argument-picklable, so it is spawn-safe like
+    :func:`_evaluate_task`.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        index = task[0]
+        try:
+            _idx, result, elapsed = _evaluate_task(task)
+            msg = ("ok", index, result, elapsed)
+        except Exception as exc:
+            msg = ("err", index, repr(exc), _traceback.format_exc())
+        try:
+            conn.send(msg)
+        except Exception as exc:  # e.g. unpicklable result
+            try:
+                conn.send(("err", index, repr(exc),
+                           _traceback.format_exc()))
+            except Exception:
+                return
+
+
+class _WorkerHandle:
+    """One robust-pool worker process plus its duplex pipe and task slot."""
+
+    __slots__ = ("proc", "conn", "task", "deadline")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.task = None        # (index, attempt) while busy
+        self.deadline = None    # monotonic deadline while busy (or None)
+
+    def close(self, kill=False):
+        if kill and self.proc.is_alive():
+            self.proc.terminate()
+        else:
+            try:
+                self.conn.send(None)
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+
+
+def _start_worker(ctx):
+    """Spawn one robust-pool worker (module-level so tests can stub it)."""
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=_robust_worker_main, args=(child_conn,),
+                       daemon=True)
+    proc.start()
+    child_conn.close()
+    return _WorkerHandle(proc, parent_conn)
+
+
+#: Consecutive dead workers (with no completion in between) before the
+#: robust pool gives up and falls back to serial evaluation.
+_POOL_FAILURE_LIMIT = 4
+
+
 def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
-                   progress=None, metrics=None, mp_context="spawn"):
+                   progress=None, metrics=None, mp_context="spawn",
+                   on_error="raise", retries=0, retry_backoff=0.0,
+                   timeout=None, resume=False, fault=None):
     """Evaluate every design point, in parallel and/or memoized.
 
     Drop-in compatible with :func:`repro.core.sweep.run_sweep`: returns
@@ -248,13 +580,48 @@ def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
     worker scheduling.  ``jobs=None`` or ``0`` uses every CPU; ``jobs=1``
     evaluates inline (no pool).  ``cache_dir`` enables the on-disk memo
     cache; ``metrics`` (a :class:`SweepMetrics`) is filled in place.
+
+    Robustness knobs (all default to today's fail-fast behaviour):
+
+    * ``on_error`` — ``"raise"`` propagates the first point failure (after
+      retries) as a :class:`~repro.errors.SweepError`; ``"collect"``
+      records a :class:`FailedPoint` in that point's result slot and keeps
+      sweeping.
+    * ``retries`` — re-issue a failing point up to this many extra
+      attempts; ``retry_backoff`` seconds (scaled by the attempt number)
+      separate attempts.
+    * ``timeout`` — per-point wall-clock seconds; an overdue point's
+      worker is killed and the point retried or failed (``kind=
+      "timeout"``).  Enforced via worker processes, so ``timeout`` with
+      ``jobs=1`` still runs one worker; inline fallback paths cannot
+      enforce it and say so.
+    * ``resume`` — informational: the sweep always re-uses cached results;
+      with ``resume=True`` the sweep additionally requires ``cache_dir``
+      (resume without a cache cannot skip anything).
+    * ``fault`` — deterministic fault-injection spec (see
+      :func:`parse_fault_spec`); defaults to ``$REPRO_SWEEP_FAULT``.
+
+    Evaluated results flush through the cache (and a
+    :class:`SweepManifest` when caching) as they complete, so a
+    ``KeyboardInterrupt`` or crash loses nothing already evaluated.  A
+    worker that *dies* (crash, OOM kill) is detected, replaced, and its
+    point retried or failed (``kind="worker-lost"``) — a dead worker
+    never hangs the sweep.  If workers die repeatedly with no progress,
+    the sweep falls back to serial in-process evaluation with a warning.
     """
+    if on_error not in ("raise", "collect"):
+        raise ValueError(
+            f'on_error must be "raise" or "collect", got {on_error!r}')
+    if resume and not cache_dir:
+        raise ValueError("resume=True requires cache_dir")
     jobs = resolve_jobs(jobs)
     metrics = metrics if metrics is not None else SweepMetrics()
     metrics.points += len(designs)
-    metrics.jobs = max(metrics.jobs, jobs)
     sweep_start = time.perf_counter()
     cache = SweepCache(cache_dir) if cache_dir else None
+    faults = parse_fault_spec(
+        fault if fault is not None else os.environ.get(ENV_FAULT, ""))
+    robust = on_error == "collect" or retries > 0 or timeout is not None
 
     results = [None] * len(designs)
     completed = 0
@@ -275,6 +642,16 @@ def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
                 continue
         pending.append(i)
 
+    manifest = None
+    if cache is not None:
+        manifest = SweepManifest(cache_dir, workload, designs, cfg,
+                                 keys={i: kp[0]
+                                       for i, kp in payloads.items()})
+        for i in range(len(designs)):
+            if results[i] is not None:
+                manifest.mark(i, "done", save=False)
+        manifest.save()
+
     def finish(index, result, elapsed):
         nonlocal completed
         results[index] = result
@@ -283,22 +660,252 @@ def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
         if cache is not None:
             key, payload = payloads[index]
             cache.put(key, result, payload)
+        if manifest is not None:
+            manifest.mark(index, "done")
         completed += 1
         if progress is not None:
             progress(completed, len(designs))
 
-    if jobs > 1 and mp_context == "spawn" and not _spawn_can_reimport_main():
-        jobs = 1
+    def fail(index, attempts, kind, error, tb):
+        """Record one exhausted point; raises under ``on_error="raise"``."""
+        nonlocal completed
+        metrics.failures += 1
+        if kind == "timeout":
+            metrics.timeouts += 1
+        if manifest is not None:
+            manifest.mark(index, "failed", attempts=attempts, kind=kind,
+                          error=error)
+        failure = FailedPoint(workload, designs[index], error, tb,
+                              attempts, kind)
+        if on_error == "raise":
+            raise SweepError(
+                f"design point {index} ({designs[index]!r}) failed after "
+                f"{attempts} attempt(s) [{kind}]: {error}",
+                failure=failure)
+        results[index] = failure
+        completed += 1
+        if progress is not None:
+            progress(completed, len(designs))
 
-    tasks = [(i, workload, designs[i], cfg) for i in pending]
-    if len(tasks) > 0 and jobs > 1:
-        ctx = get_context(mp_context)
-        with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-            for index, result, elapsed in pool.imap(_evaluate_task, tasks):
+    can_spawn = not (mp_context == "spawn"
+                     and not _spawn_can_reimport_main())
+    want_pool = jobs > 1 or (robust and timeout is not None)
+    use_pool = bool(pending) and want_pool and can_spawn
+    # Satellite fix: record the worker count actually used, *after* the
+    # spawn-safety fallback decision — a sweep downgraded to inline must
+    # not report a parallel job count (and a bogus utilization).
+    metrics.jobs = max(metrics.jobs,
+                       min(jobs, len(pending)) if use_pool else 1)
+
+    def run_inline(indices_attempts):
+        """Serial in-process evaluation with retry/capture (no timeout)."""
+        if timeout is not None and robust:
+            warnings.warn(
+                "per-point sweep timeout needs worker processes; "
+                "evaluating inline without timeout enforcement",
+                RuntimeWarning, stacklevel=2)
+        for index, first_attempt in indices_attempts:
+            attempt = first_attempt
+            while True:
+                try:
+                    _idx, result, elapsed = _evaluate_task(
+                        (index, workload, designs[index], cfg, attempt,
+                         faults))
+                except Exception as exc:
+                    if not robust:
+                        raise
+                    if attempt <= retries:
+                        metrics.retries += 1
+                        if retry_backoff > 0.0:
+                            time.sleep(retry_backoff * attempt)
+                        attempt += 1
+                        continue
+                    fail(index, attempt, "error", repr(exc),
+                         _traceback.format_exc())
+                    break
                 finish(index, result, elapsed)
-    else:
-        for task in tasks:
-            finish(*_evaluate_task(task))
+                break
 
-    metrics.wall_seconds += time.perf_counter() - sweep_start
+    try:
+        if use_pool and not robust:
+            # Fast path — identical to the pre-robustness engine.
+            ctx = get_context(mp_context)
+            tasks = [(i, workload, designs[i], cfg, 1, faults)
+                     for i in pending]
+            with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+                for index, result, elapsed in pool.imap(_evaluate_task,
+                                                        tasks):
+                    finish(index, result, elapsed)
+        elif use_pool:
+            leftover = _run_robust_pool(
+                ctx=get_context(mp_context), nworkers=min(jobs, len(pending)),
+                pending=pending, workload=workload, designs=designs, cfg=cfg,
+                faults=faults, retries=retries, retry_backoff=retry_backoff,
+                timeout=timeout, metrics=metrics, finish=finish, fail=fail)
+            if leftover:
+                warnings.warn(
+                    "sweep worker pool failed repeatedly; falling back to "
+                    "serial evaluation for the remaining "
+                    f"{len(leftover)} point(s)", RuntimeWarning,
+                    stacklevel=2)
+                run_inline(leftover)
+        else:
+            run_inline([(i, 1) for i in pending])
+    finally:
+        if manifest is not None:
+            manifest.save()
+        metrics.wall_seconds += time.perf_counter() - sweep_start
     return results
+
+
+def _run_robust_pool(ctx, nworkers, pending, workload, designs, cfg, faults,
+                     retries, retry_backoff, timeout, metrics, finish, fail):
+    """Apply-async-style dispatch over private per-worker pipes.
+
+    One in-flight task per worker, so a dead worker (crashed / OOM-killed
+    process) identifies exactly the point it was evaluating: the worker is
+    reaped and replaced, the point retried or failed with
+    ``kind="worker-lost"``.  A per-point ``timeout`` kills the overdue
+    worker the same way (``kind="timeout"``).  Returns the list of
+    ``(index, attempt)`` pairs still outstanding if the pool collapsed
+    (repeated worker deaths with no completions, or no spawnable
+    workers) — the caller falls back to inline evaluation.
+    """
+    from multiprocessing.connection import wait as conn_wait
+
+    queue = deque((i, 1, 0.0) for i in pending)  # (index, attempt, not_before)
+    workers = []
+    consecutive_losses = 0
+
+    def spawn():
+        try:
+            return _start_worker(ctx)
+        except (OSError, RuntimeError, ValueError):
+            return None
+
+    def reap(worker, kill):
+        workers.remove(worker)
+        worker.close(kill=kill)
+        replacement = spawn()
+        if replacement is not None:
+            workers.append(replacement)
+
+    def requeue_or_fail(index, attempt, kind, error, tb):
+        if attempt <= retries:
+            metrics.retries += 1
+            not_before = (time.monotonic() + retry_backoff * attempt
+                          if retry_backoff > 0.0 else 0.0)
+            queue.append((index, attempt + 1, not_before))
+        else:
+            fail(index, attempt, kind, error, tb)
+
+    def next_ready(now):
+        for _ in range(len(queue)):
+            if queue[0][2] <= now:
+                return queue.popleft()
+            queue.rotate(-1)
+        return None
+
+    def abandoned():
+        """Tasks still queued or in flight when the pool collapses."""
+        out = [(index, attempt) for index, attempt, _nb in queue]
+        for worker in workers:
+            if worker.task is not None:
+                out.append(worker.task)
+        out.sort()
+        return out
+
+    try:
+        for _ in range(nworkers):
+            worker = spawn()
+            if worker is not None:
+                workers.append(worker)
+        if not workers:
+            return abandoned()
+
+        while queue or any(w.task is not None for w in workers):
+            now = time.monotonic()
+            # Replace idle workers that died between tasks.
+            for worker in list(workers):
+                if worker.task is None and not worker.proc.is_alive():
+                    reap(worker, kill=True)
+            if not workers:
+                return abandoned()
+            # Dispatch to idle workers.
+            for worker in list(workers):
+                if worker.task is not None:
+                    continue
+                item = next_ready(now)
+                if item is None:
+                    break
+                index, attempt, _nb = item
+                try:
+                    worker.conn.send((index, workload, designs[index], cfg,
+                                      attempt, faults))
+                except (OSError, BrokenPipeError, ValueError):
+                    queue.appendleft((index, attempt, 0.0))
+                    consecutive_losses += 1
+                    reap(worker, kill=True)
+                    if consecutive_losses >= _POOL_FAILURE_LIMIT:
+                        return abandoned()
+                    continue
+                worker.task = (index, attempt)
+                worker.deadline = (now + timeout
+                                   if timeout is not None else None)
+            busy = [w for w in workers if w.task is not None]
+            if not busy:
+                if queue:
+                    # Only backoff-delayed retries remain: wait them out.
+                    soonest = min(nb for _i, _a, nb in queue)
+                    time.sleep(max(0.0, min(soonest - now, 0.05)))
+                    continue
+                break
+            # Wait for a reply or the nearest deadline.
+            poll = 0.05
+            deadlines = [w.deadline for w in busy if w.deadline is not None]
+            if deadlines:
+                poll = max(0.0, min(min(deadlines) - now, poll))
+            ready = conn_wait([w.conn for w in busy], timeout=poll)
+            ready_set = set(ready)
+            for worker in busy:
+                if worker.conn not in ready_set:
+                    continue
+                index, attempt = worker.task
+                try:
+                    msg = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-task: replace it, blame its point.
+                    worker.task = worker.deadline = None
+                    consecutive_losses += 1
+                    reap(worker, kill=True)
+                    requeue_or_fail(index, attempt, "worker-lost",
+                                    "worker process died "
+                                    "(crashed or killed)", "")
+                    if consecutive_losses >= _POOL_FAILURE_LIMIT:
+                        return abandoned()
+                    continue
+                worker.task = worker.deadline = None
+                consecutive_losses = 0
+                if msg[0] == "ok":
+                    _tag, idx, result, elapsed = msg
+                    finish(idx, result, elapsed)
+                else:
+                    _tag, idx, error, tb = msg
+                    requeue_or_fail(idx, attempt, "error", error, tb)
+            # Enforce per-point deadlines on workers that stayed silent.
+            now = time.monotonic()
+            for worker in list(workers):
+                if (worker.task is None or worker.deadline is None
+                        or now < worker.deadline):
+                    continue
+                index, attempt = worker.task
+                worker.task = worker.deadline = None
+                reap(worker, kill=True)
+                requeue_or_fail(
+                    index, attempt, "timeout",
+                    f"design point exceeded the per-point timeout "
+                    f"({timeout:g} s)", "")
+        return []
+    finally:
+        for worker in workers:
+            worker.close(kill=worker.task is not None)

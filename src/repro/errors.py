@@ -53,6 +53,20 @@ class DeadlockError(SimulationError):
         self.report = report or {}
 
 
+class SweepError(ReproError):
+    """A design-point evaluation failed inside a sweep.
+
+    Raised by the robust sweep engine (:mod:`repro.core.sweeppool`) when a
+    point exhausts its retry budget under ``on_error="raise"``.  ``failure``
+    carries the structured :class:`~repro.core.sweeppool.FailedPoint`
+    (workload, design, exception repr, traceback, attempts, failure kind).
+    """
+
+    def __init__(self, message, failure=None):
+        super().__init__(message)
+        self.failure = failure
+
+
 class TraceError(ReproError):
     """A kernel produced an invalid dynamic trace."""
 

@@ -243,3 +243,62 @@ class TestCommands:
         assert code == 0
         assert figures._sweep_options["parallel"] is None
         assert figures._sweep_options["cache_dir"] is None
+
+
+class TestRobustSweepCLI:
+    def test_robustness_flags_parsed(self):
+        from repro.cli import sweep_robustness_from_args
+        args = build_parser().parse_args(
+            ["sweep", "aes-aes", "--on-error", "collect", "--retries", "2",
+             "--timeout", "30", "--resume"])
+        assert sweep_robustness_from_args(args) == {
+            "on_error": "collect", "retries": 2, "timeout": 30.0,
+            "resume": True}
+        args = build_parser().parse_args(["sweep", "aes-aes"])
+        assert sweep_robustness_from_args(args) == {
+            "on_error": "raise", "retries": 0, "timeout": None,
+            "resume": False}
+
+    def test_resume_without_cache_rejected(self):
+        from repro.cli import sweep_robustness_from_args
+        args = build_parser().parse_args(
+            ["sweep", "aes-aes", "--resume", "--no-cache"])
+        with pytest.raises(SystemExit, match="--resume needs"):
+            sweep_robustness_from_args(args)
+
+    def test_collect_reports_failures_and_exits_2(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "raise@1")
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--on-error", "collect",
+                              "--cache-dir", str(tmp_path)])
+        assert code == 2
+        # one faulted point per design space (DMA and cache)
+        assert "FAILED points: 2" in text
+        assert "[error] RuntimeError" in text
+        assert "failures     : 2" in text
+
+    def test_resume_reevaluates_only_failed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "raise@1")
+        code, _text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                               "--on-error", "collect",
+                               "--cache-dir", str(tmp_path)])
+        assert code == 2
+        monkeypatch.delenv("REPRO_SWEEP_FAULT")
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--resume", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "resume DMA" in text and "1 failed" in text
+        assert "evaluated    : 2" in text  # exactly the two faulted points
+        assert "Pareto" in text
+
+    def test_fault_free_collect_matches_default_run(self, tmp_path):
+        base = ["sweep", "aes-aes", "--density", "quick", "--no-cache"]
+        code_a, text_a = run_cli(base)
+        code_b, text_b = run_cli(base + ["--on-error", "collect",
+                                         "--retries", "1"])
+        assert code_a == code_b == 0
+
+        def pareto(text):
+            return [ln for ln in text.splitlines() if "EDP" in ln]
+        assert pareto(text_a) == pareto(text_b)

@@ -96,6 +96,17 @@ class TestSweepCache:
                  for f in fs if f.endswith(".tmp")]
         assert stray == []
 
+    def test_payloadless_put_hits_verifying_get(self, tmp_path):
+        # Regression: put(key, result) without payload used to store
+        # {"key": None}; a later get(key, payload=...) read that None as
+        # a payload mismatch, so the entry could never hit again.
+        cache = SweepCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        cache.put(key, 42)
+        assert cache.get(key, payload={"p": 1}) == 42
+        assert cache.get(key, payload={"p": 1}) == 42  # stays a hit
+        assert cache.get(key) == 42
+
 
 class TestMemoization:
     def test_cold_then_warm(self, tmp_path):
@@ -212,6 +223,20 @@ class TestSpawnSafety:
         # __spec__/__file__, so the guard must NOT disable the pool path.
         from repro.core.sweeppool import _spawn_can_reimport_main
         assert _spawn_can_reimport_main()
+
+    def test_metrics_jobs_reflect_spawn_downgrade(self, monkeypatch):
+        # Regression: metrics.jobs was recorded before the spawn-safety
+        # fallback downgraded the run to inline, reporting parallelism
+        # that never happened.
+        import repro.core.sweeppool as sweeppool
+        monkeypatch.setattr(sweeppool, "_spawn_can_reimport_main",
+                            lambda: False)
+        metrics = SweepMetrics()
+        results = run_sweep_pool(WORKLOAD, quick_designs(2), jobs=4,
+                                 mp_context="spawn", metrics=metrics)
+        assert len(results) == 2
+        assert metrics.jobs == 1  # effective, not requested
+        assert metrics.evaluated == 2
 
 
 class TestMetrics:
