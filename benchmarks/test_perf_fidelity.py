@@ -1,0 +1,131 @@
+"""Perf guard for tiered-fidelity sweeps (``core.calibrate``).
+
+The whole point of the calibrated fast tier is sweep throughput: on a
+Figure-8-style grid enriched with the paper's co-design knobs (all four
+DMA transfer-optimization classes and three cache line sizes — 820
+design points), ``fidelity="auto"`` must be at least ``MIN_SPEEDUP``
+faster than the full exact sweep *and* reach the identical answer.
+
+Three checks are deterministic and always enforced:
+
+* the exact-confirmed Pareto frontier equals the full exact sweep's,
+  design for design;
+* so does the EDP optimum;
+* the measured fast-vs-exact errors on confirmed points stay within the
+  calibration's per-axis guard bands (the soundness condition the
+  triage's pruning proof rests on).
+
+The wall-clock speedup check always reports but only fails the suite
+under ``REPRO_PERF_ENFORCE=1`` (CI's perf-smoke job).  Calibration runs
+outside the timed region: it is a per-(workload, platform) cost paid
+once and persisted, not a per-sweep cost.  Numbers land in
+``BENCH_fidelity.json`` (override with ``REPRO_BENCH_FIDELITY_OUT``).
+
+Run directly with ``python -m pytest benchmarks/test_perf_fidelity.py -s``.
+"""
+
+import json
+import os
+import time
+
+from repro.core.calibrate import calibrate_workload, run_sweep_tiered
+from repro.core.config import PARAMETER_TABLE
+from repro.core.pareto import edp_optimal, pareto_frontier
+from repro.core.sweep import cache_design_space, dma_design_space, run_sweep
+from repro.core.sweeppool import SweepMetrics
+
+WORKLOAD = "bfs-bulk"
+OUT_PATH = os.environ.get("REPRO_BENCH_FIDELITY_OUT", "BENCH_fidelity.json")
+ENFORCE = os.environ.get("REPRO_PERF_ENFORCE") == "1"
+MIN_SPEEDUP = 10.0
+#: Triage reps — the auto sweep is cheap, so best-of-N smooths scheduler
+#: noise; the exact sweep is long enough to be stable single-shot.
+AUTO_REPS = max(1, int(os.environ.get("REPRO_BENCH_REPS", "3")))
+
+
+def enriched_grid():
+    """The full Figure-8 space crossed with the paper's co-design knobs."""
+    grid = [d
+            for pipelined in (False, True)
+            for triggered in (False, True)
+            for d in dma_design_space("full", pipelined=pipelined,
+                                      triggered=triggered)]
+    for line in PARAMETER_TABLE["cache_line_bytes"]:
+        grid += [d.replace(cache_line=line)
+                 for d in cache_design_space("full")]
+    return grid
+
+
+def _keys(results):
+    return [r.design.key() for r in results]
+
+
+def test_auto_triage_speedup_and_frontier_identity():
+    grid = enriched_grid()
+
+    # Calibration (and with it the trace/DDG/isolated-compute caches)
+    # happens before any timing.
+    cal = calibrate_workload(WORKLOAD, density="full", designs=grid,
+                             save=False)
+
+    t0 = time.perf_counter()
+    exact = run_sweep(WORKLOAD, grid)
+    exact_s = time.perf_counter() - t0
+
+    auto_s = float("inf")
+    for _ in range(AUTO_REPS):
+        metrics = SweepMetrics()
+        t0 = time.perf_counter()
+        auto = run_sweep(WORKLOAD, grid, fidelity="auto", calibration=cal,
+                         metrics=metrics)
+        auto_s = min(auto_s, time.perf_counter() - t0)
+
+    confirmed = [r for r in auto
+                 if getattr(r, "fidelity", "exact") == "exact"]
+
+    # Deterministic guarantees: identical frontier, identical optimum,
+    # measured error within the calibrated per-axis bounds.
+    assert _keys(pareto_frontier(confirmed)) == _keys(
+        pareto_frontier(exact)), \
+        "auto-mode exact-confirmed frontier diverged from the exact sweep"
+    assert edp_optimal(confirmed).design.key() == \
+        edp_optimal(exact).design.key(), \
+        "auto-mode EDP optimum diverged from the exact sweep"
+    terr = metrics.fast_time_error_max
+    perr = metrics.fast_power_error_max
+    assert terr <= cal.time_bound, (
+        f"measured fast-model time error {terr:.3f} exceeds the "
+        f"calibrated bound {cal.time_bound:.3f}")
+    assert perr <= cal.power_bound, (
+        f"measured fast-model power error {perr:.3f} exceeds the "
+        f"calibrated bound {cal.power_bound:.3f}")
+
+    speedup = exact_s / auto_s
+    doc = {
+        "workload": WORKLOAD,
+        "points": len(grid),
+        "exact_seconds": exact_s,
+        "auto_seconds": auto_s,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "confirmed": metrics.confirmed,
+        "pruned": metrics.pruned,
+        "fast_time_error_max": terr,
+        "fast_power_error_max": perr,
+        "time_bound": cal.time_bound,
+        "power_bound": cal.power_bound,
+        "enforced": ENFORCE,
+    }
+    with open(OUT_PATH, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+    print(f"\ntiered sweep [{WORKLOAD}, {len(grid)} points]: "
+          f"exact {exact_s:.1f}s, auto {auto_s:.1f}s -> {speedup:.1f}x "
+          f"(floor {MIN_SPEEDUP}x, enforce={ENFORCE})\n"
+          f"  confirmed {metrics.confirmed}, pruned {metrics.pruned}; "
+          f"fast error time {terr:.3f}/{cal.time_bound:.3f}, "
+          f"power {perr:.3f}/{cal.power_bound:.3f}")
+
+    if ENFORCE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"auto triage is only {speedup:.1f}x faster than the exact "
+            f"sweep (floor {MIN_SPEEDUP}x)")

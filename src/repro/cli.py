@@ -29,6 +29,12 @@ Robust sweeps (see :mod:`repro.core.sweeppool`):
     python -m repro sweep md-knn --on-error collect --retries 2
     python -m repro sweep md-knn --jobs 4 --timeout 300
     python -m repro sweep md-knn --resume      # after a crash / Ctrl-C
+
+Tiered-fidelity sweeps (see :mod:`repro.core.calibrate`):
+
+    python -m repro calibrate aes-aes gemm-ncubed
+    python -m repro sweep aes-aes --fidelity auto --density full
+    python -m repro sweep aes-aes --fidelity fast   # predictions only
 """
 
 import argparse
@@ -110,6 +116,18 @@ def build_parser():
                               "evaluation)")
     _add_platform_args(sweep_p)
     _add_sweep_engine_args(sweep_p)
+    _add_fidelity_args(sweep_p)
+
+    cal_p = sub.add_parser(
+        "calibrate",
+        help="fit the fast analytic tier against exact simulation")
+    cal_p.add_argument("workloads", nargs="+", metavar="workload",
+                       help="workloads to calibrate (see 'repro list')")
+    cal_p.add_argument("--density", default="standard",
+                       choices=("quick", "standard", "full"),
+                       help="grid whose corners/mid-edges are sampled "
+                            "exactly (default standard)")
+    _add_sweep_engine_args(cal_p)
 
     val_p = sub.add_parser("validate",
                            help="Figure 4: analytic model vs detailed sim")
@@ -122,6 +140,7 @@ def build_parser():
     fig_p.add_argument("--density", default="standard",
                        choices=("quick", "standard", "full"))
     _add_sweep_engine_args(fig_p)
+    _add_fidelity_args(fig_p)
     return parser
 
 
@@ -216,6 +235,21 @@ def _add_sweep_engine_args(parser):
                         help="resume an interrupted sweep: re-evaluate "
                              "only the missing/failed points recorded in "
                              "the cache + manifest (requires the cache)")
+
+
+def _add_fidelity_args(parser):
+    parser.add_argument("--fidelity", choices=("exact", "fast", "auto"),
+                        default="exact",
+                        help="simulation tier: exact co-simulation "
+                             "(default), calibrated analytic predictions "
+                             "(fast), or triage — fast model prunes, only "
+                             "the candidate frontier is confirmed exactly "
+                             "(auto)")
+    parser.add_argument("--guard-band", type=float, default=None,
+                        metavar="B",
+                        help="assumed max relative error of the fast "
+                             "model during auto pruning (default: the "
+                             "calibration's validated error bound)")
 
 
 def sweep_engine_from_args(args):
@@ -349,6 +383,11 @@ def cmd_sweep(args, out):
     checker = _checker_from_args(args) if args.check else None
     robust = sweep_robustness_from_args(args)
     if args.profile or args.dump_stats or checker is not None:
+        if args.fidelity != "exact":
+            raise SystemExit("--fidelity fast/auto is incompatible with "
+                             "--profile/--dump-stats/--check: the fast "
+                             "tier runs no events to profile, dump or "
+                             "check")
         parallel, cache_dir = None, None
         # The forced-serial engine fills metrics too, but cannot resume
         # (no cache) or enforce a per-point timeout (no workers).
@@ -356,21 +395,31 @@ def cmd_sweep(args, out):
         robust["timeout"] = None
     dma_space = dma_design_space(args.density)
     cache_space = cache_design_space(args.density)
+    calibration = _calibration_for_sweep(args, cfg, parallel, cache_dir,
+                                         out)
     if args.resume and cache_dir is not None:
         _print_resume_summary(out, args.workload, cfg, cache_dir,
                               [("DMA", dma_space), ("cache", cache_space)])
     dma = run_sweep(args.workload, dma_space, cfg,
                     parallel=parallel, cache_dir=cache_dir, metrics=metrics,
                     profiler=profiler, dump_stats=dump_dma, check=checker,
-                    **robust)
+                    fidelity=args.fidelity, calibration=calibration,
+                    guard_band=args.guard_band, **robust)
     cache = run_sweep(args.workload, cache_space, cfg,
                       parallel=parallel, cache_dir=cache_dir,
                       metrics=metrics, profiler=profiler,
-                      dump_stats=dump_cache, check=checker, **robust)
+                      dump_stats=dump_cache, check=checker,
+                      fidelity=args.fidelity, calibration=calibration,
+                      guard_band=args.guard_band, **robust)
     from repro.core.sweeppool import partition_results
     dma_ok, dma_failed = partition_results(dma)
     cache_ok, cache_failed = partition_results(cache)
     failed = dma_failed + cache_failed
+    if args.fidelity == "auto":
+        # Frontiers/optima over exact-confirmed points only; the triage
+        # guarantees the pruned (fast) points are dominated.
+        dma_ok = [r for r in dma_ok if r.fidelity == "exact"]
+        cache_ok = [r for r in cache_ok if r.fidelity == "exact"]
     if args.json or args.csv:
         from repro.core.export import results_to_csv, results_to_json
         ok = dma_ok + cache_ok
@@ -380,9 +429,12 @@ def cmd_sweep(args, out):
         if args.csv:
             results_to_csv(ok, args.csv)
             out(f"wrote {len(ok)} design points to {args.csv}")
-    out(pareto_table(pareto_frontier(dma_ok), "DMA Pareto frontier:"))
+    tag = " (predicted)" if args.fidelity == "fast" else ""
+    out(pareto_table(pareto_frontier(dma_ok),
+                     f"DMA Pareto frontier{tag}:"))
     out("")
-    out(pareto_table(pareto_frontier(cache_ok), "cache Pareto frontier:"))
+    out(pareto_table(pareto_frontier(cache_ok),
+                     f"cache Pareto frontier{tag}:"))
     if dma_ok and cache_ok:
         best_dma, best_cache = edp_optimal(dma_ok), edp_optimal(cache_ok)
         out("")
@@ -403,6 +455,8 @@ def cmd_sweep(args, out):
         out(profiler.report())
     elif metrics is not None:
         out(metrics.report())
+    if calibration is not None:
+        _print_fidelity_report(out, args, calibration, metrics)
     if failed:
         out("")
         out(f"FAILED points: {len(failed)} "
@@ -411,6 +465,83 @@ def cmd_sweep(args, out):
             out(f"  {fp.design!r}: [{fp.kind}] {fp.error} "
                 f"(attempts={fp.attempts})")
         return 2
+    return 0
+
+
+def _calibration_for_sweep(args, cfg, parallel, cache_dir, out):
+    """Load (or fit on the spot) the calibration a fast/auto sweep needs."""
+    if args.fidelity == "exact":
+        return None
+    from repro.core.calibrate import Calibration, calibrate_workload
+    calibration = None
+    if cache_dir is not None:
+        calibration = Calibration.load(cache_dir, args.workload, cfg)
+    if calibration is None:
+        out(f"no calibration for {args.workload}; sampling exact "
+            f"simulations to fit the fast tier "
+            f"(persist with 'repro calibrate')...")
+        calibration = calibrate_workload(args.workload, cfg,
+                                         density=args.density,
+                                         cache_dir=cache_dir,
+                                         parallel=parallel)
+    return calibration
+
+
+def _print_fidelity_report(out, args, calibration, metrics):
+    """The measured fast-vs-exact error report of a fast/auto sweep."""
+    if args.guard_band is not None:
+        band_t = band_p = args.guard_band
+    else:
+        band_t = calibration.time_bound
+        band_p = calibration.power_bound
+    out("")
+    out(f"fidelity   : {args.fidelity} (guard band: time "
+        f"{percent(band_t)}, power {percent(band_p)})")
+    if args.fidelity == "auto" and metrics.fast_time_errors:
+        terr = metrics.fast_time_error_max
+        perr = metrics.fast_power_error_max
+        verdict = ("within" if terr <= band_t and perr <= band_p
+                   else "EXCEEDS")
+        out(f"fast error : measured max time {percent(terr)}, power "
+            f"{percent(perr)} on {len(metrics.fast_time_errors)} "
+            f"confirmed points — {verdict} the guard band")
+
+
+def cmd_calibrate(args, out):
+    """``repro calibrate``: fit + persist the fast tier per workload."""
+    from repro.core.calibrate import calibrate_workload
+    from repro.core.sweeppool import SweepMetrics
+    parallel, cache_dir = sweep_engine_from_args(args)
+    unknown = [w for w in args.workloads if w not in ALL_WORKLOADS]
+    if unknown:
+        raise SystemExit(f"unknown workload(s): {', '.join(unknown)} "
+                         f"(see 'repro list')")
+    metrics = SweepMetrics()
+    for workload in args.workloads:
+        cal = calibrate_workload(workload, density=args.density,
+                                 cache_dir=cache_dir, parallel=parallel,
+                                 metrics=metrics)
+        rows = [[key, str(fit.samples), percent(fit.time_error_max),
+                 percent(fit.power_error_max), "ok"]
+                for key, fit in sorted(cal.classes.items())]
+        rows += [[key, str(fit.samples), percent(fit.time_error_max),
+                  percent(fit.power_error_max), "REJECTED"]
+                 for key, fit in sorted(cal.rejected.items())]
+        out(format_table(["class", "samples", "time err", "power err",
+                          "fit"], rows))
+        out(f"{workload}: error bound time {percent(cal.time_bound)}, "
+            f"power {percent(cal.power_bound)} "
+            f"(worst in-sample error x safety margin)")
+        if cal.rejected:
+            out(f"rejected: {', '.join(sorted(cal.rejected))} — these "
+                f"classes fall back to exact simulation under "
+                f"--fidelity auto")
+        if cache_dir is not None:
+            out(f"saved to {cal.path_for(cache_dir, workload)}")
+        else:
+            out("not persisted (--no-cache); pass a cache dir to reuse it")
+        out("")
+    out(metrics.report())
     return 0
 
 
@@ -518,7 +649,8 @@ def cmd_figure(args, out):
     robust = sweep_robustness_from_args(args)
     metrics = SweepMetrics()
     figures.set_sweep_options(parallel=parallel, cache_dir=cache_dir,
-                              metrics=metrics, **robust)
+                              metrics=metrics, fidelity=args.fidelity,
+                              guard_band=args.guard_band, **robust)
     try:
         fn = getattr(figures, args.name)
         if args.name in ("fig1", "fig8", "fig9", "fig10"):
@@ -564,6 +696,7 @@ COMMANDS = {
     "stats": cmd_stats,
     "trace": cmd_trace,
     "sweep": cmd_sweep,
+    "calibrate": cmd_calibrate,
     "validate": cmd_validate,
     "figure": cmd_figure,
 }

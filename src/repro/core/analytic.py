@@ -29,15 +29,26 @@ OUTPUT_KINDS = ("output", "inout")
 
 
 class AnalyticPhases:
-    """Predicted per-phase durations in ticks."""
+    """Predicted per-phase durations in ticks.
 
-    def __init__(self, flush, invalidate, dma_in, compute, dma_out, driver):
+    ``blocks`` is the number of pipelined-DMA blocks the input region
+    splits into (1 for baseline DMA); it is an instance attribute so two
+    predictions never share state through the class.
+    """
+
+    def __init__(self, flush, invalidate, dma_in, compute, dma_out, driver,
+                 blocks=1):
         self.flush = flush
         self.invalidate = invalidate
         self.dma_in = dma_in
         self.compute = compute
         self.dma_out = dma_out
         self.driver = driver
+        self._blocks = max(1, blocks)
+
+    @property
+    def blocks(self):
+        return self._blocks
 
     @property
     def total_baseline(self):
@@ -48,14 +59,11 @@ class AnalyticPhases:
     def total_pipelined(self):
         """Pipelined DMA: flush of block b+1 hides behind DMA of block b,
         so the data-in phase is bounded by the slower stream plus one
-        exposed leading flush block."""
-        lead = min(self.flush, self.invalidate + self.flush) // max(
-            1, self._blocks)
+        exposed leading flush block (``ceil(flush / blocks)``)."""
+        lead = -(-self.flush // self._blocks)
         overlap = max(self.flush, self.dma_in)
         return (lead + overlap + self.invalidate + self.compute
                 + self.dma_out)
-
-    _blocks = 1
 
 
 def _region_lines(trace, kinds, line_size):
@@ -96,16 +104,15 @@ def predict_phases(workload, design, cfg=None):
     accel = Accelerator(trace, design.lanes, design.partitions,
                         design.spad_ports)
     compute = accel.run_isolated().ticks
-    phases = AnalyticPhases(
+    return AnalyticPhases(
         flush=ns_to_ticks(flush_lines * cfg.flush_ns_per_line),
         invalidate=ns_to_ticks(inval_lines * cfg.invalidate_ns_per_line),
         dma_in=dma_transfer_ticks(in_bytes, cfg, transactions=txns),
         compute=compute,
         dma_out=dma_transfer_ticks(out_bytes, cfg, transactions=1),
         driver=ns_to_ticks(cfg.ioctl_ns + cfg.poll_interval_ns),
+        blocks=txns,
     )
-    phases._blocks = txns
-    return phases
 
 
 def predict_total(workload, design, cfg=None):

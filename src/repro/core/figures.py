@@ -45,12 +45,12 @@ _memo = {}
 # the benchmark harness.
 _sweep_options = {"parallel": None, "cache_dir": None, "metrics": None,
                   "on_error": "raise", "retries": 0, "timeout": None,
-                  "resume": False}
+                  "resume": False, "fidelity": "exact", "guard_band": None}
 
 
 def set_sweep_options(parallel=None, cache_dir=None, metrics=None,
                       on_error="raise", retries=0, timeout=None,
-                      resume=False):
+                      resume=False, fidelity="exact", guard_band=None):
     """Configure how figure sweeps execute (see :mod:`repro.core.sweeppool`).
 
     ``parallel`` is the worker count (``0`` = one per CPU, ``None`` =
@@ -61,6 +61,10 @@ def set_sweep_options(parallel=None, cache_dir=None, metrics=None,
     ``on_error="collect"`` the figures drop failed points and compute over
     the survivors (every figure reduces sweeps with Pareto/EDP optima, so
     a missing point degrades the figure rather than aborting it).
+
+    ``fidelity``/``guard_band`` select the simulation tier (see
+    :mod:`repro.core.calibrate`); ``"auto"`` needs per-workload
+    calibrations persisted under ``cache_dir`` (``repro calibrate``).
     """
     _sweep_options["parallel"] = parallel
     _sweep_options["cache_dir"] = cache_dir
@@ -69,6 +73,8 @@ def set_sweep_options(parallel=None, cache_dir=None, metrics=None,
     _sweep_options["retries"] = retries
     _sweep_options["timeout"] = timeout
     _sweep_options["resume"] = resume
+    _sweep_options["fidelity"] = fidelity
+    _sweep_options["guard_band"] = guard_band
 
 
 def _sweep(workload, designs, cfg=None):
@@ -76,7 +82,10 @@ def _sweep(workload, designs, cfg=None):
 
     Under ``on_error="collect"`` the failed points are filtered out here:
     figure code consumes results positionally only through Pareto/EDP
-    reductions, which want successes.
+    reductions, which want successes.  Under ``fidelity="auto"`` the
+    unconfirmed fast predictions are filtered the same way — the triage
+    guarantees the dropped points are Pareto-dominated, so the figures'
+    frontier/EDP reductions are unchanged.
     """
     results = run_sweep(workload, designs, cfg,
                         parallel=_sweep_options["parallel"],
@@ -85,10 +94,15 @@ def _sweep(workload, designs, cfg=None):
                         on_error=_sweep_options["on_error"],
                         retries=_sweep_options["retries"],
                         timeout=_sweep_options["timeout"],
-                        resume=_sweep_options["resume"])
+                        resume=_sweep_options["resume"],
+                        fidelity=_sweep_options["fidelity"],
+                        guard_band=_sweep_options["guard_band"])
     if _sweep_options["on_error"] == "collect":
         from repro.core.sweeppool import partition_results
         results, _failed = partition_results(results)
+    if _sweep_options["fidelity"] == "auto":
+        results = [r for r in results
+                   if getattr(r, "fidelity", "exact") == "exact"]
     return results
 
 

@@ -47,6 +47,11 @@ def classify_breakdown(total_span, flush_intervals, dma_intervals,
 class RunResult:
     """Everything measured from one co-designed (or isolated) run."""
 
+    #: How this result was obtained: ``"exact"`` for the event-driven
+    #: co-simulation; the calibrated analytic tier overrides this with
+    #: ``"fast"`` (see :class:`repro.core.calibrate.FastResult`).
+    fidelity = "exact"
+
     def __init__(self, workload, design, total_ticks, accel_cycles,
                  breakdown, energy, stats=None, area=None):
         self.workload = workload

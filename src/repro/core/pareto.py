@@ -38,7 +38,8 @@ def dominates(a, b, x=lambda r: r.total_ticks, y=lambda r: r.power_mw):
 
 def sweep_pareto(workload, designs, cfg=None, parallel=None, cache_dir=None,
                  metrics=None, on_error="raise", retries=0, timeout=None,
-                 resume=False):
+                 resume=False, fidelity="exact", calibration=None,
+                 guard_band=None):
     """Sweep a design space and reduce it to its Pareto view.
 
     Runs the sweep through :func:`repro.core.sweep.run_sweep` (parallel
@@ -50,12 +51,24 @@ def sweep_pareto(workload, designs, cfg=None, parallel=None, cache_dir=None,
     ``all_results`` keeps the :class:`~repro.core.sweeppool.FailedPoint`
     entries in input order, and a sweep with zero successes raises
     ``ValueError``.
+
+    ``fidelity`` picks the simulation tier (see
+    :mod:`repro.core.calibrate`).  Under ``"auto"`` the frontier and the
+    EDP optimum are computed over the exact-confirmed points only — the
+    triage guarantees those match a full exact sweep's as long as the
+    guard band really bounds the fast model's error — while
+    ``all_results`` keeps the pruned points' fast predictions (their
+    ``.fidelity`` is ``"fast"``).  Under ``"fast"`` everything is a
+    prediction, frontier included.
     """
     from repro.core.sweep import run_sweep
     from repro.core.sweeppool import partition_results
     results = run_sweep(workload, designs, cfg, parallel=parallel,
                         cache_dir=cache_dir, metrics=metrics,
                         on_error=on_error, retries=retries, timeout=timeout,
-                        resume=resume)
+                        resume=resume, fidelity=fidelity,
+                        calibration=calibration, guard_band=guard_band)
     ok, _failed = partition_results(results)
+    if fidelity == "auto":
+        ok = [r for r in ok if getattr(r, "fidelity", "exact") == "exact"]
     return pareto_frontier(ok), edp_optimal(ok), results

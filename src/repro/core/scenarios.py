@@ -86,7 +86,9 @@ def isolated_sweep(workload, density="standard"):
 
 def run_scenario_optimum(workload, scenario, density="standard",
                          base_cfg=None, parallel=None, cache_dir=None,
-                         on_error="raise", retries=0, timeout=None):
+                         on_error="raise", retries=0, timeout=None,
+                         fidelity="exact", calibration=None,
+                         guard_band=None):
     """Sweep the scenario's design space; return (optimum, all results).
 
     ``parallel``/``cache_dir`` select the pooled / memoized sweep engine
@@ -95,6 +97,12 @@ def run_scenario_optimum(workload, scenario, density="standard",
     ``on_error="collect"`` the optimum is taken over the successful points
     (the returned results list still carries the
     :class:`~repro.core.sweeppool.FailedPoint` entries in input order).
+
+    ``fidelity`` selects the simulation tier for the detailed-simulation
+    scenarios (see :mod:`repro.core.calibrate`; the isolated scenario is
+    already analytic and ignores it).  Under ``"auto"`` the optimum is
+    taken over the exact-confirmed points only — dominance implies
+    strictly better EDP, so the triage preserves the true EDP optimum.
     """
     if scenario.mem_interface == "isolated":
         results = isolated_sweep(workload, density)
@@ -103,9 +111,12 @@ def run_scenario_optimum(workload, scenario, density="standard",
         results = run_sweep(workload, scenario.design_space(density), cfg,
                             parallel=parallel, cache_dir=cache_dir,
                             on_error=on_error, retries=retries,
-                            timeout=timeout)
+                            timeout=timeout, fidelity=fidelity,
+                            calibration=calibration, guard_band=guard_band)
     from repro.core.sweeppool import partition_results
     ok, _failed = partition_results(results)
+    if fidelity == "auto":
+        ok = [r for r in ok if getattr(r, "fidelity", "exact") == "exact"]
     return edp_optimal(ok), results
 
 
@@ -136,7 +147,8 @@ def naive_design_for(workload, isolated_design, scenario):
 def edp_improvement(workload, scenario, density="standard", base_cfg=None,
                     isolated_optimum=None, codesigned_optimum=None,
                     parallel=None, cache_dir=None, on_error="raise",
-                    retries=0, timeout=None):
+                    retries=0, timeout=None, fidelity="exact",
+                    calibration=None, guard_band=None):
     """Figure 10's metric for one (workload, scenario) pair.
 
     Returns a dict with the naive EDP (isolated-optimal design under the
@@ -145,6 +157,8 @@ def edp_improvement(workload, scenario, density="standard", base_cfg=None,
     be passed in to reuse sweep work; ``parallel``/``cache_dir`` select
     the pooled / memoized sweep engine when a sweep is needed, and
     ``on_error``/``retries``/``timeout`` its robustness layer.
+    ``fidelity`` selects the sweep's simulation tier (the naive point is
+    always simulated exactly — it is a single run).
     """
     if isolated_optimum is None:
         isolated_optimum, _ = run_scenario_optimum(
@@ -158,7 +172,8 @@ def edp_improvement(workload, scenario, density="standard", base_cfg=None,
         codesigned, results = run_scenario_optimum(
             workload, scenario, density, base_cfg,
             parallel=parallel, cache_dir=cache_dir, on_error=on_error,
-            retries=retries, timeout=timeout)
+            retries=retries, timeout=timeout, fidelity=fidelity,
+            calibration=calibration, guard_band=guard_band)
     # The co-design space is a superset of the naive point, but a
     # sub-sampled sweep grid may miss it; the optimum over the union keeps
     # the metric well defined (improvement >= 1 by construction).

@@ -71,7 +71,8 @@ def cache_design_space(density="standard"):
 def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
               cache_dir=None, metrics=None, profiler=None, dump_stats=None,
               check=None, on_error="raise", retries=0, retry_backoff=0.0,
-              timeout=None, resume=False, fault=None):
+              timeout=None, resume=False, fault=None, fidelity="exact",
+              calibration=None, guard_band=None):
     """Evaluate every design point; returns the list of RunResults.
 
     ``parallel`` fans the evaluations out over a worker pool (``N`` workers;
@@ -104,7 +105,35 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
     engine — its accumulated counters live in this process.  ``None``
     defers to ``$REPRO_CHECK``, which worker processes inherit, so the
     parallel engine still checks every point when the variable is set.
+
+    ``fidelity`` selects the simulation tier (see
+    :mod:`repro.core.calibrate`): ``"exact"`` (default) is the
+    event-driven co-simulation for every point; ``"fast"`` predicts every
+    point with the calibrated analytic model and runs no simulation;
+    ``"auto"`` triages — fast predictions prune the space and only the
+    candidate Pareto frontier is confirmed exactly.  The fast tiers need
+    a :class:`~repro.core.calibrate.Calibration` — pass ``calibration=``
+    or a ``cache_dir`` holding a persisted one (``repro calibrate``).
+    ``guard_band`` overrides the calibration's validated error bound in
+    ``auto`` pruning.
     """
+    if fidelity not in ("exact", "fast", "auto"):
+        raise ValueError(f'fidelity must be "exact", "fast" or "auto", '
+                         f'got {fidelity!r}')
+    if fidelity != "exact":
+        if profiler is not None or dump_stats is not None or check:
+            raise ValueError(
+                "profiler/dump_stats/check require fidelity='exact': the "
+                "fast tier runs no events to profile, dump or check")
+        from repro.core.calibrate import run_sweep_tiered
+        return run_sweep_tiered(workload, designs, cfg, fidelity=fidelity,
+                                calibration=calibration,
+                                guard_band=guard_band, progress=progress,
+                                parallel=parallel, cache_dir=cache_dir,
+                                metrics=metrics, on_error=on_error,
+                                retries=retries,
+                                retry_backoff=retry_backoff,
+                                timeout=timeout, resume=resume, fault=fault)
     robust = on_error != "raise" or retries > 0 or timeout is not None \
         or resume
     if (profiler is None and dump_stats is None and not check

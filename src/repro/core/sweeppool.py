@@ -177,6 +177,12 @@ class SweepMetrics:
     :func:`run_sweep_pool`): ``failures`` points that exhausted their
     retry budget, ``retries`` re-issued attempts, ``timeouts`` the subset
     of failed attempts killed by the per-point wall-clock limit.
+
+    Tiered-fidelity counters (see :mod:`repro.core.calibrate`):
+    ``fast_points`` analytic predictions made, ``pruned`` points the
+    triage skipped exactly, ``confirmed`` points re-evaluated exactly
+    after triage; ``fast_time_errors`` / ``fast_power_errors`` collect the
+    measured fast-vs-exact relative error for every confirmed pair.
     """
 
     def __init__(self):
@@ -189,6 +195,11 @@ class SweepMetrics:
         self.jobs = 1
         self.wall_seconds = 0.0
         self.point_seconds = []
+        self.fast_points = 0
+        self.pruned = 0
+        self.confirmed = 0
+        self.fast_time_errors = []
+        self.fast_power_errors = []
 
     @property
     def seconds_per_point(self):
@@ -203,6 +214,32 @@ class SweepMetrics:
         return min(sum(self.point_seconds)
                    / (self.wall_seconds * self.jobs), 1.0)
 
+    @staticmethod
+    def _finite_max(values):
+        finite = [v for v in values if v == v and v != float("inf")]
+        return max(finite) if finite else 0.0
+
+    @staticmethod
+    def _finite_mean(values):
+        finite = [v for v in values if v == v and v != float("inf")]
+        return sum(finite) / len(finite) if finite else 0.0
+
+    @property
+    def fast_time_error_max(self):
+        return self._finite_max(self.fast_time_errors)
+
+    @property
+    def fast_time_error_mean(self):
+        return self._finite_mean(self.fast_time_errors)
+
+    @property
+    def fast_power_error_max(self):
+        return self._finite_max(self.fast_power_errors)
+
+    @property
+    def fast_power_error_mean(self):
+        return self._finite_mean(self.fast_power_errors)
+
     def merge(self, other):
         """Fold another sweep's counters into this one (multi-sweep runs)."""
         self.points += other.points
@@ -214,6 +251,11 @@ class SweepMetrics:
         self.jobs = max(self.jobs, other.jobs)
         self.wall_seconds += other.wall_seconds
         self.point_seconds.extend(other.point_seconds)
+        self.fast_points += other.fast_points
+        self.pruned += other.pruned
+        self.confirmed += other.confirmed
+        self.fast_time_errors.extend(other.fast_time_errors)
+        self.fast_power_errors.extend(other.fast_power_errors)
         return self
 
     def as_dict(self):
@@ -228,7 +270,37 @@ class SweepMetrics:
             "wall_seconds": self.wall_seconds,
             "seconds_per_point": self.seconds_per_point,
             "worker_utilization": self.worker_utilization,
+            "fast_points": self.fast_points,
+            "pruned": self.pruned,
+            "confirmed": self.confirmed,
+            "fast_time_error_max": self.fast_time_error_max,
+            "fast_time_error_mean": self.fast_time_error_mean,
+            "fast_power_error_max": self.fast_power_error_max,
+            "fast_power_error_mean": self.fast_power_error_mean,
         }
+
+    def reg_stats(self, registry, prefix="sweep"):
+        """Mirror these counters into an :mod:`repro.obs` stats registry."""
+        scalars = [
+            ("points", "design points requested", lambda: self.points),
+            ("evaluated", "points evaluated exactly", lambda: self.evaluated),
+            ("cache_hits", "points served from cache",
+             lambda: self.cache_hits),
+            ("failures", "points that exhausted retries",
+             lambda: self.failures),
+            ("fast_points", "analytic fast-model predictions",
+             lambda: self.fast_points),
+            ("pruned", "points pruned by fast-model triage",
+             lambda: self.pruned),
+            ("confirmed", "triaged points confirmed exactly",
+             lambda: self.confirmed),
+            ("fast_time_error_max", "max fast-vs-exact time error",
+             lambda: self.fast_time_error_max),
+            ("fast_power_error_max", "max fast-vs-exact power error",
+             lambda: self.fast_power_error_max),
+        ]
+        for name, desc, getter in scalars:
+            registry.scalar(f"{prefix}.{name}", getter=getter, desc=desc)
 
     def report(self):
         """Human-readable multi-line summary."""
@@ -242,6 +314,16 @@ class SweepMetrics:
             lines.append(f"  failures     : {self.failures} "
                          f"({self.timeouts} timed out, "
                          f"{self.retries} retries)")
+        if self.fast_points:
+            lines.append(f"  fast points  : {self.fast_points} "
+                         f"({self.pruned} pruned, "
+                         f"{self.confirmed} confirmed exactly)")
+        if self.fast_time_errors or self.fast_power_errors:
+            lines.append(
+                f"  fast error   : time max {self.fast_time_error_max:.1%} "
+                f"mean {self.fast_time_error_mean:.1%}; "
+                f"power max {self.fast_power_error_max:.1%} "
+                f"mean {self.fast_power_error_mean:.1%}")
         lines.extend([
             f"  wall time    : {self.wall_seconds:.2f} s "
             f"({self.seconds_per_point:.3f} s/point evaluated)",

@@ -12,6 +12,8 @@ The paper's measured errors are recorded here for side-by-side reporting in
 EXPERIMENTS.md.
 """
 
+import math
+
 from repro.core.analytic import predict_phases, predict_total
 from repro.core.config import DesignPoint, SoCConfig
 from repro.sim.stats import total_covered
@@ -23,6 +25,20 @@ PAPER_ERRORS = {
     "flush_model_avg": 0.05,
     "validated_against": "Xilinx Zynq Zedboard, Vivado HLS 2015.1",
 }
+
+
+def relative_error(predicted, measured):
+    """``|predicted - measured| / measured`` with honest zero handling.
+
+    A zero measurement with a nonzero prediction is *unbounded* model
+    error, not perfect agreement: it reports ``float("inf")`` so callers
+    must treat such rows distinctly (see :func:`validate_suite`, which
+    flags and excludes them from averages).  Only the 0-vs-0 case is a
+    true 0.0.
+    """
+    if measured == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return abs(predicted - measured) / measured
 
 
 class ValidationRow:
@@ -37,10 +53,14 @@ class ValidationRow:
 
     @property
     def total_error(self):
-        if self.measured_ticks == 0:
-            return 0.0
-        return abs(self.predicted_ticks - self.measured_ticks) \
-            / self.measured_ticks
+        return relative_error(self.predicted_ticks, self.measured_ticks)
+
+    @property
+    def degenerate(self):
+        """True when any comparison divided by a zero measurement while
+        the model predicted nonzero time (error is unbounded, not 0%)."""
+        return math.isinf(self.total_error) or any(
+            math.isinf(e) for e in self.component_errors.values())
 
 
 def validate_workload(workload, design=None, cfg=None):
@@ -59,13 +79,10 @@ def validate_workload(workload, design=None, cfg=None):
     measured_dma = soc_result["dma_ticks"]
     measured_compute = soc_result["compute_ticks"]
 
-    def err(pred, meas):
-        return abs(pred - meas) / meas if meas else 0.0
-
     component_errors = {
-        "flush": err(phases.flush, measured_flush),
-        "dma": err(phases.dma_in + phases.dma_out, measured_dma),
-        "compute": err(phases.compute, measured_compute),
+        "flush": relative_error(phases.flush, measured_flush),
+        "dma": relative_error(phases.dma_in + phases.dma_out, measured_dma),
+        "compute": relative_error(phases.compute, measured_compute),
     }
     return ValidationRow(workload, predicted, soc_result["total_ticks"],
                          component_errors)
@@ -85,17 +102,40 @@ def _detailed_run(workload, design, cfg):
     }
 
 
+def _finite_average(values):
+    """Mean over the finite entries; ``inf`` when none are finite.
+
+    Degenerate comparisons (zero measurement, nonzero prediction) carry
+    unbounded error — averaging them in would poison the suite metric,
+    and silently dropping them to 0.0 would mask broken models, so they
+    are excluded here and reported separately by :func:`validate_suite`.
+    """
+    finite = [v for v in values if not math.isinf(v)]
+    if not finite:
+        return float("inf")
+    return sum(finite) / len(finite)
+
+
 def validate_suite(workloads, design=None, cfg=None):
-    """Run Figure 4 for a set of benchmarks; returns rows + averages."""
+    """Run Figure 4 for a set of benchmarks; returns rows + averages.
+
+    Rows whose total error is degenerate (a zero-length measured phase
+    against a nonzero prediction reads as ``inf``, never as 0%) are
+    listed under ``degenerate_rows`` and excluded from the averages.
+    """
+    workloads = list(workloads)
+    if not workloads:
+        raise ValueError("no workloads")
     rows = [validate_workload(w, design, cfg) for w in workloads]
-    avg_total = sum(r.total_error for r in rows) / len(rows)
+    avg_total = _finite_average([r.total_error for r in rows])
     avg_components = {
-        key: sum(r.component_errors[key] for r in rows) / len(rows)
+        key: _finite_average([r.component_errors[key] for r in rows])
         for key in ("flush", "dma", "compute")
     }
     return {
         "rows": rows,
         "avg_total_error": avg_total,
         "avg_component_errors": avg_components,
+        "degenerate_rows": [r.workload for r in rows if r.degenerate],
         "paper_errors": PAPER_ERRORS,
     }

@@ -67,6 +67,16 @@ class SweepError(ReproError):
         self.failure = failure
 
 
+class CalibrationError(ReproError):
+    """A tiered-fidelity sweep could not obtain or apply a calibration.
+
+    Raised by :mod:`repro.core.calibrate` when a fast/auto sweep needs a
+    calibrated fast model that is missing (run ``repro calibrate`` first),
+    was fitted against a different platform configuration, or does not
+    cover the design class of a requested point.
+    """
+
+
 class TraceError(ReproError):
     """A kernel produced an invalid dynamic trace."""
 

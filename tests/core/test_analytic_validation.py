@@ -1,14 +1,23 @@
 """Analytic phase model and the Figure 4 validation harness."""
 
+import math
+
 import pytest
 
 from repro.core.analytic import (
+    AnalyticPhases,
     dma_transfer_ticks,
     predict_phases,
     predict_total,
 )
 from repro.core.config import DesignPoint, SoCConfig
-from repro.core.validation import PAPER_ERRORS, validate_suite, validate_workload
+from repro.core.validation import (
+    PAPER_ERRORS,
+    ValidationRow,
+    relative_error,
+    validate_suite,
+    validate_workload,
+)
 from repro.units import ns_to_ticks
 
 
@@ -78,3 +87,79 @@ class TestValidationHarness:
         assert PAPER_ERRORS["dma_model_avg"] == 0.064
         assert PAPER_ERRORS["aladdin_avg"] == 0.05
         assert PAPER_ERRORS["flush_model_avg"] == 0.05
+
+
+class TestPipelinedLead:
+    """The pipelined-DMA composition: one exposed leading flush block."""
+
+    def test_hand_computed_total(self):
+        p = AnalyticPhases(flush=100, invalidate=10, dma_in=50,
+                           compute=200, dma_out=30, driver=5, blocks=4)
+        # lead = ceil(100/4) = 25; overlap = max(100, 50) = 100.
+        assert p.total_pipelined() == 25 + 100 + 10 + 200 + 30
+
+    def test_lead_shrinks_with_more_blocks(self):
+        """The min() regression: more blocks must shorten the exposed
+        lead, not leave the total pinned at the serial flush time."""
+        totals = [AnalyticPhases(flush=120, invalidate=0, dma_in=240,
+                                 compute=10, dma_out=0, driver=0,
+                                 blocks=b).total_pipelined()
+                  for b in (1, 2, 4)]
+        assert totals[0] > totals[1] > totals[2]
+        assert totals[0] - totals[2] == 120 - 30  # lead 120 -> 30
+
+    def test_blocks_is_per_instance(self):
+        a = AnalyticPhases(100, 0, 50, 10, 0, 0, blocks=4)
+        b = AnalyticPhases(100, 0, 50, 10, 0, 0, blocks=2)
+        assert (a.blocks, b.blocks) == (4, 2)
+        assert b.total_pipelined() - a.total_pipelined() == 50 - 25
+
+    def test_blocks_floor_is_one(self):
+        assert AnalyticPhases(8, 0, 0, 0, 0, 0, blocks=0).blocks == 1
+
+
+class TestRelativeError:
+    def test_zero_measurement_is_unbounded_not_perfect(self):
+        assert math.isinf(relative_error(5.0, 0))
+
+    def test_zero_vs_zero_is_exact(self):
+        assert relative_error(0, 0) == 0.0
+
+    def test_ordinary_ratio(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.10)
+
+
+class TestDegenerateRows:
+    @staticmethod
+    def _rows(monkeypatch):
+        from repro.core import validation
+        rows = {
+            "good": ValidationRow("good", 102, 100,
+                                  {"flush": 0.02, "dma": 0.04,
+                                   "compute": 0.06}),
+            "bad": ValidationRow("bad", 100, 0,
+                                 {"flush": float("inf"), "dma": 0.0,
+                                  "compute": 0.0}),
+        }
+        monkeypatch.setattr(validation, "validate_workload",
+                            lambda w, design=None, cfg=None: rows[w])
+        return validation
+
+    def test_flagged_and_excluded_from_averages(self, monkeypatch):
+        validation = self._rows(monkeypatch)
+        suite = validation.validate_suite(["good", "bad"])
+        assert suite["degenerate_rows"] == ["bad"]
+        # Only the finite row contributes: 2% total, per-component as-is.
+        assert suite["avg_total_error"] == pytest.approx(0.02)
+        assert suite["avg_component_errors"]["flush"] == pytest.approx(0.02)
+        assert suite["avg_component_errors"]["dma"] == pytest.approx(0.02)
+
+    def test_all_degenerate_reads_inf_not_zero(self, monkeypatch):
+        validation = self._rows(monkeypatch)
+        suite = validation.validate_suite(["bad"])
+        assert math.isinf(suite["avg_total_error"])
+        assert math.isinf(suite["avg_component_errors"]["flush"])
+
+    def test_empty_suite_raises(self):
+        with pytest.raises(ValueError, match="no workloads"):
+            validate_suite([])

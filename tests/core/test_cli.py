@@ -302,3 +302,59 @@ class TestRobustSweepCLI:
         def pareto(text):
             return [ln for ln in text.splitlines() if "EDP" in ln]
         assert pareto(text_a) == pareto(text_b)
+
+
+class TestFidelityCLI:
+    def test_calibrate_command(self, tmp_path):
+        code, text = run_cli(["calibrate", "aes-aes", "--density", "quick",
+                              "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "error bound time" in text
+        assert "dma:p1t1b0" in text
+        assert "saved to" in text
+        assert (tmp_path / "calibrations").is_dir()
+
+    def test_calibrate_no_cache_notes_not_persisted(self):
+        code, text = run_cli(["calibrate", "aes-aes", "--density", "quick",
+                              "--no-cache"])
+        assert code == 0
+        assert "not persisted" in text
+
+    def test_calibrate_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            run_cli(["calibrate", "not-a-kernel"])
+
+    def test_sweep_auto_reuses_persisted_calibration(self, tmp_path):
+        code, _text = run_cli(["calibrate", "aes-aes", "--density",
+                               "quick", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--fidelity", "auto",
+                              "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "no calibration" not in text
+        assert "fast points" in text
+        assert "confirmed exactly" in text
+        assert "within the guard band" in text
+        assert "Pareto" in text
+
+    def test_sweep_auto_calibrates_on_the_fly(self, tmp_path):
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--fidelity", "auto",
+                              "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "no calibration for aes-aes" in text
+        assert "fast error" in text
+
+    def test_sweep_fast_marks_frontier_predicted(self, tmp_path):
+        code, text = run_cli(["sweep", "aes-aes", "--density", "quick",
+                              "--fidelity", "fast",
+                              "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "(predicted)" in text
+        assert "guard band" in text
+
+    def test_fidelity_conflicts_with_exact_only_knobs(self):
+        with pytest.raises(SystemExit, match="fidelity"):
+            run_cli(["sweep", "aes-aes", "--density", "quick",
+                     "--no-cache", "--fidelity", "auto", "--check"])
