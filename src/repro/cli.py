@@ -35,6 +35,13 @@ Tiered-fidelity sweeps (see :mod:`repro.core.calibrate`):
     python -m repro calibrate aes-aes gemm-ncubed
     python -m repro sweep aes-aes --fidelity auto --density full
     python -m repro sweep aes-aes --fidelity fast   # predictions only
+
+Sweep-as-a-service (see :mod:`repro.serve`):
+
+    python -m repro serve --port 8642 --jobs 4
+    python -m repro query pareto aes-aes --density quick
+    python -m repro query edp aes-aes --no-evaluate   # warm-only
+    python -m repro query stats --json -
 """
 
 import argparse
@@ -141,6 +148,62 @@ def build_parser():
                        choices=("quick", "standard", "full"))
     _add_sweep_engine_args(fig_p)
     _add_fidelity_args(fig_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve sweep/Pareto/EDP queries over HTTP against the "
+             "result store (see repro.serve)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="listen port (default 8642; 0 = ephemeral)")
+    serve_p.add_argument("--jobs", type=_jobs_count, default=1, metavar="N",
+                         help="worker processes for cold points "
+                              "(0 = one per CPU; default 1)")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result store directory "
+                              "(default .sweep-cache)")
+    serve_p.add_argument("--fidelity", choices=("exact", "fast", "auto"),
+                         default=None,
+                         help="evaluation tier for cold points (default: "
+                              "auto where a calibration exists, exact "
+                              "otherwise)")
+    serve_p.add_argument("--batch-window", type=float, default=0.02,
+                         metavar="S",
+                         help="seconds the dispatcher waits to coalesce "
+                              "concurrent requests into one batch "
+                              "(default 0.02)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+
+    query_p = sub.add_parser(
+        "query",
+        help="query a running 'repro serve' (sweep/pareto/edp/figure/"
+             "stats/health)")
+    query_p.add_argument("kind",
+                         choices=("sweep", "pareto", "edp", "figure",
+                                  "stats", "health", "workloads"))
+    query_p.add_argument("workload", nargs="?", default=None,
+                         help="workload to query (required for result "
+                              "queries, ignored for stats/health)")
+    query_p.add_argument("--server", default=None, metavar="URL",
+                         help="service base URL (default: "
+                              "$REPRO_SERVE_URL or "
+                              "http://127.0.0.1:8642)")
+    query_p.add_argument("--space", choices=("dma", "cache", "both"),
+                         default="both")
+    query_p.add_argument("--density", default="standard",
+                         choices=("quick", "standard", "full"))
+    query_p.add_argument("--fidelity", choices=("exact", "fast", "auto"),
+                         default=None,
+                         help="evaluation tier for cold points "
+                              "(default: the server's)")
+    query_p.add_argument("--no-evaluate", action="store_true",
+                         help="warm-only: answer from the store and "
+                              "report missing points instead of "
+                              "simulating them")
+    query_p.add_argument("--json", metavar="PATH", default=None,
+                         help="write the full JSON response "
+                              "('-' for stdout)")
     return parser
 
 
@@ -689,6 +752,96 @@ def _render_figure(name, data):
     return repr(data)
 
 
+def cmd_serve(args, out):
+    """``repro serve``: HTTP/JSON sweep service over the result store."""
+    from repro.core.sweeppool import DEFAULT_CACHE_DIR
+    from repro.serve.httpd import serve
+    serve(args.cache_dir or DEFAULT_CACHE_DIR, host=args.host,
+          port=args.port, jobs=args.jobs, fidelity=args.fidelity,
+          batch_window=args.batch_window, verbose=args.verbose, out=out)
+    return 0
+
+
+def cmd_query(args, out):
+    """``repro query``: one request against a running ``repro serve``."""
+    import json as _json
+    import os
+
+    from repro.serve.client import ServiceClient, ServiceError
+    server = (args.server or os.environ.get("REPRO_SERVE_URL")
+              or "http://127.0.0.1:8642")
+    client = ServiceClient(server)
+    try:
+        if args.kind == "health":
+            response = client.health()
+        elif args.kind == "stats":
+            response = client.stats()
+        elif args.kind == "workloads":
+            response = {"workloads": client.workloads()}
+        else:
+            if not args.workload:
+                raise SystemExit(
+                    f"'repro query {args.kind}' needs a workload "
+                    f"(see 'repro query workloads')")
+            response = client.query(args.kind, args.workload,
+                                    space=args.space, density=args.density,
+                                    fidelity=args.fidelity,
+                                    evaluate=not args.no_evaluate)
+    except ServiceError as exc:
+        raise SystemExit(f"query failed: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {server}: {exc}")
+    _print_query_summary(args.kind, response, out)
+    if args.json == "-":
+        out(_json.dumps(response, indent=2, sort_keys=True))
+    elif args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(response, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out(f"wrote response to {args.json}")
+    return 0
+
+
+def _print_query_summary(kind, response, out):
+    """Human-readable one-screen summary of a query response."""
+    if kind == "health":
+        out(f"status   : {response['status']}")
+        out(f"store    : {response['cache_dir']} "
+            f"({response['cached_points']} cached points)")
+        out(f"fidelity : {response['fidelity']}")
+        return
+    if kind == "stats":
+        svc = response["service"]
+        out(f"requests : {svc['requests']} ({svc['points']} points)")
+        out(f"served   : {svc['hits']} hits, {svc['joins']} joins, "
+            f"{svc['dispatches']} dispatches "
+            f"({svc['failures']} failed)")
+        out(f"latency  : p50 {svc['latency_p50'] * 1e3:.1f} ms, "
+            f"p95 {svc['latency_p95'] * 1e3:.1f} ms; "
+            f"queue depth {svc['queue_depth']}")
+        return
+    if kind == "workloads":
+        out(" ".join(response["workloads"]))
+        return
+    svc = response["service"]
+    out(f"{kind} {response['workload']}: {response['points']} points "
+        f"({svc['hits']} hits, {svc['joins']} joins, "
+        f"{svc['dispatches']} dispatches, {response['missing']} missing)")
+    if kind == "pareto":
+        out(f"frontier : {len(response['frontier'])} points")
+    if kind in ("pareto", "edp") and response.get("edp_optimal"):
+        opt = response["edp_optimal"]
+        out(f"edp opt  : {opt['mem_interface']} lanes={opt['lanes']} "
+            f"time={opt['time_us']:.2f}us power={opt['power_mw']:.2f}mW "
+            f"edp={opt['edp_js']:.3e}")
+    if kind == "figure":
+        for interface, data in sorted(response["interfaces"].items()):
+            out(f"{interface:5s}    : frontier {len(data['frontier'])} "
+                f"points")
+    if kind == "sweep":
+        out(f"results  : {len(response['results'])} records")
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -699,6 +852,8 @@ COMMANDS = {
     "calibrate": cmd_calibrate,
     "validate": cmd_validate,
     "figure": cmd_figure,
+    "serve": cmd_serve,
+    "query": cmd_query,
 }
 
 

@@ -882,7 +882,8 @@ def _fit_class(workload, class_key, samples, results, cfg, table, cal_like):
 
 def calibrate_workload(workload, cfg=None, density="standard",
                        designs=None, cache_dir=None, parallel=None,
-                       metrics=None, progress=None, save=True):
+                       metrics=None, progress=None, save=True,
+                       executor=None):
     """Calibrate the fast model for one workload against exact simulation.
 
     Samples a handful of exact runs per design class (corners, centre and
@@ -928,7 +929,8 @@ def calibrate_workload(workload, cfg=None, density="standard",
     for class_key in sorted(class_grids):
         samples = _sample_designs(class_key, class_grids[class_key])
         results = run_sweep(workload, samples, cfg, parallel=parallel,
-                            cache_dir=cache_dir, metrics=metrics)
+                            cache_dir=cache_dir, metrics=metrics,
+                            executor=executor)
         fit = _fit_class(workload, class_key, samples, results, cfg,
                          table, cal)
         if max(fit.time_error_max, fit.power_error_max) > MAX_FIT_ERROR:
@@ -1012,7 +1014,8 @@ def run_sweep_tiered(workload, designs, cfg=None, fidelity="auto",
                      calibration=None, guard_band=None, progress=None,
                      parallel=None, cache_dir=None, metrics=None,
                      on_error="raise", retries=0, retry_backoff=0.0,
-                     timeout=None, resume=False, fault=None):
+                     timeout=None, resume=False, fault=None, executor=None,
+                     write_manifest=True):
     """Evaluate a design space with the calibrated fast tier.
 
     ``fidelity="fast"`` predicts every point analytically (no simulation).
@@ -1088,7 +1091,8 @@ def run_sweep_tiered(workload, designs, cfg=None, fidelity="auto",
                           parallel=parallel, cache_dir=cache_dir,
                           metrics=metrics, on_error=on_error,
                           retries=retries, retry_backoff=retry_backoff,
-                          timeout=timeout, resume=resume, fault=fault)
+                          timeout=timeout, resume=resume, fault=fault,
+                          executor=executor, write_manifest=write_manifest)
         start = time.perf_counter()
         for i, result in zip(batch, exact):
             results[i] = result

@@ -45,12 +45,14 @@ _memo = {}
 # the benchmark harness.
 _sweep_options = {"parallel": None, "cache_dir": None, "metrics": None,
                   "on_error": "raise", "retries": 0, "timeout": None,
-                  "resume": False, "fidelity": "exact", "guard_band": None}
+                  "resume": False, "fidelity": "exact", "guard_band": None,
+                  "executor": None}
 
 
 def set_sweep_options(parallel=None, cache_dir=None, metrics=None,
                       on_error="raise", retries=0, timeout=None,
-                      resume=False, fidelity="exact", guard_band=None):
+                      resume=False, fidelity="exact", guard_band=None,
+                      executor=None):
     """Configure how figure sweeps execute (see :mod:`repro.core.sweeppool`).
 
     ``parallel`` is the worker count (``0`` = one per CPU, ``None`` =
@@ -65,6 +67,8 @@ def set_sweep_options(parallel=None, cache_dir=None, metrics=None,
     ``fidelity``/``guard_band`` select the simulation tier (see
     :mod:`repro.core.calibrate`); ``"auto"`` needs per-workload
     calibrations persisted under ``cache_dir`` (``repro calibrate``).
+    ``executor`` overrides where points evaluate (see
+    :mod:`repro.core.executors`).
     """
     _sweep_options["parallel"] = parallel
     _sweep_options["cache_dir"] = cache_dir
@@ -75,6 +79,7 @@ def set_sweep_options(parallel=None, cache_dir=None, metrics=None,
     _sweep_options["resume"] = resume
     _sweep_options["fidelity"] = fidelity
     _sweep_options["guard_band"] = guard_band
+    _sweep_options["executor"] = executor
 
 
 def _sweep(workload, designs, cfg=None):
@@ -96,7 +101,8 @@ def _sweep(workload, designs, cfg=None):
                         timeout=_sweep_options["timeout"],
                         resume=_sweep_options["resume"],
                         fidelity=_sweep_options["fidelity"],
-                        guard_band=_sweep_options["guard_band"])
+                        guard_band=_sweep_options["guard_band"],
+                        executor=_sweep_options["executor"])
     if _sweep_options["on_error"] == "collect":
         from repro.core.sweeppool import partition_results
         results, _failed = partition_results(results)

@@ -39,7 +39,7 @@ def dominates(a, b, x=lambda r: r.total_ticks, y=lambda r: r.power_mw):
 def sweep_pareto(workload, designs, cfg=None, parallel=None, cache_dir=None,
                  metrics=None, on_error="raise", retries=0, timeout=None,
                  resume=False, fidelity="exact", calibration=None,
-                 guard_band=None):
+                 guard_band=None, executor=None):
     """Sweep a design space and reduce it to its Pareto view.
 
     Runs the sweep through :func:`repro.core.sweep.run_sweep` (parallel
@@ -67,7 +67,8 @@ def sweep_pareto(workload, designs, cfg=None, parallel=None, cache_dir=None,
                         cache_dir=cache_dir, metrics=metrics,
                         on_error=on_error, retries=retries, timeout=timeout,
                         resume=resume, fidelity=fidelity,
-                        calibration=calibration, guard_band=guard_band)
+                        calibration=calibration, guard_band=guard_band,
+                        executor=executor)
     ok, _failed = partition_results(results)
     if fidelity == "auto":
         ok = [r for r in ok if getattr(r, "fidelity", "exact") == "exact"]

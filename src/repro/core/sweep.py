@@ -72,7 +72,8 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
               cache_dir=None, metrics=None, profiler=None, dump_stats=None,
               check=None, on_error="raise", retries=0, retry_backoff=0.0,
               timeout=None, resume=False, fault=None, fidelity="exact",
-              calibration=None, guard_band=None):
+              calibration=None, guard_band=None, executor=None,
+              write_manifest=True):
     """Evaluate every design point; returns the list of RunResults.
 
     ``parallel`` fans the evaluations out over a worker pool (``N`` workers;
@@ -116,12 +117,28 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
     or a ``cache_dir`` holding a persisted one (``repro calibrate``).
     ``guard_band`` overrides the calibration's validated error bound in
     ``auto`` pruning.
+
+    ``executor`` overrides *where* pending points evaluate (any
+    :class:`repro.core.executors.Executor`); sweeps route through the
+    executor interface by default (see
+    :func:`repro.core.executors.resolve_executor`), except the
+    profiled / stats-dumping / checked paths, which must stay in this
+    process and therefore reject an explicit executor.
+    ``write_manifest=False`` skips the per-sweep checkpoint manifest
+    (results still flush through the cache; see
+    :func:`repro.core.sweeppool.run_sweep_pool`).
     """
     if fidelity not in ("exact", "fast", "auto"):
         raise ValueError(f'fidelity must be "exact", "fast" or "auto", '
                          f'got {fidelity!r}')
+    diagnostic = profiler is not None or dump_stats is not None or check
+    if diagnostic and executor is not None:
+        raise ValueError(
+            "profiler/dump_stats/check sweeps run in-process (their "
+            "accumulators live in this interpreter) and cannot be "
+            "dispatched through an executor")
     if fidelity != "exact":
-        if profiler is not None or dump_stats is not None or check:
+        if diagnostic:
             raise ValueError(
                 "profiler/dump_stats/check require fidelity='exact': the "
                 "fast tier runs no events to profile, dump or check")
@@ -133,19 +150,19 @@ def run_sweep(workload, designs, cfg=None, progress=None, parallel=None,
                                 metrics=metrics, on_error=on_error,
                                 retries=retries,
                                 retry_backoff=retry_backoff,
-                                timeout=timeout, resume=resume, fault=fault)
-    robust = on_error != "raise" or retries > 0 or timeout is not None \
-        or resume
-    if (profiler is None and dump_stats is None and not check
-            and (parallel not in (None, 1) or cache_dir is not None
-                 or metrics is not None or robust or fault is not None)):
+                                timeout=timeout, resume=resume, fault=fault,
+                                executor=executor,
+                                write_manifest=write_manifest)
+    if not diagnostic:
         from repro.core.sweeppool import run_sweep_pool
         return run_sweep_pool(workload, designs, cfg,
                               jobs=1 if parallel is None else parallel,
                               cache_dir=cache_dir, progress=progress,
                               metrics=metrics, on_error=on_error,
                               retries=retries, retry_backoff=retry_backoff,
-                              timeout=timeout, resume=resume, fault=fault)
+                              timeout=timeout, resume=resume, fault=fault,
+                              executor=executor,
+                              write_manifest=write_manifest)
     return _run_sweep_serial(workload, designs, cfg, progress=progress,
                              metrics=metrics, profiler=profiler,
                              dump_stats=dump_stats, check=check,
@@ -205,7 +222,9 @@ def _run_sweep_serial(workload, designs, cfg=None, progress=None,
                         attempt += 1
                         continue
                     metrics.failures += 1
+                    import traceback as _traceback
                     failure = FailedPoint(workload, design, repr(exc),
+                                          traceback=_traceback.format_exc(),
                                           attempts=attempt)
                     if on_error == "raise":
                         raise SweepError(

@@ -35,15 +35,25 @@ Cache format (see :data:`CACHE_FORMAT_VERSION`):
 
 ``<cache_dir>/<key[:2]>/<key>.pkl`` where ``key`` is the hex SHA-256 of
 the canonical JSON ``{"version", "workload", "design", "config"}``
-payload; ``design`` and ``config`` are the complete ``__dict__`` of the
-:class:`DesignPoint` / :class:`SoCConfig`, so *any* parameter change —
-including ones not on the sweep grid — invalidates the entry.  Each file
-pickles ``{"key": payload, "result": RunResult}``; the embedded payload
-guards against hash collisions and lets tooling inspect entries without
-re-deriving keys (entries written without a payload skip the guard).
-Corrupt or unreadable entries are treated as misses and rewritten.
-Failed points are never cached, so a resumed sweep re-evaluates exactly
-the missing and failed points.
+payload; ``design`` and ``config`` are the *canonicalized* ``__dict__``
+of the :class:`DesignPoint` / :class:`SoCConfig` (see
+:func:`canonical_design_fields`), so any parameter change that can
+influence the simulation — including ones not on the sweep grid —
+invalidates the entry, while two clients describing the same point
+differently (``8`` vs ``8.0``, a DMA design dragging along unused cache
+geometry) hash identically.  Each file pickles ``{"key": payload,
+"result": RunResult}``; the embedded payload guards against hash
+collisions and lets tooling inspect entries without re-deriving keys
+(entries written without a payload skip the guard).  Corrupt or
+unreadable entries are treated as misses and rewritten.  Failed points
+are never cached, so a resumed sweep re-evaluates exactly the missing
+and failed points.
+
+Where evaluations *run* is delegated to the pluggable executor layer
+(:mod:`repro.core.executors`): inline, local worker pool, or a remote
+transport.  ``run_sweep_pool(executor=...)`` accepts any
+:class:`~repro.core.executors.Executor`; by default the historical
+selection (pool when it pays, inline otherwise) is preserved exactly.
 """
 
 import hashlib
@@ -56,15 +66,15 @@ import time
 import traceback as _traceback
 import warnings
 from collections import deque
-from multiprocessing import get_context
 
-from repro.core.config import SoCConfig
+from repro.core.config import DesignPoint, SoCConfig
 from repro.core.soc import run_design
 from repro.errors import SweepError
 
 #: Bump when the simulator's timing/energy models change in ways that make
-#: previously cached RunResults stale.
-CACHE_FORMAT_VERSION = 1
+#: previously cached RunResults stale.  v2: canonicalized key payloads
+#: (numeric normalization + interface-irrelevant field masking).
+CACHE_FORMAT_VERSION = 2
 
 #: Conventional cache location (the CLI default; gitignored).
 DEFAULT_CACHE_DIR = ".sweep-cache"
@@ -72,14 +82,68 @@ DEFAULT_CACHE_DIR = ".sweep-cache"
 
 # -- cache keys ---------------------------------------------------------------
 
+#: DesignPoint fields with no influence on a DMA-interface simulation
+#: (verified by the regression suite: varying any of them leaves every
+#: measured metric bit-identical).  Masked to their defaults in the key
+#: payload so two clients describing the same DMA design — one dragging
+#: along cache geometry, one not — hash to the same cache entry.
+DMA_IRRELEVANT_FIELDS = ("cache_size_kb", "cache_line", "cache_ports",
+                         "cache_assoc", "prefetcher", "perfect_memory")
+
+#: DesignPoint fields with no influence on a cache-interface simulation.
+#: Note ``spad_ports`` is *not* here: cache designs still exercise the
+#: scratchpad port arbitration, so it stays a hash input.
+CACHE_IRRELEVANT_FIELDS = ("pipelined_dma", "dma_triggered_compute",
+                           "double_buffer")
+
+_DESIGN_DEFAULTS = None
+
+
+def _canon_value(value):
+    """JSON-stable scalar: integral floats collapse to ints (8.0 -> 8)."""
+    if (isinstance(value, float) and not isinstance(value, bool)
+            and value.is_integer()):
+        return int(value)
+    return value
+
+
+def canonical_design_fields(design):
+    """The hashed identity of a DesignPoint: complete, canonical fields.
+
+    Starts from the full ``__dict__`` (so fields off the sweep grid still
+    invalidate), then (1) normalizes numerics so ``8`` and ``8.0``
+    serialize identically and (2) masks the fields the selected memory
+    interface provably ignores to their defaults — two non-canonical
+    descriptions of the same design point must hash identically, or
+    concurrent clients pay double evaluation for nothing.
+    """
+    global _DESIGN_DEFAULTS
+    if _DESIGN_DEFAULTS is None:
+        _DESIGN_DEFAULTS = dict(DesignPoint().__dict__)
+    fields = {name: _canon_value(value)
+              for name, value in design.__dict__.items()}
+    masked = (DMA_IRRELEVANT_FIELDS if design.is_dma
+              else CACHE_IRRELEVANT_FIELDS)
+    for name in masked:
+        if name in fields:
+            fields[name] = _canon_value(_DESIGN_DEFAULTS[name])
+    return fields
+
+
+def canonical_config_fields(cfg):
+    """The hashed identity of an SoCConfig (numeric-normalized)."""
+    return {name: _canon_value(value)
+            for name, value in cfg.__dict__.items()}
+
+
 def key_payload(workload, design, cfg=None):
     """The canonical, JSON-able identity of one design-point evaluation."""
     cfg = cfg or SoCConfig()
     return {
         "version": CACHE_FORMAT_VERSION,
         "workload": workload,
-        "design": dict(design.__dict__),
-        "config": dict(cfg.__dict__),
+        "design": canonical_design_fields(design),
+        "config": canonical_config_fields(cfg),
     }
 
 
@@ -92,20 +156,75 @@ def sweep_key(workload, design, cfg=None):
 
 # -- the on-disk cache --------------------------------------------------------
 
+#: Sweep size from which the cache probe switches to the batch path
+#: (one directory scan via the key index) instead of per-point probes.
+_BATCH_PROBE_MIN = 64
+
+
 class SweepCache:
     """Pickle-per-point result cache under one root directory.
 
     Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
     sharing a cache directory never observe torn entries; unreadable or
     mismatched entries read as misses.
+
+    Batch reads go through :meth:`get_many`, backed by a lazily built
+    in-memory key index (one directory scan): probing a large, mostly
+    warm query then costs one ``os.walk`` plus a read per *present*
+    entry instead of a failed ``open`` per point.  The index is a
+    fast-path hint, not a source of truth — a key another process adds
+    after the scan reads as a miss until :meth:`refresh_index` (or a
+    local :meth:`put`, which updates the index) catches up, which only
+    ever costs a redundant re-evaluation, never a wrong answer.
     """
 
     def __init__(self, root):
         self.root = root
+        self._index = None  # lazy set of known-present keys
         os.makedirs(root, exist_ok=True)
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".pkl")
+
+    # -- in-memory key index (batch fast path) -------------------------------
+
+    def index(self):
+        """The set of cached keys, scanned lazily from the directory."""
+        if self._index is None:
+            index = set()
+            for _dirpath, _subdirs, files in os.walk(self.root):
+                for name in files:
+                    if name.endswith(".pkl"):
+                        index.add(name[:-4])
+            self._index = index
+        return self._index
+
+    def refresh_index(self):
+        """Drop and rebuild the key index (pick up other writers)."""
+        self._index = None
+        return self.index()
+
+    def get_many(self, keys, payloads=None):
+        """Batch lookup: ``{key: RunResult}`` for the cached subset.
+
+        ``payloads`` optionally maps keys to their expected payload for
+        the hash-collision guard (same semantics as :meth:`get`).  Keys
+        absent from the index are skipped without touching the disk —
+        the point of this method; an indexed key whose entry turns out
+        unreadable is dropped from the index and reported as a miss.
+        """
+        index = self.index()
+        out = {}
+        for key in keys:
+            if key not in index:
+                continue
+            result = self.get(
+                key, payloads.get(key) if payloads is not None else None)
+            if result is None:
+                index.discard(key)
+            else:
+                out[key] = result
+        return out
 
     def get(self, key, payload=None):
         """The cached RunResult for ``key``, or None on a miss.
@@ -144,6 +263,8 @@ class SweepCache:
             except OSError:
                 pass
             raise
+        if self._index is not None:
+            self._index.add(key)
 
     def __len__(self):
         count = 0
@@ -157,6 +278,7 @@ class SweepCache:
             for name in files:
                 if name.endswith(".pkl"):
                     os.unlink(os.path.join(dirpath, name))
+        self._index = None
 
 
 # -- sweep metrics ------------------------------------------------------------
@@ -178,6 +300,13 @@ class SweepMetrics:
     retry budget, ``retries`` re-issued attempts, ``timeouts`` the subset
     of failed attempts killed by the per-point wall-clock limit.
 
+    ``joins`` counts points satisfied by *someone else's* in-flight
+    evaluation (the service front door's dedup — see
+    :mod:`repro.serve.service`).  A joined point is neither a cache hit
+    nor a local evaluation, so ``points`` partitions into ``cache_hits``
+    + ``joins`` + ``evaluated`` + ``failures`` wherever the service is
+    involved and joins stay out of ``point_seconds`` / utilization.
+
     Tiered-fidelity counters (see :mod:`repro.core.calibrate`):
     ``fast_points`` analytic predictions made, ``pruned`` points the
     triage skipped exactly, ``confirmed`` points re-evaluated exactly
@@ -188,6 +317,7 @@ class SweepMetrics:
     def __init__(self):
         self.points = 0
         self.cache_hits = 0
+        self.joins = 0
         self.evaluated = 0
         self.failures = 0
         self.retries = 0
@@ -244,6 +374,7 @@ class SweepMetrics:
         """Fold another sweep's counters into this one (multi-sweep runs)."""
         self.points += other.points
         self.cache_hits += other.cache_hits
+        self.joins += other.joins
         self.evaluated += other.evaluated
         self.failures += other.failures
         self.retries += other.retries
@@ -263,6 +394,7 @@ class SweepMetrics:
             "points": self.points,
             "evaluated": self.evaluated,
             "cache_hits": self.cache_hits,
+            "joins": self.joins,
             "failures": self.failures,
             "retries": self.retries,
             "timeouts": self.timeouts,
@@ -286,8 +418,13 @@ class SweepMetrics:
             ("evaluated", "points evaluated exactly", lambda: self.evaluated),
             ("cache_hits", "points served from cache",
              lambda: self.cache_hits),
+            ("joins", "points satisfied by joining an in-flight "
+             "evaluation", lambda: self.joins),
             ("failures", "points that exhausted retries",
              lambda: self.failures),
+            ("retries", "re-issued attempts", lambda: self.retries),
+            ("timeouts", "attempts killed by the per-point timeout",
+             lambda: self.timeouts),
             ("fast_points", "analytic fast-model predictions",
              lambda: self.fast_points),
             ("pruned", "points pruned by fast-model triage",
@@ -310,6 +447,9 @@ class SweepMetrics:
             f"  evaluated    : {self.evaluated}",
             f"  cache hits   : {self.cache_hits}",
         ]
+        if self.joins:
+            lines.append(f"  joins        : {self.joins} "
+                         f"(in-flight dedup)")
         if self.failures or self.retries or self.timeouts:
             lines.append(f"  failures     : {self.failures} "
                          f"({self.timeouts} timed out, "
@@ -436,17 +576,24 @@ def inject_fault(faults, index, attempt):
 
 #: Subdirectory of the cache root holding sweep-level manifests.
 MANIFEST_DIR = "manifests"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2  # v2: canonical design/config fields in the id
 
 
 def sweep_id(workload, designs, cfg=None):
-    """Stable hex digest identifying one (workload, design list, cfg) sweep."""
+    """Stable hex digest identifying one (workload, design list, cfg) sweep.
+
+    Built from the same canonical field dicts as the per-point cache key
+    (:func:`canonical_design_fields` / :func:`canonical_config_fields`),
+    so two clients describing the same sweep with differently-spelled
+    but simulation-equivalent specs (``8.0`` vs ``8``, irrelevant
+    cross-interface knobs left at odd values) share one manifest.
+    """
     cfg = cfg or SoCConfig()
     payload = {
         "version": MANIFEST_VERSION,
         "workload": workload,
-        "config": dict(cfg.__dict__),
-        "designs": [dict(d.__dict__) for d in designs],
+        "config": canonical_config_fields(cfg),
+        "designs": [canonical_design_fields(d) for d in designs],
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -654,7 +801,8 @@ _POOL_FAILURE_LIMIT = 4
 def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
                    progress=None, metrics=None, mp_context="spawn",
                    on_error="raise", retries=0, retry_backoff=0.0,
-                   timeout=None, resume=False, fault=None):
+                   timeout=None, resume=False, fault=None, executor=None,
+                   write_manifest=True):
     """Evaluate every design point, in parallel and/or memoized.
 
     Drop-in compatible with :func:`repro.core.sweep.run_sweep`: returns
@@ -662,6 +810,17 @@ def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
     worker scheduling.  ``jobs=None`` or ``0`` uses every CPU; ``jobs=1``
     evaluates inline (no pool).  ``cache_dir`` enables the on-disk memo
     cache; ``metrics`` (a :class:`SweepMetrics`) is filled in place.
+
+    ``executor`` overrides *where* the pending points evaluate (any
+    :class:`repro.core.executors.Executor`); by default
+    :func:`~repro.core.executors.resolve_executor` reproduces the
+    historical engine selection (pool when requested/needed, inline
+    otherwise).  ``write_manifest=False`` skips the per-sweep
+    checkpoint manifest — results still flush through the cache, but no
+    ``manifests/<sweep_id>.json`` is written.  The service front door
+    uses this for its coalesced ad-hoc batches, which are not resumable
+    sweeps and would otherwise litter the manifest directory with
+    one-off entries.
 
     Robustness knobs (all default to today's fail-fast behaviour):
 
@@ -709,23 +868,39 @@ def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
     completed = 0
     pending = []
     payloads = {}
-    for i, design in enumerate(designs):
-        if cache is not None:
-            payload = key_payload(workload, design, cfg)
-            key = sweep_key(workload, design, cfg)
-            payloads[i] = (key, payload)
-            hit = cache.get(key, payload)
+    if cache is not None:
+        for i, design in enumerate(designs):
+            payloads[i] = (sweep_key(workload, design, cfg),
+                           key_payload(workload, design, cfg))
+        if len(designs) >= _BATCH_PROBE_MIN:
+            # Batch probe: one index scan answers every miss for free;
+            # only present entries pay a read (SweepCache.get_many).
+            hits = cache.get_many([kp[0] for kp in payloads.values()],
+                                  payloads={kp[0]: kp[1]
+                                            for kp in payloads.values()})
+        else:
+            # Small sweeps: per-point probes beat walking a cache
+            # directory that may hold orders of magnitude more entries.
+            hits = {}
+            for key, payload in payloads.values():
+                result = cache.get(key, payload)
+                if result is not None:
+                    hits[key] = result
+        for i in range(len(designs)):
+            hit = hits.get(payloads[i][0])
             if hit is not None:
                 results[i] = hit
                 metrics.cache_hits += 1
                 completed += 1
                 if progress is not None:
                     progress(completed, len(designs))
-                continue
-        pending.append(i)
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(designs)))
 
     manifest = None
-    if cache is not None:
+    if cache is not None and write_manifest:
         manifest = SweepManifest(cache_dir, workload, designs, cfg,
                                  keys={i: kp[0]
                                        for i, kp in payloads.items()})
@@ -769,70 +944,37 @@ def run_sweep_pool(workload, designs, cfg=None, jobs=1, cache_dir=None,
         if progress is not None:
             progress(completed, len(designs))
 
-    can_spawn = not (mp_context == "spawn"
-                     and not _spawn_can_reimport_main())
-    want_pool = jobs > 1 or (robust and timeout is not None)
-    use_pool = bool(pending) and want_pool and can_spawn
-    # Satellite fix: record the worker count actually used, *after* the
-    # spawn-safety fallback decision — a sweep downgraded to inline must
-    # not report a parallel job count (and a bogus utilization).
+    from repro.core.executors import (
+        ExecutionPlan,
+        InlineExecutor,
+        resolve_executor,
+    )
+    if executor is None:
+        executor = resolve_executor(jobs=jobs, mp_context=mp_context,
+                                    robust=robust, timeout=timeout,
+                                    npending=len(pending))
+    # Satellite fix (PR 5): record the worker count actually used, *after*
+    # the spawn-safety fallback decision — a sweep downgraded to inline
+    # must not report a parallel job count (and a bogus utilization).
     metrics.jobs = max(metrics.jobs,
-                       min(jobs, len(pending)) if use_pool else 1)
+                       executor.effective_jobs(len(pending)))
 
-    def run_inline(indices_attempts):
-        """Serial in-process evaluation with retry/capture (no timeout)."""
-        if timeout is not None and robust:
-            warnings.warn(
-                "per-point sweep timeout needs worker processes; "
-                "evaluating inline without timeout enforcement",
-                RuntimeWarning, stacklevel=2)
-        for index, first_attempt in indices_attempts:
-            attempt = first_attempt
-            while True:
-                try:
-                    _idx, result, elapsed = _evaluate_task(
-                        (index, workload, designs[index], cfg, attempt,
-                         faults))
-                except Exception as exc:
-                    if not robust:
-                        raise
-                    if attempt <= retries:
-                        metrics.retries += 1
-                        if retry_backoff > 0.0:
-                            time.sleep(retry_backoff * attempt)
-                        attempt += 1
-                        continue
-                    fail(index, attempt, "error", repr(exc),
-                         _traceback.format_exc())
-                    break
-                finish(index, result, elapsed)
-                break
-
+    plan = ExecutionPlan(workload, designs, cfg,
+                         pending=[(i, 1) for i in pending], faults=faults,
+                         retries=retries, retry_backoff=retry_backoff,
+                         timeout=timeout, robust=robust, metrics=metrics,
+                         finish=finish, fail=fail)
     try:
-        if use_pool and not robust:
-            # Fast path — identical to the pre-robustness engine.
-            ctx = get_context(mp_context)
-            tasks = [(i, workload, designs[i], cfg, 1, faults)
-                     for i in pending]
-            with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-                for index, result, elapsed in pool.imap(_evaluate_task,
-                                                        tasks):
-                    finish(index, result, elapsed)
-        elif use_pool:
-            leftover = _run_robust_pool(
-                ctx=get_context(mp_context), nworkers=min(jobs, len(pending)),
-                pending=pending, workload=workload, designs=designs, cfg=cfg,
-                faults=faults, retries=retries, retry_backoff=retry_backoff,
-                timeout=timeout, metrics=metrics, finish=finish, fail=fail)
+        if pending:
+            leftover = executor.execute(plan)
             if leftover:
                 warnings.warn(
                     "sweep worker pool failed repeatedly; falling back to "
                     "serial evaluation for the remaining "
                     f"{len(leftover)} point(s)", RuntimeWarning,
                     stacklevel=2)
-                run_inline(leftover)
-        else:
-            run_inline([(i, 1) for i in pending])
+                plan.pending = leftover
+                InlineExecutor().execute(plan)
     finally:
         if manifest is not None:
             manifest.save()
@@ -848,14 +990,16 @@ def _run_robust_pool(ctx, nworkers, pending, workload, designs, cfg, faults,
     process) identifies exactly the point it was evaluating: the worker is
     reaped and replaced, the point retried or failed with
     ``kind="worker-lost"``.  A per-point ``timeout`` kills the overdue
-    worker the same way (``kind="timeout"``).  Returns the list of
-    ``(index, attempt)`` pairs still outstanding if the pool collapsed
-    (repeated worker deaths with no completions, or no spawnable
-    workers) — the caller falls back to inline evaluation.
+    worker the same way (``kind="timeout"``).  ``pending`` is a list of
+    ``(index, first_attempt)`` pairs (the :class:`ExecutionPlan` format).
+    Returns the list of ``(index, attempt)`` pairs still outstanding if
+    the pool collapsed (repeated worker deaths with no completions, or no
+    spawnable workers) — the caller falls back to inline evaluation.
     """
     from multiprocessing.connection import wait as conn_wait
 
-    queue = deque((i, 1, 0.0) for i in pending)  # (index, attempt, not_before)
+    # (index, attempt, not_before)
+    queue = deque((i, a, 0.0) for i, a in pending)
     workers = []
     consecutive_losses = 0
 

@@ -355,3 +355,25 @@ def _fmt_num(value):
             return str(int(value))
         return f"{value:.6g}"
     return str(value)
+
+
+def percentile(values, q):
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    ``q`` is in [0, 100].  Returns 0.0 for an empty sequence — service
+    latency distributions start empty and dashboards want a number, not
+    an exception.  Matches ``numpy.percentile``'s default method without
+    importing numpy on the serving path.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return float(data[lo]) + (float(data[hi]) - float(data[lo])) * frac

@@ -1,0 +1,19 @@
+"""Sweep-as-a-service: a queryable front door over the sweep engine.
+
+The package turns the content-addressed sweep cache (PR 1) into a shared
+result store that serves concurrent clients:
+
+* :mod:`repro.serve.service` — :class:`SweepService`, the in-process
+  core: a batching front door that answers each requested design point
+  by **cache hit**, **in-flight join** (someone else is already
+  computing it) or **fresh dispatch** (simulated at most once
+  fleet-wide), plus Pareto/EDP/figure queries over the store.
+* :mod:`repro.serve.httpd` — the stdlib HTTP/JSON face
+  (``repro serve``), no dependencies beyond ``http.server``.
+* :mod:`repro.serve.client` — a tiny ``urllib`` client
+  (``repro query`` and tests).
+"""
+
+from repro.serve.service import ServiceMetrics, SweepService
+
+__all__ = ["ServiceMetrics", "SweepService"]

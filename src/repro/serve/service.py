@@ -1,0 +1,548 @@
+"""The sweep service core: coalescing, dedup, and store-backed queries.
+
+:class:`SweepService` sits between any number of concurrent clients and
+one sweep engine.  Every requested design point resolves exactly one
+way:
+
+* **hit** — the content-addressed cache already holds the result;
+* **join** — an identical point (same ``sweep_key``) is already being
+  evaluated for another client, so this request attaches to that
+  in-flight evaluation instead of starting a second one;
+* **dispatch** — the point is genuinely cold and is queued for
+  evaluation (at most once fleet-wide).
+
+A dispatcher thread drains the queue, coalescing points that arrive
+within ``batch_window`` seconds into per-``(workload, config,
+fidelity)`` batches and running them through
+:func:`repro.core.sweep.run_sweep` — so they share trace capture, the
+worker pool, and (under ``fidelity="auto"``) one triage round — with
+``on_error="collect"``: a failing point becomes a
+:class:`~repro.core.sweeppool.FailedPoint` for its waiters, never a
+dead dispatcher.
+
+Joins are tier-aware: a client that asked for ``"exact"`` results only
+joins exact-tier in-flight points (an ``"auto"`` evaluation may resolve
+a pruned point with a fast-model prediction, which an exact client must
+never receive), while ``"auto"``/``"fast"`` clients happily join an
+exact evaluation — it is strictly better than what they asked for.
+"""
+
+import threading
+import time
+import traceback
+from collections import deque
+
+from repro.core.config import SoCConfig
+from repro.core.export import result_record
+from repro.core.pareto import edp_optimal, pareto_frontier
+from repro.core.sweeppool import (
+    _BATCH_PROBE_MIN,
+    FailedPoint,
+    SweepCache,
+    SweepMetrics,
+    key_payload,
+    sweep_key,
+)
+from repro.errors import CalibrationError
+from repro.obs.stats import percentile
+
+#: Sliding window of per-request latencies kept for the percentiles.
+LATENCY_WINDOW = 1024
+
+#: Which in-flight tiers a requester of a given tier may join, in
+#: preference order.  ``exact`` only joins exact (an auto/fast entry
+#: may resolve to a prediction); ``auto``/``fast`` join anything at
+#: least as precise as what they asked for.
+_JOIN_TIERS = {
+    "exact": ("exact",),
+    "auto": ("exact", "auto"),
+    "fast": ("exact", "auto", "fast"),
+}
+
+_TIERS = ("exact", "fast", "auto")
+
+
+class ServiceMetrics:
+    """Fleet-level counters for one :class:`SweepService`.
+
+    ``points`` partitions into ``hits`` + ``joins`` + ``dispatches``;
+    ``evaluated``/``failures`` partition the dispatched points by
+    outcome.  ``queue_depth`` is a gauge (points queued, not yet handed
+    to the engine); per-request latencies feed a bounded sliding window
+    summarized as p50/p95.  All mutation goes through :meth:`bump` /
+    :meth:`observe_latency`, which take the internal lock — safe from
+    any number of client threads plus the dispatcher.
+    """
+
+    _COUNTERS = ("requests", "points", "hits", "joins", "dispatches",
+                 "evaluated", "failures", "batches")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.points = 0
+        self.hits = 0
+        self.joins = 0
+        self.dispatches = 0
+        self.evaluated = 0
+        self.failures = 0
+        self.batches = 0
+        self.queue_depth = 0
+        self.latencies = deque(maxlen=LATENCY_WINDOW)
+
+    def bump(self, **counts):
+        with self._lock:
+            for name, n in counts.items():
+                setattr(self, name, getattr(self, name) + n)
+
+    def set_queue_depth(self, depth):
+        with self._lock:
+            self.queue_depth = depth
+
+    def observe_latency(self, seconds):
+        with self._lock:
+            self.latencies.append(seconds)
+
+    @property
+    def latency_p50(self):
+        with self._lock:
+            return percentile(self.latencies, 50)
+
+    @property
+    def latency_p95(self):
+        with self._lock:
+            return percentile(self.latencies, 95)
+
+    def snapshot(self):
+        """One consistent JSON-able view of every counter."""
+        with self._lock:
+            out = {name: getattr(self, name) for name in self._COUNTERS}
+            out["queue_depth"] = self.queue_depth
+            out["latency_p50"] = percentile(self.latencies, 50)
+            out["latency_p95"] = percentile(self.latencies, 95)
+        return out
+
+    def reg_stats(self, registry, prefix="serve"):
+        """Mirror the counters into an :mod:`repro.obs` stats registry."""
+        scalars = [
+            ("requests", "client requests served", lambda: self.requests),
+            ("points", "design points requested", lambda: self.points),
+            ("hits", "points answered from the result store",
+             lambda: self.hits),
+            ("joins", "points deduplicated onto an in-flight evaluation",
+             lambda: self.joins),
+            ("dispatches", "points evaluated fresh (at most one per "
+             "unique point)", lambda: self.dispatches),
+            ("evaluated", "dispatched points that completed",
+             lambda: self.evaluated),
+            ("failures", "dispatched points that failed",
+             lambda: self.failures),
+            ("batches", "coalesced engine batches", lambda: self.batches),
+            ("queue_depth", "points queued awaiting dispatch",
+             lambda: self.queue_depth),
+            ("latency_p50", "median request latency (s)",
+             lambda: self.latency_p50),
+            ("latency_p95", "95th-percentile request latency (s)",
+             lambda: self.latency_p95),
+        ]
+        for name, desc, getter in scalars:
+            registry.scalar(f"{prefix}.{name}", getter=getter, desc=desc)
+
+
+class _Inflight:
+    """One design point being evaluated for whoever cares to wait."""
+
+    __slots__ = ("key", "workload", "design", "cfg", "tier", "event",
+                 "result")
+
+    def __init__(self, key, workload, design, cfg, tier):
+        self.key = key
+        self.workload = workload
+        self.design = design
+        self.cfg = cfg
+        self.tier = tier
+        self.event = threading.Event()
+        self.result = None
+
+    def fulfill(self, result):
+        self.result = result
+        self.event.set()
+
+
+class SweepService:
+    """Shared sweep front door: submit design points, query the store.
+
+    One service owns one cache directory (the content-addressed result
+    store) and one dispatcher thread.  Any number of threads may call
+    :meth:`submit` / :meth:`query` concurrently; identical points are
+    simulated at most once across all of them.
+
+    ``fidelity=None`` (the default) picks per workload: ``"auto"``
+    triage when a persisted calibration exists under ``cache_dir``
+    (``repro calibrate``), ``"exact"`` otherwise.  ``jobs`` /
+    ``executor`` configure the engine the dispatcher hands batches to
+    (see :mod:`repro.core.executors`); ``batch_window`` is how long the
+    dispatcher waits after the first queued point for stragglers to
+    coalesce into one batch.
+    """
+
+    def __init__(self, cache_dir, jobs=None, cfg=None, fidelity=None,
+                 batch_window=0.02, executor=None):
+        if fidelity is not None and fidelity not in _TIERS:
+            raise ValueError(
+                f"fidelity must be one of {_TIERS} or None, got {fidelity!r}")
+        self.cache_dir = cache_dir
+        self.cache = SweepCache(cache_dir)
+        self.jobs = jobs
+        self.default_cfg = cfg or SoCConfig()
+        self.fidelity = fidelity
+        self.batch_window = batch_window
+        self.executor = executor
+        self.metrics = ServiceMetrics()
+        self.sweep_metrics = SweepMetrics()  # engine-side aggregate
+        self._lock = threading.Lock()
+        self._inflight = {}   # key -> {tier: _Inflight}
+        self._queue = deque()
+        self._wakeup = threading.Event()
+        self._closed = False
+        self._calibrations = {}  # (workload, cfg_hash) -> Calibration|None
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher",
+            daemon=True)
+        self._dispatcher.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, timeout=10.0):
+        """Stop the dispatcher; queued-but-undispatched points fail."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            leftover = list(self._queue)
+            self._queue.clear()
+            self.metrics.set_queue_depth(0)
+        self._wakeup.set()
+        for entry in leftover:
+            self._settle(entry, FailedPoint(
+                entry.workload, entry.design,
+                "RuntimeError('service closed before dispatch')"))
+        self._dispatcher.join(timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    # -- tier / calibration resolution ---------------------------------------
+
+    def _calibration(self, workload, cfg):
+        from repro.core.calibrate import Calibration, config_hash
+        cache_key = (workload, config_hash(cfg))
+        if cache_key not in self._calibrations:
+            self._calibrations[cache_key] = Calibration.load(
+                self.cache_dir, workload, cfg)
+        return self._calibrations[cache_key]
+
+    def _tier_for(self, workload, cfg, fidelity):
+        tier = fidelity if fidelity is not None else self.fidelity
+        if tier is None:
+            tier = ("auto" if self._calibration(workload, cfg) is not None
+                    else "exact")
+        elif tier not in _TIERS:
+            raise ValueError(
+                f"fidelity must be one of {_TIERS}, got {tier!r}")
+        if tier != "exact" and self._calibration(workload, cfg) is None:
+            raise CalibrationError(
+                f"no calibration for {workload!r} under {self.cache_dir!r} "
+                f"(fidelity={tier!r}); run `repro calibrate {workload} "
+                f"--cache-dir {self.cache_dir}` first")
+        return tier
+
+    # -- the front door ------------------------------------------------------
+
+    def submit(self, workload, designs, cfg=None, fidelity=None,
+               metrics=None):
+        """Evaluate ``designs`` with fleet-wide dedup.
+
+        Blocks until every point resolves and returns ``(results,
+        report)``: results in input order (``FailedPoint`` in the slot
+        of anything that failed — the service never raises for a bad
+        point) and a report dict with the per-request provenance counts
+        (``hits`` / ``joins`` / ``dispatches``).
+
+        ``metrics`` (a :class:`~repro.core.sweeppool.SweepMetrics`) is
+        filled with this *request's* view: joined points land in
+        ``joins`` — they are neither cache hits nor local evaluations,
+        so utilisation and per-point timings stay truthful.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SweepService is closed")
+        cfg = cfg or self.default_cfg
+        tier = self._tier_for(workload, cfg, fidelity)
+        start = time.perf_counter()
+        keys = [sweep_key(workload, d, cfg) for d in designs]
+        payloads = {k: key_payload(workload, d, cfg)
+                    for k, d in zip(keys, designs)}
+        # Cheap pre-lock snapshot: the index answers big warm queries
+        # without holding the service lock across disk reads.
+        snapshot = (self.cache.get_many(keys, payloads)
+                    if len(designs) >= _BATCH_PROBE_MIN else {})
+        slots = [None] * len(designs)
+        report = {"points": len(designs), "hits": 0, "joins": 0,
+                  "dispatches": 0, "failures": 0, "tier": tier}
+        fresh = []
+        with self._lock:
+            for i, key in enumerate(keys):
+                result = snapshot.get(key)
+                if result is not None:
+                    slots[i] = ("hit", result)
+                    continue
+                entry = self._join_target(key, tier)
+                if entry is not None:
+                    slots[i] = ("join", entry)
+                    continue
+                # Authoritative re-probe under the lock: catches points
+                # cached after the snapshot (including the window where
+                # a batch has written the cache but not yet retired its
+                # in-flight entry) — without it a point could dispatch
+                # twice.
+                result = self.cache.get(key, payloads[key])
+                if result is not None:
+                    self.cache.index().add(key)
+                    slots[i] = ("hit", result)
+                    continue
+                entry = _Inflight(key, workload, designs[i], cfg, tier)
+                self._inflight.setdefault(key, {})[tier] = entry
+                fresh.append(entry)
+                slots[i] = ("dispatch", entry)
+            if fresh:
+                self._queue.extend(fresh)
+                self.metrics.set_queue_depth(len(self._queue))
+        if fresh:
+            self._wakeup.set()
+
+        results = [None] * len(designs)
+        for i, (kind, obj) in enumerate(slots):
+            if kind == "hit":
+                results[i] = obj
+                report["hits"] += 1
+            else:
+                obj.event.wait()
+                results[i] = obj.result
+                report["joins" if kind == "join" else "dispatches"] += 1
+            if getattr(results[i], "is_failure", False):
+                report["failures"] += 1
+
+        if metrics is not None:
+            metrics.points += len(designs)
+            metrics.cache_hits += report["hits"]
+            metrics.joins += report["joins"]
+            for (kind, _obj), result in zip(slots, results):
+                if kind != "dispatch":
+                    continue
+                if getattr(result, "is_failure", False):
+                    metrics.failures += 1
+                else:
+                    metrics.evaluated += 1
+        self.metrics.bump(requests=1, points=len(designs),
+                          hits=report["hits"], joins=report["joins"],
+                          dispatches=report["dispatches"])
+        self.metrics.observe_latency(time.perf_counter() - start)
+        return results, report
+
+    def _join_target(self, key, tier):
+        """The joinable in-flight entry for ``key``, or None (lock held)."""
+        entries = self._inflight.get(key)
+        if not entries:
+            return None
+        for candidate in _JOIN_TIERS[tier]:
+            entry = entries.get(candidate)
+            if entry is not None:
+                return entry
+        return None
+
+    # -- the dispatcher ------------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            with self._lock:
+                have_work = bool(self._queue)
+                closed = self._closed
+            if not have_work:
+                if closed:
+                    return
+                self._wakeup.wait(0.1)
+                self._wakeup.clear()
+                continue
+            if self.batch_window > 0:
+                time.sleep(self.batch_window)  # let stragglers coalesce
+            with self._lock:
+                batch = list(self._queue)
+                self._queue.clear()
+                self.metrics.set_queue_depth(0)
+            groups = {}
+            for entry in batch:
+                group_key = (entry.workload, id(entry.cfg), entry.tier)
+                groups.setdefault(group_key, []).append(entry)
+            for entries in groups.values():
+                self._run_batch(entries)
+
+    def _run_batch(self, entries):
+        """Evaluate one coalesced (workload, cfg, tier) batch.
+
+        Never raises: an engine-level explosion fails every entry's
+        waiters with a :class:`FailedPoint` instead of killing the
+        dispatcher thread.
+        """
+        from repro.core.sweep import run_sweep
+        workload = entries[0].workload
+        cfg = entries[0].cfg
+        tier = entries[0].tier
+        designs = [entry.design for entry in entries]
+        self.metrics.bump(batches=1)
+        try:
+            kwargs = {}
+            if tier != "exact":
+                kwargs["fidelity"] = tier
+                kwargs["calibration"] = self._calibration(workload, cfg)
+            results = run_sweep(workload, designs, cfg, parallel=self.jobs,
+                                cache_dir=self.cache_dir,
+                                metrics=self.sweep_metrics,
+                                on_error="collect", executor=self.executor,
+                                write_manifest=False, **kwargs)
+        except Exception as exc:
+            tb = traceback.format_exc()
+            results = [FailedPoint(workload, design, repr(exc), tb)
+                       for design in designs]
+        nfailed = 0
+        for entry, result in zip(entries, results):
+            nfailed += bool(getattr(result, "is_failure", False))
+            self._settle(entry, result)
+        self.metrics.bump(evaluated=len(entries) - nfailed,
+                          failures=nfailed)
+
+    def _settle(self, entry, result):
+        """Retire one in-flight entry and wake its waiters.
+
+        The engine cached the result *before* this runs (run_sweep
+        flushes per point), so a concurrent submit in the gap either
+        still joins the entry or re-probes the cache under the lock —
+        both correct, never a double dispatch.
+        """
+        with self._lock:
+            tiers = self._inflight.get(entry.key)
+            if tiers is not None and tiers.get(entry.tier) is entry:
+                del tiers[entry.tier]
+                if not tiers:
+                    del self._inflight[entry.key]
+            if (not getattr(result, "is_failure", False)
+                    and getattr(result, "fidelity", "exact") == "exact"):
+                # Teach the service-side index about the engine's write
+                # (the engine used its own SweepCache instance).
+                self.cache.index().add(entry.key)
+        entry.fulfill(result)
+
+    # -- queries over the store ----------------------------------------------
+
+    def query(self, kind, workload, designs=None, cfg=None, space="both",
+              density="standard", fidelity=None, evaluate=True):
+        """Answer a ``sweep`` / ``pareto`` / ``edp`` / ``figure`` query.
+
+        ``designs`` defaults to the Figure-8 design space named by
+        ``space`` (``"dma"`` / ``"cache"`` / ``"both"``) at ``density``.
+        Cold points are evaluated through :meth:`submit` (tiered triage
+        by default); ``evaluate=False`` makes the query warm-only — it
+        answers from the store in O(cache lookup) and reports how many
+        points were ``missing`` instead of simulating them.
+
+        Returns a JSON-able dict: the reduction (records via
+        :func:`repro.core.export.result_record`, each tagged with its
+        ``fidelity``) plus the provenance report.
+        """
+        if kind not in ("sweep", "pareto", "edp", "figure"):
+            raise ValueError(
+                f'kind must be "sweep", "pareto", "edp" or "figure", '
+                f'got {kind!r}')
+        cfg = cfg or self.default_cfg
+        if designs is None:
+            designs = self._space(space, density)
+        missing = 0
+        if evaluate:
+            results, report = self.submit(workload, designs, cfg,
+                                          fidelity=fidelity)
+        else:
+            keys = [sweep_key(workload, d, cfg) for d in designs]
+            payloads = {k: key_payload(workload, d, cfg)
+                        for k, d in zip(keys, designs)}
+            hits = self.cache.get_many(keys, payloads)
+            results = [hits.get(k) for k in keys]
+            missing = sum(1 for r in results if r is None)
+            report = {"points": len(designs), "hits": len(designs) - missing,
+                      "joins": 0, "dispatches": 0, "failures": 0,
+                      "tier": "warm"}
+            self.metrics.bump(requests=1, points=len(designs),
+                              hits=report["hits"])
+        ok = [r for r in results
+              if r is not None and not getattr(r, "is_failure", False)]
+        response = {
+            "kind": kind,
+            "workload": workload,
+            "points": len(designs),
+            "missing": missing,
+            "service": report,
+        }
+        if kind == "sweep":
+            response["results"] = [self._record(r) for r in ok]
+            return response
+        # Frontier/EDP reductions are only meaningful over real
+        # measurements: unconfirmed fast predictions are excluded (the
+        # auto triage guarantees the dropped points are dominated).
+        confirmed = [r for r in ok
+                     if getattr(r, "fidelity", "exact") == "exact"]
+        pool = confirmed if confirmed else ok
+        if kind == "pareto":
+            response["frontier"] = [self._record(r)
+                                    for r in pareto_frontier(pool)]
+            response["edp_optimal"] = (self._record(edp_optimal(pool))
+                                       if pool else None)
+        elif kind == "edp":
+            response["edp_optimal"] = (self._record(edp_optimal(pool))
+                                       if pool else None)
+        else:  # figure: Fig-8 shape, one frontier per memory interface
+            response["interfaces"] = {}
+            for interface in ("dma", "cache"):
+                sub = [r for r in pool
+                       if r.design.mem_interface == interface]
+                response["interfaces"][interface] = {
+                    "frontier": [self._record(r)
+                                 for r in pareto_frontier(sub)],
+                    "edp_optimal": (self._record(edp_optimal(sub))
+                                    if sub else None),
+                }
+        return response
+
+    @staticmethod
+    def _space(space, density):
+        from repro.core.sweep import cache_design_space, dma_design_space
+        if space == "dma":
+            return dma_design_space(density)
+        if space == "cache":
+            return cache_design_space(density)
+        if space == "both":
+            return dma_design_space(density) + cache_design_space(density)
+        raise ValueError(
+            f'space must be "dma", "cache" or "both", got {space!r}')
+
+    @staticmethod
+    def _record(result):
+        record = result_record(result)
+        record["fidelity"] = getattr(result, "fidelity", "exact")
+        return record
+
+    def reg_stats(self, registry, prefix="serve"):
+        """Mirror service + engine counters into an obs stats registry."""
+        self.metrics.reg_stats(registry, prefix=prefix)
+        self.sweep_metrics.reg_stats(registry, prefix=f"{prefix}.engine")

@@ -358,3 +358,123 @@ class TestFidelityCLI:
         with pytest.raises(SystemExit, match="fidelity"):
             run_cli(["sweep", "aes-aes", "--density", "quick",
                      "--no-cache", "--fidelity", "auto", "--check"])
+
+
+class TestServeCLI:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.jobs == 1
+        assert args.fidelity is None
+        assert args.batch_window == 0.02
+        assert not args.verbose
+
+    def test_serve_delegates_to_httpd(self, monkeypatch, tmp_path):
+        import repro.serve.httpd as httpd
+        captured = {}
+
+        def fake_serve(cache_dir, **kwargs):
+            captured["cache_dir"] = cache_dir
+            captured.update(kwargs)
+
+        monkeypatch.setattr(httpd, "serve", fake_serve)
+        code, _text = run_cli(["serve", "--cache-dir", str(tmp_path),
+                               "--port", "0", "--jobs", "2",
+                               "--fidelity", "auto",
+                               "--batch-window", "0.01", "--verbose"])
+        assert code == 0
+        assert captured["cache_dir"] == str(tmp_path)
+        assert captured["port"] == 0
+        assert captured["jobs"] == 2
+        assert captured["fidelity"] == "auto"
+        assert captured["batch_window"] == 0.01
+        assert captured["verbose"] is True
+
+    def test_serve_uses_default_cache_dir(self, monkeypatch):
+        import repro.serve.httpd as httpd
+        from repro.core.sweeppool import DEFAULT_CACHE_DIR
+        captured = {}
+        monkeypatch.setattr(
+            httpd, "serve",
+            lambda cache_dir, **kwargs: captured.setdefault(
+                "cache_dir", cache_dir))
+        run_cli(["serve"])
+        assert captured["cache_dir"] == DEFAULT_CACHE_DIR
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A real repro serve on an ephemeral port; yields its base URL."""
+    import threading
+
+    from repro.serve import SweepService
+    from repro.serve.httpd import make_server
+
+    service = SweepService(str(tmp_path), batch_window=0.005)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+class TestQueryCLI:
+    def test_query_health(self, live_server):
+        code, text = run_cli(["query", "health", "--server", live_server])
+        assert code == 0
+        assert "ok" in text
+
+    def test_query_workloads(self, live_server):
+        code, text = run_cli(["query", "workloads",
+                              "--server", live_server])
+        assert code == 0
+        assert "aes-aes" in text
+
+    def test_query_edp_quick_grid(self, live_server):
+        code, text = run_cli(["query", "edp", "aes-aes",
+                              "--space", "dma", "--density", "quick",
+                              "--server", live_server, "--json", "-"])
+        assert code == 0
+        assert "edp_optimal" in text
+
+    def test_query_json_file(self, live_server, tmp_path):
+        import json
+        path = tmp_path / "health.json"
+        code, text = run_cli(["query", "health", "--server", live_server,
+                              "--json", str(path)])
+        assert code == 0
+        assert f"wrote response to {path}" in text
+        assert json.loads(path.read_text())["status"] == "ok"
+
+    def test_query_server_from_env(self, live_server, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_URL", live_server)
+        code, text = run_cli(["query", "health"])
+        assert code == 0
+        assert "ok" in text
+
+    def test_query_result_kind_needs_workload(self, live_server):
+        with pytest.raises(SystemExit, match="needs a workload"):
+            run_cli(["query", "edp", "--server", live_server])
+
+    def test_query_unreachable_server_exits_cleanly(self):
+        import socket
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        with pytest.raises(SystemExit, match="cannot reach"):
+            run_cli(["query", "health",
+                     "--server", f"http://127.0.0.1:{port}"])
+
+    def test_query_service_error_exits_cleanly(self, live_server):
+        with pytest.raises(SystemExit, match="query failed"):
+            run_cli(["query", "sweep", "aes-aes", "--fidelity", "fast",
+                     "--space", "dma", "--density", "quick",
+                     "--server", live_server])

@@ -261,3 +261,239 @@ class TestMetrics:
         assert a.points == 5
         assert a.cache_hits == 2
         assert a.evaluated == 3
+
+
+class TestCanonicalKeys:
+    """Two clients describing the same point must hash identically."""
+
+    def test_integral_floats_normalize(self):
+        # JSON clients send 8.0 where Python code sends 8; the point
+        # simulated is the same, so the key must be too.
+        a = DesignPoint(lanes=8, partitions=4)
+        b = DesignPoint(lanes=8.0, partitions=4.0)
+        assert sweep_key(WORKLOAD, a) == sweep_key(WORKLOAD, b)
+
+    def test_dma_ignores_cache_side_fields(self):
+        # A DMA design never builds the cache, so cache-side knobs are
+        # simulation-irrelevant (verified empirically against
+        # run_design) and must not fragment the store.
+        a = DesignPoint(lanes=4, partitions=4, mem_interface="dma")
+        b = a.replace(cache_size_kb=32, cache_ports=4, cache_assoc=8,
+                      cache_line=32, prefetcher="none")
+        assert sweep_key(WORKLOAD, a) == sweep_key(WORKLOAD, b)
+
+    def test_cache_ignores_dma_side_fields(self):
+        a = DesignPoint(lanes=4, mem_interface="cache")
+        b = a.replace(pipelined_dma=False, dma_triggered_compute=False,
+                      double_buffer=True)
+        assert sweep_key(WORKLOAD, a) == sweep_key(WORKLOAD, b)
+
+    def test_cache_keeps_spad_ports(self):
+        # DesignPoint.key() omits spad_ports for cache designs, but the
+        # scratchpad still serves the compute side there — spad_ports
+        # changes cache-design results, so it must stay a hash input.
+        a = DesignPoint(lanes=4, mem_interface="cache")
+        assert sweep_key(WORKLOAD, a) != sweep_key(
+            WORKLOAD, a.replace(spad_ports=2))
+
+    def test_relevant_fields_still_fragment(self):
+        a = DesignPoint(lanes=4, partitions=4, mem_interface="dma")
+        assert sweep_key(WORKLOAD, a) != sweep_key(
+            WORKLOAD, a.replace(pipelined_dma=False))
+        c = DesignPoint(mem_interface="cache")
+        assert sweep_key(WORKLOAD, c) != sweep_key(
+            WORKLOAD, c.replace(cache_line=32))
+
+    def test_payload_insensitive_to_dict_order(self):
+        import json
+        payload = key_payload(WORKLOAD, DesignPoint(), SoCConfig())
+        scrambled = json.loads(json.dumps(
+            {k: payload[k] for k in reversed(list(payload))}))
+        assert (json.dumps(payload, sort_keys=True)
+                == json.dumps(scrambled, sort_keys=True))
+
+    def test_equivalent_specs_share_cache_entries(self, tmp_path):
+        # End to end: the non-canonical spelling must hit the canonical
+        # spelling's cache entry, not re-simulate.
+        canonical = [DesignPoint(lanes=4, partitions=4)]
+        spelled = [DesignPoint(lanes=4.0, partitions=4,
+                               cache_size_kb=64, cache_ports=4)]
+        first = run_sweep_pool(WORKLOAD, canonical,
+                               cache_dir=str(tmp_path))
+        metrics = SweepMetrics()
+        second = run_sweep_pool(WORKLOAD, spelled, cache_dir=str(tmp_path),
+                                metrics=metrics)
+        assert metrics.cache_hits == 1
+        assert metrics.evaluated == 0
+        assert results_to_json(first) == results_to_json(second)
+
+    def test_sweep_id_uses_canonical_fields(self):
+        from repro.core.sweeppool import sweep_id
+        a = [DesignPoint(lanes=4, partitions=4)]
+        b = [DesignPoint(lanes=4.0, partitions=4, cache_size_kb=64)]
+        assert sweep_id(WORKLOAD, a) == sweep_id(WORKLOAD, b)
+        assert sweep_id(WORKLOAD, a) != sweep_id(
+            WORKLOAD, [DesignPoint(lanes=8, partitions=4)])
+
+
+class TestCacheIndex:
+    def _key(self, i):
+        return f"{i:02x}" + "0" * 62
+
+    def test_index_scans_existing_entries(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        for i in range(5):
+            cache.put(self._key(i), i)
+        fresh = SweepCache(str(tmp_path))  # index built lazily from disk
+        assert fresh.index() == {self._key(i) for i in range(5)}
+
+    def test_get_many_skips_unindexed_keys(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put(self._key(1), "one")
+        got = cache.get_many([self._key(1), self._key(2)])
+        assert got == {self._key(1): "one"}
+
+    def test_get_many_respects_payload_guard(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put(self._key(1), "one", payload={"p": 1})
+        got = cache.get_many([self._key(1)],
+                             payloads={self._key(1): {"p": 2}})
+        assert got == {}
+
+    def test_put_updates_built_index(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        assert cache.index() == set()
+        cache.put(self._key(7), 7)
+        assert self._key(7) in cache.index()
+        assert cache.get_many([self._key(7)]) == {self._key(7): 7}
+
+    def test_refresh_picks_up_other_writers(self, tmp_path):
+        reader = SweepCache(str(tmp_path))
+        assert reader.index() == set()
+        writer = SweepCache(str(tmp_path))
+        writer.put(self._key(3), 3)
+        assert reader.get_many([self._key(3)]) == {}  # stale index: miss
+        reader.refresh_index()
+        assert reader.get_many([self._key(3)]) == {self._key(3): 3}
+
+    def test_unreadable_indexed_entry_drops_from_index(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put(self._key(1), 1)
+        with open(cache._path(self._key(1)), "wb") as f:
+            f.write(b"garbage")
+        assert cache.get_many([self._key(1)]) == {}
+        assert self._key(1) not in cache.index()
+
+    def test_clear_resets_index(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        cache.put(self._key(1), 1)
+        cache.clear()
+        assert cache.index() == set()
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_corrupt_the_store(self, tmp_path):
+        # The service dispatcher and external sweeps share one store:
+        # many processes hammering the same key must always leave a
+        # readable entry (atomic temp-file + os.replace), never a torn
+        # one.  fork context so the children inherit this test module.
+        import multiprocessing
+
+        key = "ab" + "0" * 62
+        payload = {"p": 1}
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_hammer_cache,
+                             args=(str(tmp_path), key, payload, n))
+                 for n in range(4)]
+        for p in procs:
+            p.start()
+        cache = SweepCache(str(tmp_path))
+        observed = set()
+        for _ in range(200):
+            value = cache.get(key, payload)
+            if value is not None:
+                observed.add(value)
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+        final = cache.get(key, payload)
+        assert final is not None and final.startswith("writer-")
+        assert all(v.startswith("writer-") for v in observed)
+        stray = [f for _d, _s, fs in os.walk(str(tmp_path))
+                 for f in fs if f.endswith(".tmp")]
+        assert stray == []
+
+    def test_pool_and_direct_writer_same_point(self, tmp_path):
+        # A worker-pool sweep and a direct put racing on the same point:
+        # whoever lands last must leave the canonical, readable result.
+        designs = quick_designs(1)
+        key = sweep_key(WORKLOAD, designs[0])
+        payload = key_payload(WORKLOAD, designs[0])
+        results = run_sweep_pool(WORKLOAD, designs,
+                                 cache_dir=str(tmp_path))
+        cache = SweepCache(str(tmp_path))
+        cache.put(key, results[0], payload)  # idempotent overwrite
+        again = run_sweep_pool(WORKLOAD, designs, cache_dir=str(tmp_path))
+        assert results_to_json(again) == results_to_json(results)
+
+
+def _hammer_cache(root, key, payload, n):
+    cache = SweepCache(root)
+    for i in range(50):
+        cache.put(key, f"writer-{n}-{i}", payload)
+
+
+class TestServicePlumbing:
+    def test_write_manifest_false_skips_manifest(self, tmp_path):
+        from repro.core.sweeppool import MANIFEST_DIR
+        run_sweep_pool(WORKLOAD, quick_designs(2), cache_dir=str(tmp_path),
+                       write_manifest=False)
+        assert not os.path.exists(os.path.join(str(tmp_path),
+                                               MANIFEST_DIR))
+        # results still flushed through the cache
+        metrics = SweepMetrics()
+        run_sweep_pool(WORKLOAD, quick_designs(2), cache_dir=str(tmp_path),
+                       metrics=metrics)
+        assert metrics.cache_hits == 2
+
+    def test_joins_counter_in_dict_report_and_merge(self):
+        metrics = SweepMetrics()
+        metrics.points, metrics.joins = 3, 3
+        assert metrics.as_dict()["joins"] == 3
+        assert "joins" in metrics.report()
+        other = SweepMetrics()
+        other.joins = 2
+        assert metrics.merge(other).joins == 5
+
+    def test_joins_mirrored_into_stats_registry(self):
+        from repro.obs.stats import StatRegistry
+        metrics = SweepMetrics()
+        metrics.joins = 4
+        registry = StatRegistry()
+        metrics.reg_stats(registry)
+        assert registry.value("sweep.joins") == 4
+
+
+class TestBatchProbe:
+    def test_large_sweep_uses_index_probe(self, tmp_path, monkeypatch):
+        # Above the threshold the cache probe must go through get_many
+        # (one directory scan), not per-point get.
+        import repro.core.sweeppool as sweeppool
+        monkeypatch.setattr(sweeppool, "_BATCH_PROBE_MIN", 2)
+        designs = quick_designs(3)
+        run_sweep_pool(WORKLOAD, designs, cache_dir=str(tmp_path))
+        calls = []
+        original = SweepCache.get_many
+
+        def spy(self, keys, payloads=None):
+            calls.append(len(list(keys)))
+            return original(self, keys, payloads)
+
+        monkeypatch.setattr(SweepCache, "get_many", spy)
+        metrics = SweepMetrics()
+        results = run_sweep_pool(WORKLOAD, designs, cache_dir=str(tmp_path),
+                                 metrics=metrics)
+        assert calls == [3]
+        assert metrics.cache_hits == 3
+        serial = run_sweep(WORKLOAD, designs)
+        assert results_to_json(results) == results_to_json(serial)

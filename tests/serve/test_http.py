@@ -1,0 +1,194 @@
+"""The HTTP face: endpoints, error mapping, client, serve() lifecycle."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.config import DesignPoint
+from repro.core.export import results_to_json
+from repro.core.sweep import dma_design_space, run_sweep
+from repro.serve import SweepService
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.httpd import design_from_json, make_server, serve
+
+WORKLOAD = "aes-aes"
+
+
+def quick_designs(n=3):
+    return dma_design_space("quick")[:n]
+
+
+@pytest.fixture
+def endpoint(tmp_path):
+    """A live server on an ephemeral port; yields (client, service)."""
+    service = SweepService(str(tmp_path), batch_window=0.005)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+class TestDesignFromJson:
+    def test_round_trips_fields(self):
+        d = DesignPoint(lanes=4, partitions=2)
+        assert design_from_json(dict(d.__dict__)).__dict__ == d.__dict__
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown design field"):
+            design_from_json({"lanes": 4, "warp_speed": 9})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            design_from_json([1, 2, 3])
+
+
+class TestEndpoints:
+    def test_health(self, endpoint):
+        client, service = endpoint
+        doc = client.health()
+        assert doc["status"] == "ok"
+        assert doc["cache_dir"] == service.cache_dir
+        assert doc["cached_points"] == 0
+        assert doc["fidelity"] == "per-workload"
+
+    def test_workloads(self, endpoint):
+        client, _service = endpoint
+        assert WORKLOAD in client.workloads()
+
+    def test_sweep_then_stats(self, endpoint):
+        client, _service = endpoint
+        designs = quick_designs(2)
+        doc = client.sweep(WORKLOAD, designs)
+        assert doc["workload"] == WORKLOAD
+        assert doc["service"]["dispatches"] == 2
+        serial = json.loads(results_to_json(run_sweep(WORKLOAD, designs)))
+        got = [{k: v for k, v in record.items() if k != "fidelity"}
+               for record in doc["results"]]
+        assert got == serial
+        stats = client.stats()
+        assert stats["service"]["dispatches"] == 2
+        assert stats["engine"]["evaluated"] == 2
+
+    def test_second_sweep_hits(self, endpoint):
+        client, _service = endpoint
+        designs = quick_designs(1)
+        client.sweep(WORKLOAD, designs)
+        doc = client.sweep(WORKLOAD, designs)
+        assert doc["service"] == {"points": 1, "hits": 1, "joins": 0,
+                                  "dispatches": 0, "failures": 0,
+                                  "tier": "exact"}
+
+    def test_query_edp_over_explicit_designs(self, endpoint):
+        client, _service = endpoint
+        doc = client.query("edp", WORKLOAD, designs=quick_designs(3))
+        assert doc["kind"] == "edp"
+        assert doc["edp_optimal"]["workload"] == WORKLOAD
+        assert doc["service"]["points"] == 3
+
+    def test_warm_only_query_never_simulates(self, endpoint):
+        client, _service = endpoint
+        designs = quick_designs(2)
+        client.sweep(WORKLOAD, designs[:1])
+        doc = client.query("sweep", WORKLOAD, designs=designs,
+                           evaluate=False)
+        assert doc["service"]["tier"] == "warm"
+        assert doc["missing"] == 1
+        assert len(doc["results"]) == 1
+
+    def test_designs_accept_plain_dicts(self, endpoint):
+        client, _service = endpoint
+        doc = client.sweep(WORKLOAD, [{"lanes": 2, "partitions": 2}])
+        assert doc["service"]["points"] == 1
+
+
+class TestErrorMapping:
+    def test_unknown_workload_is_400(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="unknown workload") as info:
+            client.sweep("not-a-workload", quick_designs(1))
+        assert info.value.status == 400
+
+    def test_unknown_design_field_is_400(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="unknown design field"):
+            client.sweep(WORKLOAD, [{"warp_speed": 9}])
+
+    def test_bad_kind_is_400(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="kind") as info:
+            client.query("bogus", WORKLOAD, designs=quick_designs(1))
+        assert info.value.status == 400
+
+    def test_empty_sweep_is_400(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="non-empty"):
+            client.sweep(WORKLOAD, [])
+
+    def test_fast_without_calibration_is_400(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="no calibration") as info:
+            client.sweep(WORKLOAD, quick_designs(1), fidelity="fast")
+        assert info.value.status == 400
+
+    def test_malformed_json_body_is_400(self, endpoint):
+        client, _service = endpoint
+        req = urllib.request.Request(
+            client.base_url + "/query", data=b"this is not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req, timeout=30)
+        assert info.value.code == 400
+
+    def test_unknown_get_endpoint_is_404(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError) as info:
+            client._request("/nope")
+        assert info.value.status == 404
+
+    def test_unknown_post_endpoint_is_404(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError) as info:
+            client._request("/nope", payload={})
+        assert info.value.status == 404
+
+    def test_service_error_carries_server_message(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError) as info:
+            client.sweep("not-a-workload", quick_designs(1))
+        assert "see GET /workloads" in info.value.message
+        assert "HTTP 400" in str(info.value)
+
+
+class TestServeLifecycle:
+    def test_ready_callback_and_shutdown(self, tmp_path):
+        lines = []
+        boxed = {}
+        bound = threading.Event()
+
+        def ready(server):
+            boxed["server"] = server
+            bound.set()
+
+        thread = threading.Thread(
+            target=serve, args=(str(tmp_path),),
+            kwargs={"port": 0, "batch_window": 0.005,
+                    "out": lines.append, "ready": ready},
+            daemon=True)
+        thread.start()
+        assert bound.wait(timeout=10)
+        host, port = boxed["server"].server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        assert client.health()["status"] == "ok"
+        boxed["server"].shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert any("listening on" in line for line in lines)
