@@ -3,16 +3,20 @@
 
 gem5-Aladdin's whole point is pre-RTL exploration of *your* accelerator.
 This example writes a small dot-product kernel against the trace-builder
-DSL (the stand-in for Aladdin's LLVM tracer), registers nothing — it just
-runs Aladdin standalone and then the same datapath inside the SoC, first
+DSL (the stand-in for Aladdin's LLVM tracer), runs Aladdin standalone,
+then registers it through the public API — ``Workload.from_builder`` +
+``register_workload`` — and runs the same datapath inside the SoC, first
 with DMA and then with a coherent cache.
+
+For the even shorter path — writing the kernel as a plain Python
+function instead of DSL calls — see examples/frontend_kernel.py.
 
     python examples/custom_kernel.py
 """
 
 from repro import Accelerator, DesignPoint, SoCConfig, TraceBuilder
 from repro.core.soc import SoC
-from repro.workloads.registry import _TRACE_CACHE, _DDG_CACHE
+from repro.workloads.registry import Workload, register_workload
 
 
 def build_dot_product(n=256):
@@ -41,15 +45,19 @@ def build_dot_product(n=256):
     for c in range(1, 16):
         total = tb.fadd(total, tb.load("partial", c))
     tb.store("result", 0, total)
-
-    expected = sum((0.5 + i * 0.01) * (1.0 - i * 0.003) for i in range(n))
-    got = tb.arrays["result"].data[0]
-    assert abs(expected - got) < 1e-9, "functional check failed"
     return tb
+
+
+def verify_dot_product(trace, n=256):
+    """Functional check against a plain-Python reference."""
+    expected = sum((0.5 + i * 0.01) * (1.0 - i * 0.003) for i in range(n))
+    got = trace.arrays["result"].data[0]
+    assert abs(expected - got) < 1e-9, f"result {got}, expected {expected}"
 
 
 def main():
     trace = build_dot_product()
+    verify_dot_product(trace)
     print(f"kernel traced: {trace.num_nodes} operations, "
           f"{trace.num_iterations()} parallel iterations\n")
 
@@ -60,9 +68,11 @@ def main():
         print(f"  lanes={lanes:2d}: {res.cycles:6d} cycles, "
               f"{res.power_mw:6.3f} mW, EDP {res.edp:.3e}")
 
-    # Inside the SoC: register the trace so the SoC layer can find it.
-    _TRACE_CACHE["dot-product"] = trace
-    _DDG_CACHE.pop("dot-product", None)
+    # Inside the SoC: register it as a first-class workload, so the SoC
+    # layer (and sweeps, caches, `repro serve`) can find it by name.
+    register_workload(Workload.from_builder(
+        "dot-product", build=build_dot_product, verify=verify_dot_product,
+        description="256-element dot product, 16-way partial sums"))
 
     print("\nco-designed (full SoC flow):")
     for design in (

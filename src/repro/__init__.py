@@ -47,8 +47,12 @@ from repro.core.scenarios import (
 from repro.core import figures
 from repro.aladdin import Accelerator, TraceBuilder, DDDG
 from repro.workloads import (
+    Workload,
     get_workload,
+    register_workload,
+    unregister_workload,
     workload_names,
+    workload_source,
     cached_trace,
     cached_ddg,
     CORE_EIGHT,
@@ -57,6 +61,7 @@ from repro.workloads import (
 from repro.errors import (
     ReproError,
     ConfigError,
+    FrontendError,
     SimulationError,
     SweepError,
     TraceError,
@@ -93,14 +98,19 @@ __all__ = [
     "Accelerator",
     "TraceBuilder",
     "DDDG",
+    "Workload",
     "get_workload",
+    "register_workload",
+    "unregister_workload",
     "workload_names",
+    "workload_source",
     "cached_trace",
     "cached_ddg",
     "CORE_EIGHT",
     "ALL_WORKLOADS",
     "ReproError",
     "ConfigError",
+    "FrontendError",
     "SimulationError",
     "SweepError",
     "TraceError",

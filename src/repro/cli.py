@@ -42,6 +42,13 @@ Sweep-as-a-service (see :mod:`repro.serve`):
     python -m repro query pareto aes-aes --density quick
     python -m repro query edp aes-aes --no-evaluate   # warm-only
     python -m repro query stats --json -
+
+Python kernel frontend (see :mod:`repro.frontend`):
+
+    python -m repro trace-kernel my_kernel.py
+    python -m repro workloads
+    python -m repro sweep fir --kernel my_kernel.py --density quick
+    python -m repro query pareto fir --kernel my_kernel.py
 """
 
 import argparse
@@ -53,7 +60,7 @@ from repro.core.pareto import edp_optimal, pareto_frontier
 from repro.core.reporting import breakdown_table, format_table, pareto_table, percent
 from repro.core.soc import run_design
 from repro.core.sweep import cache_design_space, dma_design_space, run_sweep
-from repro.workloads import ALL_WORKLOADS, cached_ddg, get_workload, workload_names
+from repro.workloads import cached_ddg, get_workload, workload_names
 
 
 def build_parser():
@@ -64,50 +71,70 @@ def build_parser():
                     "simulation (MICRO 2016)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available workloads")
+    sub.add_parser("list", help="list available workloads (with traces)")
+
+    wl_p = sub.add_parser(
+        "workloads",
+        help="enumerate what is sweepable: name, description, source "
+             "(builtin|frontend); cheap — no traces are built")
+    _add_kernel_args(wl_p)
+
+    tk_p = sub.add_parser(
+        "trace-kernel",
+        help="trace the @kernel functions in a Python file "
+             "(see repro.frontend)")
+    tk_p.add_argument("file", metavar="FILE.py",
+                      help="kernel file defining @kernel functions")
+    tk_p.add_argument("--histogram", action="store_true",
+                      help="print the per-opcode dynamic op histogram")
 
     run_p = sub.add_parser("run", help="run one (workload, design) offload")
-    run_p.add_argument("workload", choices=ALL_WORKLOADS)
+    run_p.add_argument("workload", metavar="workload")
     run_p.add_argument("--check-report", metavar="PATH", default=None,
                        help="write the checker's health report as JSON "
                             "(implies --check)")
+    _add_kernel_args(run_p)
     _add_design_args(run_p)
     _add_platform_args(run_p)
 
     prof_p = sub.add_parser(
         "profile",
         help="run one offload under the event-loop profiler")
-    prof_p.add_argument("workload", choices=ALL_WORKLOADS)
+    prof_p.add_argument("workload", metavar="workload")
     prof_p.add_argument("--top", type=int, default=None, metavar="N",
                         help="show only the N heaviest components")
+    _add_kernel_args(prof_p)
     _add_design_args(prof_p)
     _add_platform_args(prof_p)
 
     stats_p = sub.add_parser(
         "stats",
         help="run one offload and dump the full stats registry")
-    stats_p.add_argument("workload", choices=ALL_WORKLOADS)
+    stats_p.add_argument("workload", metavar="workload")
     stats_p.add_argument("--json", metavar="PATH", default=None,
                          help="also write the registry as JSON "
                               "('-' for stdout)")
     stats_p.add_argument("--no-text", action="store_true",
                          help="suppress the stats.txt-style text dump")
+    _add_kernel_args(stats_p)
     _add_design_args(stats_p)
     _add_platform_args(stats_p)
 
     trace_p = sub.add_parser(
         "trace",
         help="run one offload and export a Chrome trace_event timeline")
-    trace_p.add_argument("workload", choices=ALL_WORKLOADS)
+    trace_p.add_argument("workload", metavar="workload")
     trace_p.add_argument("-o", "--out", metavar="PATH", default="trace.json",
                          help="output path (default trace.json); load in "
                               "Perfetto or chrome://tracing")
+    _add_kernel_args(trace_p)
     _add_design_args(trace_p)
     _add_platform_args(trace_p)
 
     sweep_p = sub.add_parser("sweep",
                              help="sweep both design spaces for a workload")
-    sweep_p.add_argument("workload", choices=ALL_WORKLOADS)
+    sweep_p.add_argument("workload", metavar="workload")
+    _add_kernel_args(sweep_p)
     sweep_p.add_argument("--density", default="standard",
                          choices=("quick", "standard", "full"))
     sweep_p.add_argument("--json", metavar="PATH",
@@ -134,6 +161,7 @@ def build_parser():
                        choices=("quick", "standard", "full"),
                        help="grid whose corners/mid-edges are sampled "
                             "exactly (default standard)")
+    _add_kernel_args(cal_p)
     _add_sweep_engine_args(cal_p)
 
     val_p = sub.add_parser("validate",
@@ -185,6 +213,11 @@ def build_parser():
     query_p.add_argument("workload", nargs="?", default=None,
                          help="workload to query (required for result "
                               "queries, ignored for stats/health)")
+    query_p.add_argument("--kernel", metavar="FILE.py", action="append",
+                         default=None, dest="kernel_files",
+                         help="submit this kernel file's @kernel "
+                              "functions to the server (POST /kernels) "
+                              "before querying; repeatable")
     query_p.add_argument("--server", default=None, metavar="URL",
                          help="service base URL (default: "
                               "$REPRO_SERVE_URL or "
@@ -205,6 +238,36 @@ def build_parser():
                          help="write the full JSON response "
                               "('-' for stdout)")
     return parser
+
+
+def _add_kernel_args(parser):
+    parser.add_argument("--kernel", metavar="FILE.py", action="append",
+                        default=None, dest="kernel_files",
+                        help="load and register the @kernel functions in "
+                             "this Python file before resolving the "
+                             "workload (see repro.frontend); repeatable")
+
+
+def _load_kernel_files(args):
+    """Register the kernels of every ``--kernel FILE`` (idempotent)."""
+    from repro.frontend import load_kernel_file
+    loaded = []
+    for path in getattr(args, "kernel_files", None) or []:
+        loaded.extend(load_kernel_file(path, replace=True))
+    return loaded
+
+
+def _resolve_workload(args, name=None):
+    """Validate the requested workload name against the live registry."""
+    _load_kernel_files(args)
+    from repro.workloads import workload_names
+    name = name if name is not None else args.workload
+    names = workload_names()
+    if name not in names:
+        raise SystemExit(
+            f"unknown workload {name!r}; available: {', '.join(names)} "
+            f"(register your own with --kernel FILE.py)")
+    return name
 
 
 def _add_design_args(parser):
@@ -370,8 +433,62 @@ def cmd_list(_args, out):
     return 0
 
 
+def cmd_workloads(args, out):
+    """``repro workloads``: cheap sweepable-workload enumeration.
+
+    Unlike ``repro list`` this never builds a trace, so it is safe to
+    run against a large registry (or from a served deployment's cron);
+    the ``source`` column separates the builtin suite from dynamically
+    registered frontend kernels.
+    """
+    from repro.workloads.registry import workload_source
+    _load_kernel_files(args)
+    rows = []
+    for name in workload_names():
+        wl = get_workload(name)
+        rows.append([name, wl.description, workload_source(name)])
+    out(format_table(["workload", "description", "source"], rows))
+    return 0
+
+
+def cmd_trace_kernel(args, out):
+    """``repro trace-kernel``: capture + verify the kernels in a file.
+
+    Loads the file, registers its ``@kernel`` functions, runs both
+    passes of each (pure-Python reference + proxy trace, cross-checked)
+    and prints a per-kernel capture summary.  After this succeeds the
+    kernels are sweepable by name: ``repro sweep <name> --kernel FILE``.
+    """
+    from repro.frontend import load_kernel_file
+    from repro.workloads.registry import cached_trace
+    kernels = load_kernel_file(args.file, replace=True)
+    for wl in kernels:
+        trace = cached_trace(wl.name)
+        wl.verify(trace)
+        arrays = ", ".join(
+            f"{decl.name}[{decl.length}]x{decl.word_bytes}B/{decl.kind}"
+            for decl in trace.arrays.values())
+        footprint = sum(decl.size_bytes for decl in trace.arrays.values())
+        out(f"kernel   : {wl.name}")
+        if wl.description:
+            out(f"  desc   : {wl.description}")
+        out(f"  trace  : {trace.num_nodes} ops, "
+            f"{trace.num_iterations()} parallel iterations, verified "
+            f"against the Python reference")
+        out(f"  arrays : {arrays} ({footprint} B)")
+        if args.histogram:
+            hist = trace.op_histogram()
+            out("  ops    : " + " ".join(
+                f"{op}={n}" for op, n in sorted(hist.items())))
+    out("")
+    out(f"{len(kernels)} kernel(s) registered; sweep with "
+        f"'repro sweep <name> --kernel {args.file}'")
+    return 0
+
+
 def cmd_run(args, out):
     """``repro run``: one offload, metrics + breakdown + stats."""
+    _resolve_workload(args)
     design = design_from_args(args)
     checker = _checker_from_args(args)
     with _debug_flags(args):
@@ -407,6 +524,7 @@ def cmd_profile(args, out):
     """``repro profile``: one offload under the event-loop profiler,
     reporting per-component event counts and callback wall time."""
     from repro.sim.profiling import EventProfiler
+    _resolve_workload(args)
     design = design_from_args(args)
     profiler = EventProfiler()
     checker = _checker_from_args(args)
@@ -425,6 +543,7 @@ def cmd_profile(args, out):
 def cmd_sweep(args, out):
     """``repro sweep``: both design spaces, Pareto + optima."""
     from repro.core.sweeppool import SweepMetrics
+    _resolve_workload(args)
     cfg = config_from_args(args)
     parallel, cache_dir = sweep_engine_from_args(args)
     metrics = SweepMetrics()
@@ -574,11 +693,13 @@ def cmd_calibrate(args, out):
     """``repro calibrate``: fit + persist the fast tier per workload."""
     from repro.core.calibrate import calibrate_workload
     from repro.core.sweeppool import SweepMetrics
+    _load_kernel_files(args)
     parallel, cache_dir = sweep_engine_from_args(args)
-    unknown = [w for w in args.workloads if w not in ALL_WORKLOADS]
+    available = workload_names()
+    unknown = [w for w in args.workloads if w not in available]
     if unknown:
         raise SystemExit(f"unknown workload(s): {', '.join(unknown)} "
-                         f"(see 'repro list')")
+                         f"(see 'repro workloads')")
     metrics = SweepMetrics()
     for workload in args.workloads:
         cal = calibrate_workload(workload, density=args.density,
@@ -632,6 +753,7 @@ def cmd_stats(args, out):
 
     from repro.core.soc import SoC
     from repro.obs.stats import StatRegistry
+    _resolve_workload(args)
     design = design_from_args(args)
     registry = StatRegistry()
     checker = _checker_from_args(args)
@@ -665,6 +787,7 @@ def cmd_trace(args, out):
     """
     from repro.core.soc import SoC
     from repro.obs.timeline import soc_timeline
+    _resolve_workload(args)
     design = design_from_args(args)
     checker = _checker_from_args(args)
     with _debug_flags(args) as trace:
@@ -772,6 +895,12 @@ def cmd_query(args, out):
               or "http://127.0.0.1:8642")
     client = ServiceClient(server)
     try:
+        for path in args.kernel_files or []:
+            with open(path) as fh:
+                doc = client.submit_kernel(fh.read(),
+                                           filename=os.path.basename(path))
+            out(f"registered kernel(s) on {server}: "
+                f"{', '.join(k['name'] for k in doc['kernels'])}")
         if args.kind == "health":
             response = client.health()
         elif args.kind == "stats":
@@ -844,6 +973,8 @@ def _print_query_summary(kind, response, out):
 
 COMMANDS = {
     "list": cmd_list,
+    "workloads": cmd_workloads,
+    "trace-kernel": cmd_trace_kernel,
     "run": cmd_run,
     "profile": cmd_profile,
     "stats": cmd_stats,

@@ -81,5 +81,17 @@ class TraceError(ReproError):
     """A kernel produced an invalid dynamic trace."""
 
 
+class FrontendError(TraceError):
+    """A plain-Python kernel could not be traced (see :mod:`repro.frontend`).
+
+    Raised by the kernel frontend for untraceable constructs — branching
+    on a traced value (``if``, ``min``/``max``, ``and``/``or``), implicit
+    escapes (``int()``/``float()``/``math.sqrt`` on a proxy), unsupported
+    operators, bad array specs, writes to read-only inputs — and when the
+    traced execution diverges from the pure-Python reference run.  The
+    message always names the construct and the supported alternative.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload was requested that does not exist or failed validation."""

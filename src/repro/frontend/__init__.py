@@ -1,0 +1,79 @@
+"""Python kernel frontend: trace plain functions into sweepable accelerators.
+
+Aladdin gets its dynamic traces from an LLVM instrumentation pass over
+ordinary C; this package is the analogous move for our reproduction —
+a restricted plain-Python function becomes a captured, design-independent
+trace by symbolic execution with operator-overloading proxies, with a
+concrete reference run as the built-in functional check::
+
+    from repro import frontend as fe
+
+    @fe.kernel(description="64-tap FIR filter")
+    def fir(x: fe.Array("x", 256, word_bytes=8, kind="input"),
+            h: fe.Array("h", 64, word_bytes=8, kind="input"),
+            y: fe.Array("y", 193, word_bytes=8, kind="output")):
+        for i in fe.parallel_range(193):
+            acc = 0.0
+            for t in range(64):
+                acc = acc + x[i + t] * h[t]
+            y[i] = acc
+
+    fir.register()                  # now a first-class workload: sweeps,
+                                    # figures, `repro serve`, caches — all
+                                    # by name ("fir")
+
+Restrictions (each violation raises :class:`~repro.errors.FrontendError`
+naming the alternative): one parallel loop (:func:`parallel_range`, not
+nested), no branching on traced values (use :func:`select` /
+:func:`fmin` / :func:`fmax`), no implicit escapes (``int()``,
+``float()``, ``math.sqrt`` — use :func:`sqrt` / :func:`concrete`), no
+writes to ``kind="input"`` arrays, no ``%``/``**``/``==``/``>=``
+operators.  See DESIGN.md §4 "Python kernel frontend".
+"""
+
+from repro.errors import FrontendError
+from repro.frontend.arrays import Array
+from repro.frontend.intrinsics import (
+    concrete,
+    fcmp,
+    fmax,
+    fmin,
+    icmp,
+    select,
+    sqrt,
+)
+from repro.frontend.kernel import FrontendKernel, kernel
+from repro.frontend.loader import collect_kernels, load_kernel_file
+from repro.frontend.proxy import Traced
+from repro.frontend.tracer import parallel_range
+
+__all__ = [
+    "Array",
+    "FrontendError",
+    "FrontendKernel",
+    "Traced",
+    "collect_kernels",
+    "concrete",
+    "fcmp",
+    "fmax",
+    "fmin",
+    "icmp",
+    "kernel",
+    "load_kernel_file",
+    "parallel_range",
+    "select",
+    "sqrt",
+    "trace_kernel",
+]
+
+
+def trace_kernel(kernel):
+    """Capture the trace of a ``@kernel`` object (``kernel.build()``).
+
+    Runs both passes — the pure-Python reference and the proxy trace —
+    and returns the verified :class:`~repro.aladdin.trace.TraceBuilder`.
+    """
+    if not isinstance(kernel, FrontendKernel):
+        raise FrontendError(
+            f"trace_kernel needs a @kernel object, got {kernel!r}")
+    return kernel.build()

@@ -1,0 +1,161 @@
+"""Array specs and their per-pass views.
+
+An :class:`Array` annotation on a ``@kernel`` parameter declares one
+kernel array exactly like ``TraceBuilder.array`` does: name, length,
+word size, role (``input`` / ``output`` / ``inout`` / ``internal``) and
+initial contents.  During a kernel pass the parameter is bound to a view
+object — :class:`ConcreteArray` in the reference pass (plain Python
+lists with the same bounds/role validation the trace pass applies) or
+:class:`TracedArray` in the trace pass (``__getitem__``/``__setitem__``
+emit load/store nodes) — so the same function body runs in both worlds.
+"""
+
+from repro.errors import FrontendError
+from repro.frontend.proxy import Traced, concrete_of, operand_of
+
+KINDS = ("input", "output", "inout", "internal")
+
+
+class Array:
+    """Declares one kernel array: ``Array("a", n, word_bytes=8, kind=...)``.
+
+    ``init`` seeds the functional contents: a sequence of numbers, or a
+    callable ``init(rng) -> sequence`` drawing from the workload's
+    deterministic rng (specs are evaluated in parameter order, so rng
+    consumption is reproducible).  Inputs/inouts default to uniform
+    floats in [-1, 1); outputs/internals default to zeros, matching the
+    trace-builder DSL.
+    """
+
+    __slots__ = ("name", "length", "word_bytes", "kind", "init")
+
+    def __init__(self, name, length, word_bytes=8, kind="input", init=None):
+        if not name or not isinstance(name, str):
+            raise FrontendError(
+                f"array name must be a non-empty string, got {name!r}")
+        if not isinstance(length, int) or length <= 0:
+            raise FrontendError(
+                f"array {name!r}: length must be a positive int, "
+                f"got {length!r}")
+        if kind not in KINDS:
+            raise FrontendError(
+                f"array {name!r}: kind must be one of {KINDS}, "
+                f"got {kind!r}")
+        self.name = name
+        self.length = length
+        self.word_bytes = word_bytes
+        self.kind = kind
+        self.init = init
+
+    def __repr__(self):
+        return (f"Array({self.name!r}, {self.length}, "
+                f"word_bytes={self.word_bytes}, kind={self.kind!r})")
+
+    @property
+    def writable(self):
+        return self.kind != "input"
+
+    def materialize(self, rng):
+        """The initial contents for one kernel pass."""
+        init = self.init
+        if init is None:
+            if self.kind in ("input", "inout"):
+                return [rng.uniform(-1.0, 1.0) for _ in range(self.length)]
+            return [0] * self.length
+        if callable(init):
+            init = init(rng)
+        data = list(init)
+        if len(data) != self.length:
+            raise FrontendError(
+                f"array {self.name!r}: init produced {len(data)} elements, "
+                f"expected {self.length}")
+        for value in data:
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise FrontendError(
+                    f"array {self.name!r}: init element {value!r} is not a "
+                    f"number")
+        return data
+
+
+class _ArrayView:
+    """Shared bounds/role validation for both pass views."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def __len__(self):
+        return self.spec.length
+
+    def _index(self, index, writing):
+        spec = self.spec
+        if writing and not spec.writable:
+            raise FrontendError(
+                f"write to read-only input array {spec.name!r}; declare it "
+                f'kind="inout" if the kernel updates it in place')
+        if isinstance(index, Traced):
+            # Indirect addressing (spmv-style): the address escapes to its
+            # concrete value — Aladdin removes address computation from
+            # the DDDG, so the trace records no extra dependence, exactly
+            # like the DSL idiom ``tb.load(arr, int(ptr.value))``.
+            index = concrete_of(index)
+        if isinstance(index, float):
+            if not index.is_integer():
+                raise FrontendError(
+                    f"{spec.name}[{index!r}]: array index must be an "
+                    f"integer")
+            index = int(index)
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise FrontendError(
+                f"{spec.name}[{index!r}]: array index must be an int or a "
+                f"traced integer value (slices and fancy indexing are not "
+                f"traceable)")
+        if not 0 <= index < spec.length:
+            raise FrontendError(
+                f"{spec.name}[{index}] out of bounds (length "
+                f"{spec.length}; negative indices are not supported — "
+                f"they alias addresses the accelerator never computes)")
+        return index
+
+
+class ConcreteArray(_ArrayView):
+    """Reference-pass view: plain list storage, same validation."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, spec, data):
+        super().__init__(spec)
+        self.data = data
+
+    def __getitem__(self, index):
+        return self.data[self._index(index, writing=False)]
+
+    def __setitem__(self, index, value):
+        index = self._index(index, writing=True)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FrontendError(
+                f"{self.spec.name}[{index}] = {value!r}: stored values "
+                f"must be numbers")
+        self.data[index] = value
+
+
+class TracedArray(_ArrayView):
+    """Trace-pass view: accesses emit load/store nodes."""
+
+    __slots__ = ("tb",)
+
+    def __init__(self, spec, tb):
+        super().__init__(spec)
+        self.tb = tb
+
+    def __getitem__(self, index):
+        index = self._index(index, writing=False)
+        return Traced(self.tb, self.tb.load(self.spec.name, index))
+
+    def __setitem__(self, index, value):
+        index = self._index(index, writing=True)
+        self.tb.store(self.spec.name, index,
+                      operand_of(value, f"value stored to "
+                                        f"{self.spec.name}[{index}]"))

@@ -1,0 +1,103 @@
+"""Kernel intrinsics: traced math that has no Python operator.
+
+Each intrinsic is pass-polymorphic: on plain numbers (the concrete
+reference pass, or ordinary Python use outside tracing) it computes with
+host arithmetic, on :class:`~repro.frontend.proxy.Traced` values it
+emits the matching trace ops.  Both paths produce bit-identical numbers
+— the trace pass self-check depends on it.
+"""
+
+import math
+
+from repro.aladdin.ir import Op
+from repro.errors import FrontendError
+from repro.frontend.proxy import Traced, concrete_of, operand_of
+
+
+def _any_traced(*values):
+    for value in values:
+        if isinstance(value, Traced):
+            return value
+    return None
+
+
+def _emit(tb, op, *operands):
+    return Traced(tb, tb.op(op, *(operand_of(v) for v in operands)))
+
+
+def _float_like(*values):
+    return any(isinstance(concrete_of(v), float) for v in values)
+
+
+def sqrt(x):
+    """Square root of ``|x|`` (the IR's fsqrt semantics, like the DSL)."""
+    proxy = _any_traced(x)
+    if proxy is None:
+        return math.sqrt(abs(float(x)))
+    return _emit(proxy._tb, Op.FSQRT, x)
+
+
+def select(cond, a, b):
+    """``a`` when ``cond`` is truthy else ``b``, as a traced select op.
+
+    ``cond`` is typically a traced compare (``x > y``); all three
+    operands join the dataflow, so a data-dependent choice costs one
+    select node instead of untraceable control flow.
+    """
+    proxy = _any_traced(cond, a, b)
+    if proxy is None:
+        return a if cond else b
+    return _emit(proxy._tb, Op.SELECT, cond, a, b)
+
+
+def fmin(a, b):
+    """Elementwise minimum as compare + select (no branch)."""
+    proxy = _any_traced(a, b)
+    if proxy is None:
+        return b if a > b else a
+    op = Op.FCMP if _float_like(a, b) else Op.ICMP
+    cond = _emit(proxy._tb, op, a, b)
+    return select(cond, b, a)
+
+
+def fmax(a, b):
+    """Elementwise maximum as compare + select (no branch)."""
+    proxy = _any_traced(a, b)
+    if proxy is None:
+        return a if a > b else b
+    op = Op.FCMP if _float_like(a, b) else Op.ICMP
+    cond = _emit(proxy._tb, op, a, b)
+    return select(cond, a, b)
+
+
+def concrete(x):
+    """Deliberately escape a traced value to its plain number.
+
+    The escape hatch for host-side control decisions the accelerator
+    does not compute — data-dependent loop *bounds* (``range(fe.concrete
+    (begin), fe.concrete(end))``) and indirect addresses, the same holes
+    the DSL leaves via ``.value``.  The read itself is not traced; any
+    compare steering the host loop should still be emitted (e.g.
+    ``end > begin``) so the trace carries the loop-bound work.
+    """
+    return concrete_of(x)
+
+
+def icmp(a, b):
+    """Explicit integer greater-than compare node (1 iff a > b).
+
+    For loop-bound compares whose *result* only steers host control
+    flow (the spmv idiom: emit the compare, then iterate concretely).
+    """
+    proxy = _any_traced(a, b)
+    if proxy is None:
+        return 1 if a > b else 0
+    return _emit(proxy._tb, Op.ICMP, a, b)
+
+
+def fcmp(a, b):
+    """Explicit float greater-than compare node (1 iff a > b)."""
+    proxy = _any_traced(a, b)
+    if proxy is None:
+        return 1 if float(a) > float(b) else 0
+    return _emit(proxy._tb, Op.FCMP, a, b)

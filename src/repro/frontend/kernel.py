@@ -1,0 +1,199 @@
+"""The ``@kernel`` decorator: plain-Python functions become workloads.
+
+A decorated function runs twice per trace capture:
+
+1. **Concrete reference pass** — parameters bound to
+   :class:`~repro.frontend.arrays.ConcreteArray` views over plain lists;
+   the function computes with host arithmetic.  Its final array contents
+   are the functional reference.
+2. **Trace pass** — a fresh :class:`~repro.aladdin.trace.TraceBuilder`
+   declares the same arrays with the same initial data, parameters bind
+   to :class:`~repro.frontend.arrays.TracedArray` views, and every
+   expression flows through operator-overloading proxies that emit
+   trace nodes as they compute.
+
+After the trace pass the captured array contents are compared against
+the reference *bit for bit* — both passes execute the same float ops in
+the same order, so any divergence means an untraced escape slipped
+through, and the capture fails loudly instead of producing a trace that
+models a different computation than the Python says.
+
+The resulting :class:`FrontendKernel` is a first-class
+:class:`~repro.workloads.registry.Workload`: ``build()`` captures the
+trace, the auto-generated ``verify()`` replays the pure-Python reference
+against a trace's recorded outputs, and
+:func:`~repro.workloads.registry.register_workload` (or
+:meth:`FrontendKernel.register`) puts it behind every sweep, figure and
+service entry point by name.
+"""
+
+import inspect
+
+from repro.errors import FrontendError
+from repro.frontend.arrays import Array, ConcreteArray, TracedArray
+from repro.frontend.tracer import KernelContext, activate
+from repro.workloads.registry import Workload, register_workload
+
+#: Tolerance for verify(): zero — both passes run identical float ops in
+#: identical order, so the reference is reproduced exactly or not at all.
+_EXACT = 0
+
+
+class FrontendKernel(Workload):
+    """A traced plain-Python kernel, usable anywhere a Workload is."""
+
+    def __init__(self, fn, name=None, description=None, seed=None):
+        self.fn = fn
+        self.name = name or fn.__name__.replace("_", "-")
+        self.description = (description
+                            if description is not None
+                            else (inspect.getdoc(fn) or "").split("\n")[0])
+        self._seed = seed
+        self.arrays = self._signature_arrays(fn)
+
+    def __repr__(self):
+        return (f"FrontendKernel({self.name!r}, "
+                f"arrays=[{', '.join(a.name for a in self.arrays)}])")
+
+    @staticmethod
+    def _signature_arrays(fn):
+        """Ordered Array specs from the function's annotations."""
+        try:
+            sig = inspect.signature(fn)
+        except (TypeError, ValueError) as exc:
+            raise FrontendError(f"@kernel target {fn!r} has no inspectable "
+                                f"signature: {exc}")
+        specs = []
+        seen = set()
+        for param in sig.parameters.values():
+            if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+                raise FrontendError(
+                    f"kernel {fn.__name__!r}: *args/**kwargs parameters "
+                    f"are not traceable; declare each array explicitly")
+            spec = param.annotation
+            if isinstance(spec, str):
+                raise FrontendError(
+                    f"kernel {fn.__name__!r}: parameter {param.name!r} has "
+                    f"a string annotation — 'from __future__ import "
+                    f"annotations' defers Array specs to strings; remove "
+                    f"that import from the kernel module")
+            if not isinstance(spec, Array):
+                raise FrontendError(
+                    f"kernel {fn.__name__!r}: parameter {param.name!r} "
+                    f"needs an Array annotation (e.g. {param.name}: "
+                    f'Array("{param.name}", 64, word_bytes=8, '
+                    f'kind="input")), got {spec!r}')
+            if spec.name in seen:
+                raise FrontendError(
+                    f"kernel {fn.__name__!r}: two parameters declare the "
+                    f"array name {spec.name!r}; aliased arrays would fold "
+                    f"distinct memories into one address space")
+            seen.add(spec.name)
+            specs.append(spec)
+        if not specs:
+            raise FrontendError(
+                f"kernel {fn.__name__!r} declares no arrays; a kernel "
+                f"with no memory traffic has nothing to accelerate")
+        return specs
+
+    # -- seeding --------------------------------------------------------------
+
+    def rng(self):
+        """Deterministic rng; ``seed=`` pins it (e.g. to a DSL twin's)."""
+        if self._seed is not None:
+            import random
+            return random.Random(self._seed)
+        return super().rng()
+
+    def _initial_data(self):
+        """Per-array initial contents, one rng stream per capture."""
+        rng = self.rng()
+        return {spec.name: spec.materialize(rng) for spec in self.arrays}
+
+    # -- the two passes -------------------------------------------------------
+
+    def reference(self, init=None):
+        """Run the concrete pass; returns ``{array: final contents}``."""
+        init = init if init is not None else self._initial_data()
+        views = [ConcreteArray(spec, list(init[spec.name]))
+                 for spec in self.arrays]
+        ctx = KernelContext("concrete", kernel_name=self.name)
+        with activate(ctx):
+            self.fn(*views)
+        return {view.spec.name: view.data for view in views}
+
+    def build(self):
+        """Capture the trace (concrete pass, trace pass, self-check)."""
+        from repro.aladdin.trace import TraceBuilder
+
+        init = self._initial_data()
+        expected = self.reference(init)
+        tb = TraceBuilder(self.name)
+        views = []
+        for spec in self.arrays:
+            tb.array(spec.name, spec.length, word_bytes=spec.word_bytes,
+                     kind=spec.kind, init=list(init[spec.name]))
+            views.append(TracedArray(spec, tb))
+        ctx = KernelContext("trace", tb=tb, kernel_name=self.name)
+        with activate(ctx):
+            self.fn(*views)
+        if tb.num_nodes == 0:
+            raise FrontendError(
+                f"kernel {self.name!r} traced zero operations; the trace "
+                f"pass never touched a traced array — is every loop bound "
+                f"zero, or does the kernel compute only on host values?")
+        self._check_divergence(tb, expected)
+        return tb
+
+    def _check_divergence(self, tb, expected):
+        for spec in self.arrays:
+            got = tb.arrays[spec.name].data
+            want = expected[spec.name]
+            for i, (g, w) in enumerate(zip(got, want)):
+                if g != w and not (g != g and w != w):  # NaN == NaN here
+                    raise FrontendError(
+                        f"kernel {self.name!r}: traced execution diverged "
+                        f"from the Python reference at {spec.name}[{i}]: "
+                        f"traced {g!r} vs reference {w!r}.  An untraced "
+                        f"escape (fe.concrete on a value that feeds "
+                        f"results, or side effects on host state) changed "
+                        f"the computation between passes")
+
+    # -- Workload interface ---------------------------------------------------
+
+    def verify(self, trace):
+        """Auto-generated check: replay the Python reference, compare."""
+        expected = self.reference()
+        for spec in self.arrays:
+            if spec.kind == "internal":
+                continue  # never leaves the accelerator
+            got = trace.arrays[spec.name].data
+            want = expected[spec.name]
+            for i, (g, w) in enumerate(zip(got, want)):
+                if g != w and not (g != g and w != w):
+                    raise AssertionError(
+                        f"{self.name}: {spec.name}[{i}] = {g!r}, "
+                        f"expected {w!r}")
+
+    def register(self, replace=False):
+        """Register under ``self.name``; returns self for chaining."""
+        return register_workload(self, replace=replace)
+
+
+def kernel(fn=None, *, name=None, description=None, seed=None):
+    """Decorator: ``@kernel`` / ``@kernel(name=..., seed=...)``.
+
+    ``name`` defaults to the function name with underscores dashed
+    (``def fir_filter`` → ``fir-filter``); ``description`` to the first
+    docstring line; ``seed`` overrides the rng seed (pass a DSL twin's
+    ``"repro-<name>"`` seed to reproduce its exact input data).
+    The decorated object is a :class:`FrontendKernel` — a Workload, not
+    a function; call ``.reference()`` for the pure-Python result,
+    ``.build()`` for the trace, ``.register()`` to make it sweepable.
+    """
+    def wrap(fn):
+        return FrontendKernel(fn, name=name, description=description,
+                              seed=seed)
+    if fn is not None:
+        return wrap(fn)
+    return wrap

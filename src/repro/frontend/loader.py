@@ -1,0 +1,102 @@
+"""Load kernel files: ``repro trace-kernel x.py``, ``--kernel``, POST /kernels.
+
+A *kernel file* is an ordinary Python file whose top level defines one
+or more ``@kernel`` objects (or ``Workload.from_builder`` instances
+listed in a module-level ``KERNELS`` sequence).  Loading executes the
+file, collects those workloads and registers them.
+
+Registered files are *advertised* in ``$REPRO_KERNEL_PATHS``
+(``os.pathsep``-separated) so that spawn-context sweep workers — fresh
+interpreters that receive only a workload *name* — re-load the same
+files on first registry use and resolve the name identically (see
+``repro.workloads.registry._ensure_loaded``).  That is what lets a
+file-based kernel ride the parallel pool, the sweep cache, tiered
+calibration and the service layer with zero special cases.
+"""
+
+import os
+import runpy
+
+from repro.errors import FrontendError, WorkloadError
+from repro.frontend.kernel import FrontendKernel
+from repro.workloads.registry import (
+    ENV_KERNEL_PATHS,
+    _LOADED_KERNEL_PATHS,
+    Workload,
+    register_workload,
+)
+
+
+def collect_kernels(namespace, path="<namespace>"):
+    """The workloads a kernel-file namespace defines, in definition order.
+
+    An explicit module-level ``KERNELS`` sequence wins (any Workload
+    instances); otherwise every top-level :class:`FrontendKernel` is
+    collected.  Duplicates (two names for one object) collapse.
+    """
+    explicit = namespace.get("KERNELS")
+    if explicit is not None:
+        kernels = list(explicit)
+        for wl in kernels:
+            if not isinstance(wl, Workload):
+                raise FrontendError(
+                    f"{path}: KERNELS entries must be Workload instances "
+                    f"(@kernel objects or Workload.from_builder(...)), "
+                    f"got {wl!r}")
+        return kernels
+    kernels, seen = [], set()
+    for value in namespace.values():
+        if isinstance(value, FrontendKernel) and id(value) not in seen:
+            seen.add(id(value))
+            kernels.append(value)
+    return kernels
+
+
+def load_kernel_file(path, register=True, replace=False, advertise=True):
+    """Execute ``path`` and register the kernels it defines.
+
+    Returns the list of workload instances found.  ``replace=True``
+    allows re-loading a file whose kernels are already registered
+    (same-name dynamic registrations are overwritten); ``advertise``
+    records the path in ``$REPRO_KERNEL_PATHS`` so sweep worker
+    processes can resolve the same names.
+
+    The file runs with ``__name__`` set to a non-``"__main__"`` value,
+    so a trailing ``if __name__ == "__main__":`` demo block is skipped.
+    """
+    path = os.path.abspath(path)
+    if not os.path.exists(path):
+        raise FrontendError(f"kernel file not found: {path}")
+    try:
+        namespace = runpy.run_path(path, run_name="repro.kernelfile")
+    except (FrontendError, WorkloadError):
+        raise
+    except Exception as exc:
+        raise FrontendError(
+            f"kernel file {path} failed to execute: {exc!r}") from exc
+    kernels = collect_kernels(namespace, path)
+    if not kernels:
+        raise FrontendError(
+            f"kernel file {path} defines no kernels; decorate a function "
+            f"with @repro.frontend.kernel (or list Workload instances in "
+            f"a module-level KERNELS sequence)")
+    if register:
+        # Mark before registering: registration touches the registry,
+        # whose lazy loader must not re-execute this same file.
+        _LOADED_KERNEL_PATHS.add(path)
+        for wl in kernels:
+            register_workload(wl, replace=replace)
+        if advertise:
+            advertise_kernel_path(path)
+    return kernels
+
+
+def advertise_kernel_path(path):
+    """Append ``path`` to ``$REPRO_KERNEL_PATHS`` (idempotent)."""
+    path = os.path.abspath(path)
+    existing = os.environ.get(ENV_KERNEL_PATHS, "")
+    parts = [p for p in existing.split(os.pathsep) if p]
+    if path not in parts:
+        parts.append(path)
+        os.environ[ENV_KERNEL_PATHS] = os.pathsep.join(parts)
+    _LOADED_KERNEL_PATHS.add(path)

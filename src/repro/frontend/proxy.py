@@ -1,0 +1,242 @@
+"""Operator-overloading proxies that emit trace ops as they compute.
+
+A :class:`Traced` value wraps one SSA :class:`repro.aladdin.trace.Value`
+(producing node + concrete number).  Arithmetic on proxies emits the
+matching :class:`~repro.aladdin.ir.Op` through the ambient trace builder
+— float ops when either operand is concretely a float, integer ops
+otherwise, the same opcode choice a DSL author makes by hand — and
+returns a new proxy, so ordinary expressions like ``acc + a[i] * b[i]``
+build the dataflow graph as a side effect of evaluating it.
+
+Anything that would *consume* a traced value outside the dataflow — an
+``if``, ``min``/``max``, ``int()``/``float()``, ``math.sqrt`` — raises
+:class:`FrontendError` naming the supported alternative (``fe.select``,
+``fe.fmin``/``fe.fmax``, ``fe.sqrt``, or the explicit ``fe.concrete``
+escape), because a silently dropped dependence would produce a trace
+that schedules faster than the kernel it claims to model.
+"""
+
+from repro.aladdin.ir import Op
+from repro.errors import FrontendError
+
+#: Binary operator table: python hook -> (float opcode, int opcode).
+_BINOPS = {
+    "+": (Op.FADD, Op.ADD),
+    "-": (Op.FSUB, Op.SUB),
+    "*": (Op.FMUL, Op.MUL),
+    "/": (Op.FDIV, Op.FDIV),   # Python / is float division for ints too
+    "//": (None, Op.DIV),
+    "&": (None, Op.AND),
+    "|": (None, Op.OR),
+    "^": (None, Op.XOR),
+    "<<": (None, Op.SHL),
+    ">>": (None, Op.SHR),
+}
+
+
+def concrete_of(value):
+    """The plain number behind a proxy, number, or raw SSA value."""
+    if isinstance(value, Traced):
+        return value._val.value
+    return value
+
+
+def operand_of(value, what="operand"):
+    """Lower a proxy/number to what :meth:`TraceBuilder.op` accepts."""
+    if isinstance(value, Traced):
+        return value._val
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FrontendError(
+            f"unsupported {what} {value!r} ({type(value).__name__}) in a "
+            f"traced expression; only traced values, ints and floats "
+            f"participate in kernel dataflow")
+    return value
+
+
+def _is_float(value):
+    return isinstance(concrete_of(value), float)
+
+
+class Traced:
+    """One traced SSA value flowing through a kernel expression."""
+
+    __slots__ = ("_tb", "_val")
+
+    def __init__(self, tb, val):
+        self._tb = tb
+        self._val = val
+
+    @property
+    def concrete(self):
+        """The concrete number this value holds (read-only peek)."""
+        return self._val.value
+
+    def __repr__(self):
+        return (f"Traced(node={self._val.node}, "
+                f"value={self._val.value!r})")
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _binary(self, other, symbol, swapped=False):
+        a, b = (other, self) if swapped else (self, other)
+        fa = operand_of(a, f"left operand of {symbol!r}")
+        fb = operand_of(b, f"right operand of {symbol!r}")
+        float_op, int_op = _BINOPS[symbol]
+        use_float = _is_float(a) or _is_float(b)
+        op = float_op if use_float else int_op
+        if op is None:
+            raise FrontendError(
+                f"operator {symbol!r} needs integer operands, got "
+                f"{concrete_of(a)!r} and {concrete_of(b)!r}; integer "
+                f"bitwise/shift ops have no floating-point form")
+        return Traced(self._tb, self._tb.op(op, fa, fb))
+
+    def __add__(self, other):
+        return self._binary(other, "+")
+
+    def __radd__(self, other):
+        return self._binary(other, "+", swapped=True)
+
+    def __sub__(self, other):
+        return self._binary(other, "-")
+
+    def __rsub__(self, other):
+        return self._binary(other, "-", swapped=True)
+
+    def __mul__(self, other):
+        return self._binary(other, "*")
+
+    def __rmul__(self, other):
+        return self._binary(other, "*", swapped=True)
+
+    def __truediv__(self, other):
+        return self._binary(other, "/")
+
+    def __rtruediv__(self, other):
+        return self._binary(other, "/", swapped=True)
+
+    def __floordiv__(self, other):
+        return self._binary(other, "//")
+
+    def __rfloordiv__(self, other):
+        return self._binary(other, "//", swapped=True)
+
+    def __and__(self, other):
+        return self._binary(other, "&")
+
+    def __rand__(self, other):
+        return self._binary(other, "&", swapped=True)
+
+    def __or__(self, other):
+        return self._binary(other, "|")
+
+    def __ror__(self, other):
+        return self._binary(other, "|", swapped=True)
+
+    def __xor__(self, other):
+        return self._binary(other, "^")
+
+    def __rxor__(self, other):
+        return self._binary(other, "^", swapped=True)
+
+    def __lshift__(self, other):
+        return self._binary(other, "<<")
+
+    def __rlshift__(self, other):
+        return self._binary(other, "<<", swapped=True)
+
+    def __rshift__(self, other):
+        return self._binary(other, ">>")
+
+    def __rrshift__(self, other):
+        return self._binary(other, ">>", swapped=True)
+
+    def __neg__(self):
+        zero = 0.0 if _is_float(self) else 0
+        return self._binary(zero, "-", swapped=True)
+
+    # -- comparisons ----------------------------------------------------------
+
+    def _compare(self, other, swapped=False):
+        """Greater-than compare (the DSL's icmp/fcmp: 1 iff a > b)."""
+        a, b = (other, self) if swapped else (self, other)
+        fa = operand_of(a, "compared value")
+        fb = operand_of(b, "compared value")
+        op = Op.FCMP if _is_float(a) or _is_float(b) else Op.ICMP
+        return Traced(self._tb, self._tb.op(op, fa, fb))
+
+    def __gt__(self, other):
+        return self._compare(other)
+
+    def __lt__(self, other):
+        return self._compare(other, swapped=True)
+
+    def __ge__(self, other):
+        raise FrontendError(
+            "operator >= is not a single accelerator op (the IR compares "
+            "are strict greater-than); rewrite with > / < — e.g. "
+            "'not (b > a)' becomes fe.select(b > a, 0, 1)")
+
+    def __le__(self, other):
+        raise FrontendError(
+            "operator <= is not a single accelerator op (the IR compares "
+            "are strict greater-than); rewrite with > / < — e.g. "
+            "'not (a > b)' becomes fe.select(a > b, 0, 1)")
+
+    def __eq__(self, other):
+        raise FrontendError(
+            "operator ==/!= on traced values is not a single accelerator "
+            "op; use arithmetic compares (> / <) or fe.concrete() to "
+            "escape to plain Python when the comparison only steers "
+            "host-side control flow")
+
+    def __ne__(self, other):
+        return self.__eq__(other)
+
+    __hash__ = None
+
+    # -- forbidden escapes ----------------------------------------------------
+
+    def __bool__(self):
+        raise FrontendError(
+            "data-dependent control flow on a traced value: 'if'/'while'/"
+            "'and'/'or'/min/max/sorted consume a traced value as a plain "
+            "bool, which would drop its dependence from the trace.  Use "
+            "fe.select(cond, a, b) for data-dependent values, fe.fmin/"
+            "fe.fmax for extrema, or fe.concrete(v) to deliberately "
+            "escape a value into host control flow (the escape is not "
+            "traced)")
+
+    def _no_escape(self, via):
+        raise FrontendError(
+            f"implicit {via} escape of a traced value: the result would "
+            f"leave the trace without a node.  Use the fe.* intrinsics "
+            f"(fe.sqrt, fe.fmin, fe.fmax, fe.select) to keep the "
+            f"computation in the trace, or fe.concrete(v) to "
+            f"deliberately read the plain number (not traced)")
+
+    def __int__(self):
+        self._no_escape("int()")
+
+    def __float__(self):
+        self._no_escape("float()")
+
+    def __index__(self):
+        self._no_escape("__index__ (use in range/slice/bit-ops)")
+
+    def __abs__(self):
+        self._no_escape("abs() (use fe.select(x > 0, x, -x))")
+
+    def __mod__(self, other):
+        raise FrontendError(
+            "operator % has no accelerator op; restructure with // and - "
+            "(q = a // b; r = a - q * b) or escape with fe.concrete")
+
+    __rmod__ = __mod__
+
+    def __pow__(self, other):
+        raise FrontendError(
+            "operator ** has no accelerator op; expand small powers into "
+            "multiplies (x * x) or use fe.sqrt for square roots")
+
+    __rpow__ = __pow__

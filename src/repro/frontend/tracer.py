@@ -1,0 +1,117 @@
+"""Ambient tracing context and the parallel-loop marker.
+
+A kernel function runs twice (see :mod:`repro.frontend.kernel`): once
+concretely as the self-checking functional reference, once symbolically
+with proxy values that emit trace nodes.  Both passes execute the *same*
+function body, so constructs that behave differently per pass
+(:func:`parallel_range`, the :mod:`repro.frontend` intrinsics) consult
+the ambient :class:`KernelContext` installed for the duration of the
+call instead of taking an explicit handle — that is what lets kernels
+stay plain Python functions.
+"""
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import FrontendError
+
+_STATE = threading.local()
+
+
+class KernelContext:
+    """One pass over one kernel: mode, trace builder, loop bookkeeping.
+
+    ``mode`` is ``"concrete"`` (reference pass — no trace builder) or
+    ``"trace"`` (proxy pass — ``tb`` is the live
+    :class:`~repro.aladdin.trace.TraceBuilder`).  ``next_iteration`` is
+    the global parallel-iteration counter: the paper's model has exactly
+    one parallel loop whose iterations map onto datapath lanes, and the
+    counter numbers them in execution order — exactly how the DSL
+    kernels number ``tb.iteration``.
+    """
+
+    __slots__ = ("mode", "tb", "kernel_name", "parallel_active",
+                 "next_iteration")
+
+    def __init__(self, mode, tb=None, kernel_name=""):
+        if mode not in ("concrete", "trace"):
+            raise ValueError(f"bad context mode {mode!r}")
+        self.mode = mode
+        self.tb = tb
+        self.kernel_name = kernel_name
+        self.parallel_active = False
+        self.next_iteration = 0
+
+
+def current_context():
+    """The active :class:`KernelContext`, or None outside a traced call."""
+    return getattr(_STATE, "ctx", None)
+
+
+def require_context(what):
+    """The active context, or a diagnostic for misplaced intrinsic use."""
+    ctx = current_context()
+    if ctx is None:
+        raise FrontendError(
+            f"{what} is only meaningful inside a @kernel function being "
+            f"traced; call the kernel through its Workload interface "
+            f"(build/verify) or repro.frontend.trace_kernel")
+    return ctx
+
+
+@contextmanager
+def activate(ctx):
+    """Install ``ctx`` as the ambient context for one kernel pass."""
+    prev = current_context()
+    if prev is not None:
+        raise FrontendError(
+            f"kernel {ctx.kernel_name!r} invoked while kernel "
+            f"{prev.kernel_name!r} is being traced; kernels must not call "
+            f"other kernels (inline the shared code instead)")
+    _STATE.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _STATE.ctx = None
+
+
+def parallel_range(*args):
+    """``range()`` whose iterations are the kernel's *parallel* loop.
+
+    Marks the loop the paper maps onto datapath lanes: each yielded
+    index runs inside its own ``tb.iteration`` scope during the trace
+    pass (numbered in execution order, matching how the DSL kernels
+    number flattened nests), and is a plain loop during the concrete
+    reference pass or when the function is called outside tracing.
+
+    The model has exactly one parallel loop, so nesting raises
+    :class:`FrontendError`; code after the loop is serial (iteration
+    ``-1``), like the DSL.  Successive ``parallel_range`` loops continue
+    the iteration numbering.  Do not ``break`` out of a parallel loop —
+    partially consumed generators only restore the serial scope when
+    they are garbage collected.
+    """
+    indices = range(*args)
+    ctx = current_context()
+    if ctx is None:
+        yield from indices
+        return
+    if ctx.parallel_active:
+        raise FrontendError(
+            "parallel_range loops cannot nest: the model has one parallel "
+            "loop (its iterations map onto datapath lanes); flatten the "
+            "nest into a single parallel_range and derive the original "
+            "indices with divmod, keeping inner loops serial")
+    ctx.parallel_active = True
+    tb = ctx.tb
+    try:
+        for i in indices:
+            if tb is not None:
+                tb._cur_iter = ctx.next_iteration
+                tb.max_iter = max(tb.max_iter, ctx.next_iteration)
+            ctx.next_iteration += 1
+            yield i
+    finally:
+        ctx.parallel_active = False
+        if tb is not None:
+            tb._cur_iter = -1

@@ -73,6 +73,18 @@ class ServiceClient:
             payload["designs"] = [self._design_doc(d) for d in designs]
         return self._request("/query", payload)
 
+    def submit_kernel(self, source, filename=None):
+        """POST /kernels — register ``@kernel`` source on the server.
+
+        Returns the decoded body: ``{"kernels": [{"name", "description",
+        "source"}, ...]}``.  After this, the kernel names are valid
+        ``workload`` values for :meth:`query` / :meth:`sweep`.
+        """
+        payload = {"source": source}
+        if filename is not None:
+            payload["filename"] = filename
+        return self._request("/kernels", payload)
+
     def sweep(self, workload, designs, fidelity=None):
         """POST /sweep — evaluate points (hit / join / dispatch)."""
         payload = {"workload": workload,

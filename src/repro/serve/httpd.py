@@ -9,7 +9,11 @@ Endpoints (all bodies JSON):
 * ``GET /health`` — liveness + store summary.
 * ``GET /stats`` — service counters (hits/joins/dispatches, queue
   depth, latency percentiles) plus the engine-side sweep metrics.
-* ``GET /workloads`` — the available workload names.
+* ``GET /workloads`` — the available workload names (plus a
+  ``details`` list tagging each as builtin or frontend).
+* ``POST /kernels`` — ``{"source": "<python text>", "filename": ...}``
+  → register the ``@kernel`` functions in the source; they become
+  sweepable by name immediately (``{"kernels": [{"name", ...}]}``).
 * ``POST /query`` — ``{"kind": "sweep"|"pareto"|"edp"|"figure",
   "workload": ..., "space"/"density" or "designs": [...],
   "fidelity": ..., "evaluate": bool}`` →
@@ -28,8 +32,8 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.config import DesignPoint
-from repro.errors import CalibrationError
-from repro.workloads import ALL_WORKLOADS
+from repro.errors import CalibrationError, FrontendError, WorkloadError
+from repro.workloads.registry import workload_names, workload_source
 
 #: The exact DesignPoint constructor surface, derived from the class so
 #: the whitelist can never drift from it.
@@ -84,9 +88,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _workload(self, doc):
         workload = doc.get("workload")
-        if workload not in ALL_WORKLOADS:
+        if workload not in workload_names():
             raise ValueError(
-                f"unknown workload {workload!r}; see GET /workloads")
+                f"unknown workload {workload!r}; see GET /workloads "
+                f"(or register it first via POST /kernels)")
         return workload
 
     # -- GET -----------------------------------------------------------------
@@ -105,18 +110,29 @@ class _Handler(BaseHTTPRequestHandler):
                 "engine": self.service.sweep_metrics.as_dict(),
             })
         elif self.path == "/workloads":
-            self._send(200, {"workloads": list(ALL_WORKLOADS)})
+            names = workload_names()
+            self._send(200, {
+                "workloads": names,
+                "details": [{"name": n, "source": workload_source(n)}
+                            for n in names],
+            })
         else:
             self._error(404, f"no such endpoint: GET {self.path}")
 
     # -- POST ----------------------------------------------------------------
 
     def do_POST(self):
-        if self.path not in ("/query", "/sweep"):
+        if self.path not in ("/query", "/sweep", "/kernels"):
             self._error(404, f"no such endpoint: POST {self.path}")
             return
         try:
             doc = self._body()
+            if self.path == "/kernels":
+                source = doc.get("source")
+                kernels = self.service.register_kernel(
+                    source, filename=doc.get("filename"))
+                self._send(200, {"kernels": kernels})
+                return
             workload = self._workload(doc)
             designs = doc.get("designs")
             if designs is not None:
@@ -143,7 +159,8 @@ class _Handler(BaseHTTPRequestHandler):
                         records.append(self.service._record(result))
                 response = {"workload": workload, "results": records,
                             "service": report}
-        except (ValueError, KeyError, TypeError, CalibrationError) as exc:
+        except (ValueError, KeyError, TypeError, CalibrationError,
+                FrontendError, WorkloadError) as exc:
             self._error(400, str(exc))
             return
         except Exception as exc:  # noqa: BLE001 — the server must answer

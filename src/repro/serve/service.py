@@ -27,6 +27,9 @@ never receive), while ``"auto"``/``"fast"`` clients happily join an
 exact evaluation — it is strictly better than what they asked for.
 """
 
+import hashlib
+import os
+import re
 import threading
 import time
 import traceback
@@ -234,6 +237,49 @@ class SweepService:
 
     def __exit__(self, *_exc):
         self.close()
+
+    # -- kernel registration -------------------------------------------------
+
+    def register_kernel(self, source, filename=None):
+        """Register the ``@kernel`` functions in ``source`` (Python text).
+
+        The body of ``POST /kernels``: the source is persisted under
+        ``<cache_dir>/kernels/`` (content-addressed, so re-submitting
+        identical source is idempotent), loaded, and its kernels
+        registered — from then on the store sweeps them by name exactly
+        like builtin workloads, including through the worker pool
+        (loaded kernel files are advertised to spawned workers via
+        ``$REPRO_KERNEL_PATHS``).
+
+        Returns ``[{"name", "description", "source"}, ...]`` for the
+        registered kernels.  Raises :class:`~repro.errors.FrontendError`
+        or :class:`~repro.errors.WorkloadError` on unloadable source or
+        a name collision with a builtin — mapped to HTTP 400 upstream.
+
+        **Trust note**: registering a kernel executes the submitted
+        Python.  ``repro serve`` binds loopback by default; anyone who
+        can POST here can already run code as the service user.
+        """
+        from repro.frontend import load_kernel_file
+        if not source or not isinstance(source, str):
+            raise ValueError("kernel source must be a non-empty string")
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+        stem = "kernel"
+        if filename:
+            safe = re.sub(r"[^A-Za-z0-9_.-]", "_", os.path.basename(filename))
+            stem = safe[:-3] if safe.endswith(".py") else safe
+        kernels_dir = os.path.join(self.cache_dir, "kernels")
+        path = os.path.join(kernels_dir, f"{stem}-{digest}.py")
+        with self._lock:
+            if not os.path.exists(path):
+                os.makedirs(kernels_dir, exist_ok=True)
+                tmp = path + ".tmp"
+                with open(tmp, "w") as fh:
+                    fh.write(source)
+                os.replace(tmp, path)
+        loaded = load_kernel_file(path, replace=True)
+        return [{"name": wl.name, "description": wl.description,
+                 "source": "frontend"} for wl in loaded]
 
     # -- tier / calibration resolution ---------------------------------------
 

@@ -13,7 +13,10 @@ Four more (bfs-bulk, kmp, sort-merge, viterbi) provide Figure 2b's breadth.
 from repro.workloads.registry import (
     Workload,
     get_workload,
+    register_workload,
+    unregister_workload,
     workload_names,
+    workload_source,
     cached_trace,
     cached_ddg,
     CORE_EIGHT,
@@ -23,7 +26,10 @@ from repro.workloads.registry import (
 __all__ = [
     "Workload",
     "get_workload",
+    "register_workload",
+    "unregister_workload",
     "workload_names",
+    "workload_source",
     "cached_trace",
     "cached_ddg",
     "CORE_EIGHT",

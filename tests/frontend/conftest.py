@@ -1,0 +1,31 @@
+"""Fixtures: keep dynamic registrations from leaking across tests.
+
+The suite-wide invariant that the registry holds exactly the 19 builtin
+MachSuite kernels (asserted by the coverage tests) must survive tests
+that register frontend kernels; ``clean_registry`` snapshots the dynamic
+state and restores it afterwards.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import registry
+
+
+@pytest.fixture
+def clean_registry():
+    before_instances = dict(registry._INSTANCES)
+    before_paths = set(registry._LOADED_KERNEL_PATHS)
+    before_env = os.environ.get(registry.ENV_KERNEL_PATHS)
+    yield registry
+    for name in list(registry._INSTANCES):
+        if name not in before_instances:
+            registry.unregister_workload(name)
+    registry._INSTANCES.update(before_instances)
+    registry._LOADED_KERNEL_PATHS.clear()
+    registry._LOADED_KERNEL_PATHS.update(before_paths)
+    if before_env is None:
+        os.environ.pop(registry.ENV_KERNEL_PATHS, None)
+    else:
+        os.environ[registry.ENV_KERNEL_PATHS] = before_env

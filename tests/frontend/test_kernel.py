@@ -1,0 +1,347 @@
+"""The @kernel decorator: two-pass capture, verification, registration."""
+
+import pytest
+
+from repro import frontend as fe
+from repro.errors import FrontendError, WorkloadError
+from repro.workloads.registry import (
+    Workload,
+    cached_trace,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_names,
+    workload_source,
+)
+
+
+def make_saxpy():
+    @fe.kernel(description="scaled vector add")
+    def saxpy(a: fe.Array("a", 16, word_bytes=8, kind="input"),
+              b: fe.Array("b", 16, word_bytes=8, kind="input"),
+              y: fe.Array("y", 16, word_bytes=8, kind="output")):
+        for i in fe.parallel_range(16):
+            y[i] = 2.0 * a[i] + b[i]
+    return saxpy
+
+
+class TestDecorator:
+    def test_names_default_from_function(self):
+        @fe.kernel
+        def my_fir_filter(x: fe.Array("x", 4, kind="input"),
+                          y: fe.Array("y", 4, kind="output")):
+            """First docstring line becomes the description.
+
+            Not this one.
+            """
+            for i in fe.parallel_range(4):
+                y[i] = x[i] + 0.0
+
+        assert my_fir_filter.name == "my-fir-filter"
+        assert my_fir_filter.description == (
+            "First docstring line becomes the description.")
+
+    def test_explicit_name_and_description_win(self):
+        @fe.kernel(name="saxpy16", description="custom")
+        def whatever(x: fe.Array("x", 4, kind="input"),
+                     y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(4):
+                y[i] = x[i] + 1.0
+
+        assert whatever.name == "saxpy16"
+        assert whatever.description == "custom"
+
+    def test_is_a_workload(self):
+        assert isinstance(make_saxpy(), Workload)
+
+
+class TestCapture:
+    def test_build_traces_and_self_checks(self):
+        saxpy = make_saxpy()
+        tb = saxpy.build()
+        # 16 iterations x (2 loads, 1 mul, 1 add, 1 store).
+        assert tb.num_nodes == 16 * 5
+        assert tb.num_iterations() == 16
+        saxpy.verify(tb)
+
+    def test_reference_matches_trace_data(self):
+        saxpy = make_saxpy()
+        ref = saxpy.reference()
+        tb = saxpy.build()
+        assert tb.arrays["y"].data == ref["y"]
+
+    def test_builds_are_deterministic(self):
+        tb1 = make_saxpy().build()
+        tb2 = make_saxpy().build()
+        assert tb1.node_op == tb2.node_op
+        assert tb1.arrays["y"].data == tb2.arrays["y"].data
+
+    def test_seed_pins_rng_stream(self):
+        @fe.kernel(name="pinned", seed="repro-gemm-ncubed")
+        def pinned(x: fe.Array("x", 8, kind="input"),
+                   y: fe.Array("y", 8, kind="output")):
+            for i in fe.parallel_range(8):
+                y[i] = x[i] + 0.0
+
+        import random
+        want = [random.Random("repro-gemm-ncubed").uniform(-1.0, 1.0)
+                for _ in range(1)]
+        assert pinned.build().arrays["x"].data[0] == want[0]
+
+    def test_zero_node_kernel_rejected(self):
+        @fe.kernel
+        def lazy(x: fe.Array("x", 4, kind="input"),
+                 y: fe.Array("y", 4, kind="output")):
+            pass
+
+        with pytest.raises(FrontendError, match="zero operations"):
+            lazy.build()
+
+    def test_host_state_divergence_detected(self):
+        calls = []
+
+        @fe.kernel
+        def impure(x: fe.Array("x", 4, kind="input"),
+                   y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(4):
+                calls.append(i)
+                y[i] = x[i] + float(len(calls))
+
+        with pytest.raises(FrontendError, match="diverged"):
+            impure.build()
+
+    def test_verify_catches_corrupted_output(self):
+        saxpy = make_saxpy()
+        tb = saxpy.build()
+        tb.arrays["y"].data[3] += 1.0
+        with pytest.raises(AssertionError, match=r"y\[3\]"):
+            saxpy.verify(tb)
+
+    def test_internal_arrays_not_verified(self):
+        @fe.kernel
+        def scratch(x: fe.Array("x", 4, kind="input"),
+                    tmp: fe.Array("tmp", 4, kind="internal"),
+                    y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(4):
+                tmp[i] = x[i] * 2.0
+                y[i] = tmp[i] + 1.0
+
+        tb = scratch.build()
+        tb.arrays["tmp"].data[0] = 99.0  # scratch contents may differ
+        scratch.verify(tb)
+
+    def test_traced_index_indirection(self):
+        # The spmv idiom: an index loaded from one array addresses another.
+        @fe.kernel
+        def gather(idx: fe.Array("idx", 4, word_bytes=4, kind="input",
+                                 init=[3, 0, 2, 1]),
+                   x: fe.Array("x", 4, kind="input"),
+                   y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(4):
+                y[i] = x[idx[i]] + 0.0
+
+        tb = gather.build()
+        gather.verify(tb)
+        data = tb.arrays["x"].data
+        assert tb.arrays["y"].data == [data[3], data[0], data[2], data[1]]
+
+    def test_intrinsics_inside_kernel(self):
+        @fe.kernel
+        def norms(x: fe.Array("x", 8, kind="input"),
+                  y: fe.Array("y", 8, kind="output")):
+            for i in fe.parallel_range(8):
+                y[i] = fe.sqrt(fe.fmax(x[i] * x[i], 1e-6))
+
+        norms.verify(norms.build())
+
+
+class TestSignatureValidation:
+    def test_missing_annotation(self):
+        with pytest.raises(FrontendError, match="Array annotation"):
+            @fe.kernel
+            def k(x):
+                pass
+
+    def test_string_annotation_hint(self):
+        with pytest.raises(FrontendError, match="from __future__"):
+            @fe.kernel
+            def k(x: 'fe.Array("x", 4)'):
+                pass
+
+    def test_varargs_rejected(self):
+        with pytest.raises(FrontendError, match=r"\*args"):
+            @fe.kernel
+            def k(*arrays):
+                pass
+
+    def test_duplicate_array_names(self):
+        with pytest.raises(FrontendError, match="aliased"):
+            @fe.kernel
+            def k(a: fe.Array("v", 4, kind="input"),
+                  b: fe.Array("v", 4, kind="output")):
+                pass
+
+    def test_no_arrays(self):
+        with pytest.raises(FrontendError, match="no arrays"):
+            @fe.kernel
+            def k():
+                pass
+
+
+class TestTracingRestrictions:
+    def test_write_to_input_rejected(self):
+        @fe.kernel
+        def k(x: fe.Array("x", 4, kind="input")):
+            for i in fe.parallel_range(4):
+                x[i] = x[i] + 1.0
+
+        with pytest.raises(FrontendError, match="read-only input"):
+            k.build()
+
+    def test_out_of_bounds_rejected(self):
+        @fe.kernel
+        def k(x: fe.Array("x", 4, kind="input"),
+              y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(5):
+                y[i] = x[i] + 0.0
+
+        with pytest.raises(FrontendError, match="out of bounds"):
+            k.build()
+
+    def test_negative_index_rejected(self):
+        @fe.kernel
+        def k(x: fe.Array("x", 4, kind="input"),
+              y: fe.Array("y", 4, kind="output")):
+            y[0] = x[-1] + 0.0
+
+        with pytest.raises(FrontendError, match="negative"):
+            k.build()
+
+    def test_data_dependent_branch_rejected(self):
+        @fe.kernel
+        def k(x: fe.Array("x", 4, kind="input"),
+              y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(4):
+                if x[i] > 0.0:
+                    y[i] = x[i] + 0.0
+
+        with pytest.raises(FrontendError, match="control flow"):
+            k.build()
+
+    def test_nested_parallel_range_rejected(self):
+        @fe.kernel
+        def k(x: fe.Array("x", 4, kind="input"),
+              y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(2):
+                for j in fe.parallel_range(2):
+                    y[i * 2 + j] = x[i * 2 + j] + 0.0
+
+        with pytest.raises(FrontendError, match="nest"):
+            k.build()
+
+    def test_kernel_inside_kernel_rejected(self):
+        inner = make_saxpy()
+
+        @fe.kernel
+        def outer(x: fe.Array("x", 4, kind="input"),
+                  y: fe.Array("y", 4, kind="output")):
+            inner.build()
+
+        with pytest.raises(FrontendError, match="must not call"):
+            outer.build()
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, clean_registry):
+        saxpy = make_saxpy()
+        assert saxpy.register() is saxpy
+        assert "saxpy" in workload_names()
+        assert get_workload("saxpy") is saxpy
+        assert workload_source("saxpy") == "frontend"
+        assert workload_source("gemm-ncubed") == "builtin"
+        trace = cached_trace("saxpy")
+        saxpy.verify(trace)
+        unregister_workload("saxpy")
+        assert "saxpy" not in workload_names()
+
+    def test_builtin_collision_always_rejected(self, clean_registry):
+        @fe.kernel(name="gemm-ncubed")
+        def impostor(x: fe.Array("x", 4, kind="input"),
+                     y: fe.Array("y", 4, kind="output")):
+            for i in fe.parallel_range(4):
+                y[i] = x[i] + 0.0
+
+        with pytest.raises(WorkloadError, match="builtin"):
+            impostor.register()
+        with pytest.raises(WorkloadError, match="builtin"):
+            impostor.register(replace=True)
+
+    def test_dynamic_collision_needs_replace(self, clean_registry):
+        first = make_saxpy().register()
+        second = make_saxpy()
+        with pytest.raises(WorkloadError, match="already registered"):
+            second.register()
+        assert get_workload("saxpy") is first
+        second.register(replace=True)
+        assert get_workload("saxpy") is second
+
+    def test_replace_invalidates_trace_cache(self, clean_registry):
+        first = make_saxpy().register()
+        stale = cached_trace("saxpy")
+        make_saxpy().register(replace=True)
+        assert cached_trace("saxpy") is not stale
+        assert first is not None
+
+    def test_unregister_builtin_rejected(self, clean_registry):
+        with pytest.raises(WorkloadError, match="builtin"):
+            unregister_workload("gemm-ncubed")
+
+    def test_unregister_unknown_rejected(self, clean_registry):
+        with pytest.raises(WorkloadError, match="not registered"):
+            unregister_workload("never-was")
+
+
+class TestWorkloadBase:
+    def test_unnamed_rng_rejected(self):
+        with pytest.raises(WorkloadError, match="no name"):
+            Workload().rng()
+
+    def test_named_workloads_get_distinct_streams(self, clean_registry):
+        a = Workload.from_builder("stream-a", build=lambda: None,
+                                  verify=lambda t: None)
+        b = Workload.from_builder("stream-b", build=lambda: None,
+                                  verify=lambda t: None)
+        assert a.rng().random() != b.rng().random()
+        assert a.rng().random() == a.rng().random()  # and reproducible
+
+    def test_from_builder_validation(self):
+        with pytest.raises(WorkloadError, match="name"):
+            Workload.from_builder("", build=lambda: None)
+        with pytest.raises(WorkloadError, match="callable"):
+            Workload.from_builder("x", build="not-callable")
+        with pytest.raises(WorkloadError, match="callable"):
+            Workload.from_builder("x", build=lambda: None, verify=42)
+
+    def test_register_requires_verify(self, clean_registry):
+        incomplete = Workload.from_builder("half-done", build=lambda: None)
+        with pytest.raises(WorkloadError, match="verify"):
+            register_workload(incomplete)
+
+        class NoVerify(Workload):
+            name = "no-verify"
+
+            def build(self):
+                return None
+
+        with pytest.raises(WorkloadError, match="verify"):
+            register_workload(NoVerify())
+
+    def test_register_rejects_non_workload(self, clean_registry):
+        with pytest.raises(WorkloadError, match="Workload instance"):
+            register_workload(lambda: None)
+
+    def test_register_rejects_unnamed(self, clean_registry):
+        wl = make_saxpy()
+        wl.name = ""
+        with pytest.raises(WorkloadError, match="name"):
+            register_workload(wl)

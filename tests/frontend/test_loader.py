@@ -1,0 +1,141 @@
+"""Kernel files: loading, collection, and worker-process advertising."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro import frontend as fe
+from repro.errors import FrontendError
+from repro.frontend.loader import (
+    advertise_kernel_path,
+    collect_kernels,
+    load_kernel_file,
+)
+from repro.workloads import registry
+from repro.workloads.registry import ENV_KERNEL_PATHS, Workload
+
+SAXPY_SOURCE = textwrap.dedent("""\
+    from repro import frontend as fe
+
+    @fe.kernel(description="scaled vector add")
+    def saxpy(a: fe.Array("a", 16, word_bytes=8, kind="input"),
+              b: fe.Array("b", 16, word_bytes=8, kind="input"),
+              y: fe.Array("y", 16, word_bytes=8, kind="output")):
+        for i in fe.parallel_range(16):
+            y[i] = 2.0 * a[i] + b[i]
+
+    if __name__ == "__main__":
+        raise SystemExit("demo block must not run under the loader")
+    """)
+
+
+def write_kernel_file(tmp_path, source=SAXPY_SOURCE, name="kern.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestLoadKernelFile:
+    def test_loads_registers_and_advertises(self, tmp_path, clean_registry):
+        path = write_kernel_file(tmp_path)
+        kernels = load_kernel_file(path)
+        assert [wl.name for wl in kernels] == ["saxpy"]
+        assert "saxpy" in registry.workload_names()
+        assert os.path.abspath(path) in \
+            os.environ[ENV_KERNEL_PATHS].split(os.pathsep)
+
+    def test_main_block_skipped(self, tmp_path, clean_registry):
+        load_kernel_file(write_kernel_file(tmp_path))  # would SystemExit
+
+    def test_register_false_only_collects(self, tmp_path, clean_registry):
+        kernels = load_kernel_file(write_kernel_file(tmp_path),
+                                   register=False)
+        assert kernels[0].name == "saxpy"
+        assert "saxpy" not in registry.workload_names()
+
+    def test_missing_file(self, clean_registry):
+        with pytest.raises(FrontendError, match="not found"):
+            load_kernel_file("/nonexistent/kernels.py")
+
+    def test_broken_file(self, tmp_path, clean_registry):
+        path = write_kernel_file(tmp_path, "this is not python !!!")
+        with pytest.raises(FrontendError, match="failed to execute"):
+            load_kernel_file(path)
+
+    def test_empty_file(self, tmp_path, clean_registry):
+        path = write_kernel_file(tmp_path, "x = 41 + 1\n")
+        with pytest.raises(FrontendError, match="defines no kernels"):
+            load_kernel_file(path)
+
+    def test_reload_needs_replace(self, tmp_path, clean_registry):
+        path = write_kernel_file(tmp_path)
+        load_kernel_file(path)
+        with pytest.raises(registry.WorkloadError,
+                           match="already registered"):
+            load_kernel_file(path)
+        load_kernel_file(path, replace=True)
+
+    def test_explicit_kernels_list(self, tmp_path, clean_registry):
+        source = textwrap.dedent("""\
+            from repro import frontend as fe
+            from repro.workloads.registry import Workload
+
+            @fe.kernel
+            def ignored(x: fe.Array("x", 4, kind="input"),
+                        y: fe.Array("y", 4, kind="output")):
+                for i in fe.parallel_range(4):
+                    y[i] = x[i] + 1.0
+
+            def _build():
+                return ignored.build()
+
+            chosen = Workload.from_builder(
+                "chosen", build=_build, verify=lambda t: None)
+            KERNELS = [chosen]
+            """)
+        kernels = load_kernel_file(write_kernel_file(tmp_path, source))
+        assert [wl.name for wl in kernels] == ["chosen"]
+        assert "ignored" not in registry.workload_names()
+
+
+class TestCollectKernels:
+    def test_collects_in_definition_order(self):
+        def make(name):
+            @fe.kernel(name=name)
+            def k(x: fe.Array("x", 4, kind="input"),
+                  y: fe.Array("y", 4, kind="output")):
+                for i in fe.parallel_range(4):
+                    y[i] = x[i] + 1.0
+            return k
+
+        a, b = make("a"), make("b")
+        assert collect_kernels({"first": a, "second": b, "alias": a}) == \
+            [a, b]
+
+    def test_kernels_list_must_hold_workloads(self):
+        with pytest.raises(FrontendError, match="Workload instances"):
+            collect_kernels({"KERNELS": ["saxpy"]})
+
+
+class TestAdvertising:
+    def test_advertise_is_idempotent(self, tmp_path, clean_registry):
+        path = str(tmp_path / "k.py")
+        advertise_kernel_path(path)
+        advertise_kernel_path(path)
+        entries = os.environ[ENV_KERNEL_PATHS].split(os.pathsep)
+        assert entries.count(os.path.abspath(path)) == 1
+
+    def test_fresh_registry_resolves_advertised_file(self, tmp_path,
+                                                     clean_registry):
+        """Simulate a spawn-context sweep worker: a fresh interpreter that
+        only knows the workload *name* must resolve it via the env var."""
+        path = write_kernel_file(tmp_path)
+        load_kernel_file(path)
+        # Model the fresh process: dynamic registry state is empty but
+        # the environment survives.
+        registry._INSTANCES.pop("saxpy")
+        registry._LOADED_KERNEL_PATHS.discard(os.path.abspath(path))
+        wl = registry.get_workload("saxpy")
+        assert isinstance(wl, Workload)
+        wl.verify(wl.build())

@@ -1,0 +1,206 @@
+"""Proxy arithmetic, opcode selection, intrinsics, and the error taxonomy."""
+
+import pytest
+
+from repro import frontend as fe
+from repro.aladdin.ir import Op
+from repro.aladdin.trace import TraceBuilder
+from repro.errors import FrontendError
+from repro.frontend.proxy import Traced, operand_of
+
+
+def make_pair():
+    """A builder with one float and one int traced value loaded from it."""
+    tb = TraceBuilder("proxy-test")
+    tb.array("f", 4, word_bytes=8, kind="input", init=[1.5, 2.5, -3.0, 4.0])
+    tb.array("n", 4, word_bytes=4, kind="input", init=[3, 7, 2, 9])
+    return tb, Traced(tb, tb.load("f", 0)), Traced(tb, tb.load("n", 0))
+
+
+def last_op(tb):
+    return tb.node_op[-1]
+
+
+class TestOpcodeSelection:
+    def test_float_binary_ops(self):
+        tb, f, _n = make_pair()
+        for expr, op in [(lambda: f + 1.0, Op.FADD),
+                         (lambda: f - 1.0, Op.FSUB),
+                         (lambda: f * 2.0, Op.FMUL),
+                         (lambda: f / 2.0, Op.FDIV)]:
+            result = expr()
+            assert last_op(tb) == op
+            assert isinstance(result, Traced)
+
+    def test_int_binary_ops(self):
+        tb, _f, n = make_pair()
+        for expr, op, want in [(lambda: n + 1, Op.ADD, 4),
+                               (lambda: n - 1, Op.SUB, 2),
+                               (lambda: n * 2, Op.MUL, 6),
+                               (lambda: n // 2, Op.DIV, 1),
+                               (lambda: n & 1, Op.AND, 1),
+                               (lambda: n | 4, Op.OR, 7),
+                               (lambda: n ^ 1, Op.XOR, 2),
+                               (lambda: n << 1, Op.SHL, 6),
+                               (lambda: n >> 1, Op.SHR, 1)]:
+            result = expr()
+            assert last_op(tb) == op
+            assert result.concrete == want
+
+    def test_mixed_operands_promote_to_float(self):
+        tb, f, n = make_pair()
+        assert isinstance((f + n), Traced)
+        assert last_op(tb) == Op.FADD
+        n + 1.0
+        assert last_op(tb) == Op.FADD
+
+    def test_int_truediv_is_float_division(self):
+        # Python semantics: 3 / 2 == 1.5 even for ints.
+        tb, _f, n = make_pair()
+        assert (n / 2).concrete == 1.5
+        assert last_op(tb) == Op.FDIV
+
+    def test_reflected_ops(self):
+        tb, f, _n = make_pair()
+        result = 2.0 * f
+        assert last_op(tb) == Op.FMUL
+        assert result.concrete == 3.0
+        result = 10.0 - f
+        assert result.concrete == 8.5
+
+    def test_negation_is_zero_minus(self):
+        tb, f, n = make_pair()
+        assert (-f).concrete == -1.5
+        assert last_op(tb) == Op.FSUB
+        assert (-n).concrete == -3
+        assert last_op(tb) == Op.SUB
+
+    def test_values_track_concrete_arithmetic(self):
+        _tb, f, _n = make_pair()
+        assert ((f + 0.5) * 2.0).concrete == 4.0
+
+    def test_bitwise_on_floats_rejected(self):
+        _tb, f, _n = make_pair()
+        with pytest.raises(FrontendError, match="integer operands"):
+            f & 1
+        with pytest.raises(FrontendError, match="integer operands"):
+            f // 2
+
+
+class TestComparisons:
+    def test_gt_emits_compare(self):
+        tb, f, n = make_pair()
+        assert (f > 0.0).concrete == 1
+        assert last_op(tb) == Op.FCMP
+        assert (n > 5).concrete == 0
+        assert last_op(tb) == Op.ICMP
+
+    def test_lt_swaps_operands(self):
+        # a < b is emitted as cmp(b, a): 1 iff b > a.
+        _tb, f, _n = make_pair()
+        assert (f < 2.0).concrete == 1
+        assert (f < 1.0).concrete == 0
+
+    def test_non_strict_and_equality_rejected(self):
+        _tb, f, _n = make_pair()
+        with pytest.raises(FrontendError, match="strict greater-than"):
+            f >= 1.0
+        with pytest.raises(FrontendError, match="strict greater-than"):
+            f <= 1.0
+        with pytest.raises(FrontendError, match="=="):
+            f == 1.5
+        with pytest.raises(FrontendError, match="=="):
+            f != 1.5
+
+    def test_unhashable(self):
+        _tb, f, _n = make_pair()
+        with pytest.raises(TypeError):
+            hash(f)
+
+
+class TestForbiddenEscapes:
+    def test_bool_names_the_alternatives(self):
+        _tb, f, _n = make_pair()
+        with pytest.raises(FrontendError, match="fe.select"):
+            bool(f)
+        with pytest.raises(FrontendError, match="control flow"):
+            if f > 0.0:  # the compare returns Traced; `if` calls __bool__
+                pass
+
+    def test_builtin_min_max_rejected(self):
+        _tb, f, _n = make_pair()
+        with pytest.raises(FrontendError, match="fe.fmin"):
+            min(f, 0.0)
+
+    def test_implicit_conversions_rejected(self):
+        _tb, f, n = make_pair()
+        with pytest.raises(FrontendError, match="int"):
+            int(f)
+        with pytest.raises(FrontendError, match="float"):
+            float(f)
+        with pytest.raises(FrontendError, match="__index__"):
+            list(range(10))[n]
+        with pytest.raises(FrontendError, match="abs"):
+            abs(f)
+
+    def test_mod_and_pow_rejected_with_rewrites(self):
+        _tb, _f, n = make_pair()
+        with pytest.raises(FrontendError, match="//"):
+            n % 3
+        with pytest.raises(FrontendError, match="multiplies"):
+            n ** 2
+
+    def test_operand_of_rejects_non_numbers(self):
+        with pytest.raises(FrontendError, match="unsupported"):
+            operand_of("three")
+        with pytest.raises(FrontendError, match="unsupported"):
+            operand_of(True)
+
+
+class TestIntrinsics:
+    def test_sqrt_concrete_and_traced_agree(self):
+        tb, f, _n = make_pair()
+        traced = fe.sqrt(f * f)
+        assert last_op(tb) == Op.FSQRT
+        assert traced.concrete == fe.sqrt(1.5 * 1.5) == 1.5
+
+    def test_sqrt_of_negative_uses_abs(self):
+        assert fe.sqrt(-4.0) == 2.0
+
+    def test_select(self):
+        tb, f, _n = make_pair()
+        picked = fe.select(f > 2.0, f, 0.0)
+        assert last_op(tb) == Op.SELECT
+        assert picked.concrete == 0.0
+        assert fe.select(1, "a", "b") == "a"  # concrete path is plain Python
+
+    def test_fmin_fmax(self):
+        tb, f, n = make_pair()
+        assert fe.fmin(f, 1.0).concrete == 1.0
+        assert fe.fmax(f, 1.0).concrete == 1.5
+        assert fe.fmax(n, 5).concrete == 5
+        assert tb.op_histogram()[Op.SELECT] == 3
+        assert fe.fmin(3, 7) == 3
+        assert fe.fmax(3.0, 7.0) == 7.0
+
+    def test_concrete_escape(self):
+        tb, f, _n = make_pair()
+        nodes_before = tb.num_nodes
+        assert fe.concrete(f) == 1.5
+        assert fe.concrete(42) == 42
+        assert tb.num_nodes == nodes_before  # the escape is not traced
+
+    def test_explicit_compares(self):
+        tb, _f, n = make_pair()
+        assert fe.icmp(n + 0, 2).concrete == 1
+        assert last_op(tb) == Op.ICMP
+        assert fe.fcmp(0.0 + (n * 1.0), 99.0).concrete == 0
+        assert last_op(tb) == Op.FCMP
+        assert fe.icmp(3, 2) == 1
+        assert fe.fcmp(1.0, 2.0) == 0
+
+
+class TestParallelRangeOutsideKernel:
+    def test_behaves_like_range(self):
+        assert list(fe.parallel_range(4)) == [0, 1, 2, 3]
+        assert list(fe.parallel_range(2, 8, 3)) == [2, 5]

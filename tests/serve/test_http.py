@@ -1,6 +1,8 @@
 """The HTTP face: endpoints, error mapping, client, serve() lifecycle."""
 
 import json
+import os
+import textwrap
 import threading
 import urllib.request
 
@@ -166,6 +168,108 @@ class TestErrorMapping:
             client.sweep("not-a-workload", quick_designs(1))
         assert "see GET /workloads" in info.value.message
         assert "HTTP 400" in str(info.value)
+
+
+FIR_SOURCE = textwrap.dedent("""\
+    from repro import frontend as fe
+
+    TAPS, N = 4, 32
+
+    @fe.kernel(description="4-tap FIR filter")
+    def fir_mini(x: fe.Array("x", N, word_bytes=8, kind="input"),
+                 h: fe.Array("h", TAPS, word_bytes=8, kind="input"),
+                 y: fe.Array("y", N - TAPS + 1, word_bytes=8,
+                             kind="output")):
+        for i in fe.parallel_range(N - TAPS + 1):
+            acc = 0.0
+            for t in range(TAPS):
+                acc = acc + x[i + t] * h[t]
+            y[i] = acc
+    """)
+
+
+@pytest.fixture
+def clean_registry():
+    """Undo dynamic registrations made through the server in-process."""
+    from repro.workloads import registry
+    before = set(registry._INSTANCES)
+    paths = set(registry._LOADED_KERNEL_PATHS)
+    env = os.environ.get(registry.ENV_KERNEL_PATHS)
+    yield
+    for name in set(registry._INSTANCES) - before:
+        registry.unregister_workload(name)
+    registry._LOADED_KERNEL_PATHS.clear()
+    registry._LOADED_KERNEL_PATHS.update(paths)
+    if env is None:
+        os.environ.pop(registry.ENV_KERNEL_PATHS, None)
+    else:
+        os.environ[registry.ENV_KERNEL_PATHS] = env
+
+
+class TestKernelEndpoint:
+    def test_submit_then_sweep_then_warm_requery(self, endpoint,
+                                                 clean_registry):
+        """A brand-new kernel goes end-to-end: POST /kernels, sweep it,
+        re-query — the second pass must be all store hits, no dispatch."""
+        client, service = endpoint
+        doc = client.submit_kernel(FIR_SOURCE, filename="fir_mini.py")
+        assert doc["kernels"] == [{"name": "fir-mini",
+                                   "description": "4-tap FIR filter",
+                                   "source": "frontend"}]
+        assert "fir-mini" in client.workloads()
+        details = client._request("/workloads")["details"]
+        assert {"name": "fir-mini", "source": "frontend"} in details
+
+        designs = [{"lanes": 1, "partitions": 1}, {"lanes": 2,
+                                                   "partitions": 2}]
+        cold = client.sweep("fir-mini", designs)
+        assert cold["service"]["dispatches"] == 2
+        assert all(not r.get("failed") for r in cold["results"])
+
+        warm = client.sweep("fir-mini", designs)
+        assert warm["service"] == {"points": 2, "hits": 2, "joins": 0,
+                                   "dispatches": 0, "failures": 0,
+                                   "tier": "exact"}
+        assert client.stats()["service"]["dispatches"] == 2
+
+    def test_resubmit_is_idempotent(self, endpoint, clean_registry):
+        client, service = endpoint
+        first = client.submit_kernel(FIR_SOURCE, filename="fir_mini.py")
+        assert client.submit_kernel(FIR_SOURCE,
+                                    filename="fir_mini.py") == first
+        kernels_dir = os.path.join(service.cache_dir, "kernels")
+        assert len(os.listdir(kernels_dir)) == 1
+
+    def test_unloadable_source_is_400(self, endpoint, clean_registry):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="failed to execute") as info:
+            client.submit_kernel("this is not python !!!")
+        assert info.value.status == 400
+
+    def test_kernel_free_source_is_400(self, endpoint, clean_registry):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="no kernels"):
+            client.submit_kernel("x = 1\n")
+
+    def test_empty_source_is_400(self, endpoint, clean_registry):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="non-empty") as info:
+            client.submit_kernel("")
+        assert info.value.status == 400
+
+    def test_builtin_name_collision_is_400(self, endpoint, clean_registry):
+        client, _service = endpoint
+        source = FIR_SOURCE.replace('@fe.kernel(description="4-tap FIR '
+                                    'filter")',
+                                    '@fe.kernel(name="aes-aes")')
+        with pytest.raises(ServiceError, match="builtin") as info:
+            client.submit_kernel(source)
+        assert info.value.status == 400
+
+    def test_unknown_workload_mentions_kernels_endpoint(self, endpoint):
+        client, _service = endpoint
+        with pytest.raises(ServiceError, match="POST /kernels"):
+            client.sweep("never-registered", quick_designs(1))
 
 
 class TestServeLifecycle:
