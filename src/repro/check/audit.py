@@ -23,7 +23,10 @@ Audited resources:
 * datapath scheduler — finished, nothing in flight, ready or parked;
 * CPU driver — busy/flush intervals closed;
 * system bus — ``next_free`` not beyond the final tick;
-* cache/scratchpad port accounting — per-cycle counters within bounds.
+* cache/scratchpad port accounting — per-cycle counters within bounds;
+* pipeline handoff buffers — no committed-but-unconsumed chunks, no
+  producer still stalled on buffer credit, no consumer still parked on an
+  empty buffer, stall/park intervals closed.
 """
 
 
@@ -123,6 +126,41 @@ def _audit_soc(leaks, soc):
     return count
 
 
+def _audit_link(leaks, link):
+    """One streaming handoff buffer (repro.core.pipeline.HandoffLink).
+
+    At the end of a clean run every committed chunk was drained and both
+    sides retired: leftover full bits are producer data the consumer never
+    read, pending waiters are a consumer parked forever, pending *empty*
+    waiters are a producer that died stalled on buffer credit.
+    """
+    name = f"pipeline.{link.name}"
+    bits = link.bits
+    full = sum(bits._ready)
+    if full:
+        _leak(leaks, name, "unconsumed_handoff_data",
+              f"{full} committed chunk(s) of "
+              f"{link.producer.workload!r} -> {link.consumer.workload!r} "
+              f"never drained by the consumer")
+    waiters = bits.pending_waiters()
+    if waiters:
+        _leak(leaks, name, "consumer_parked",
+              f"{waiters} consumer callback(s) still waiting for the "
+              f"producer to commit")
+    empty_waiters = bits.pending_empty_waiters()
+    if empty_waiters:
+        _leak(leaks, name, "producer_stalled",
+              f"{empty_waiters} producer callback(s) still waiting for "
+              f"buffer credit")
+    if link.producer_stall.busy:
+        _leak(leaks, name, "open_busy_interval",
+              "producer stall interval opened but never closed")
+    if link.consumer_park.busy:
+        _leak(leaks, name, "open_busy_interval",
+              "consumer park interval opened but never closed")
+    return 1
+
+
 def audit_platform(platform):
     """Audit every component of ``platform`` for leaked end-of-run state.
 
@@ -155,6 +193,9 @@ def audit_platform(platform):
 
     for soc in platform.socs:
         components += _audit_soc(leaks, soc)
+
+    for link in getattr(platform, "handoff_links", ()):
+        components += _audit_link(leaks, link)
 
     return {"tick": now, "components_audited": components,
             "leaks": leaks, "clean": not leaks}

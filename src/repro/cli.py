@@ -131,6 +131,41 @@ def build_parser():
     _add_design_args(trace_p)
     _add_platform_args(trace_p)
 
+    pipe_p = sub.add_parser(
+        "pipeline",
+        help="chain accelerators producer->consumer through a "
+             "back-pressured handoff buffer (see repro.core.pipeline)")
+    pipe_p.add_argument("workloads", nargs="+", metavar="workload",
+                        help="stage workloads, upstream first (>= 2)")
+    pipe_p.add_argument("--handoff", choices=("dma", "cache"),
+                        default="dma",
+                        help="handoff buffer kind: scratchpad ring over "
+                             "DMA with full/empty-bit back-pressure "
+                             "(default) or aliased coherent-cache regions")
+    pipe_p.add_argument("--buffer-bytes", type=int, default=4096,
+                        metavar="N",
+                        help="shared handoff ring size in bytes per link "
+                             "(DMA handoff; default 4096)")
+    pipe_p.add_argument("--double-buffer", action="store_true",
+                        help="split each handoff ring into two slots so "
+                             "producer fill overlaps consumer drain")
+    pipe_p.add_argument("--lanes", type=int, default=4)
+    pipe_p.add_argument("--partitions", type=int, default=4)
+    pipe_p.add_argument("--solo-baseline", action="store_true",
+                        help="also run each stage alone and report the "
+                             "pipeline's speedup over serial offloads")
+    pipe_p.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace_event timeline with "
+                             "per-stage rows and per-link stall/park rows")
+    pipe_p.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full pipeline result as JSON "
+                             "('-' for stdout)")
+    pipe_p.add_argument("--check-report", metavar="PATH", default=None,
+                        help="write the checker's health report as JSON "
+                             "(implies --check)")
+    _add_kernel_args(pipe_p)
+    _add_platform_args(pipe_p)
+
     sweep_p = sub.add_parser("sweep",
                              help="sweep both design spaces for a workload")
     sweep_p.add_argument("workload", metavar="workload")
@@ -537,6 +572,90 @@ def cmd_profile(args, out):
         f"({result.accel_cycles} accelerator cycles)")
     out("")
     out(profiler.report(top=args.top))
+    return 0
+
+
+def cmd_pipeline(args, out):
+    """``repro pipeline``: chain N accelerators through handoff buffers."""
+    import json as json_mod
+
+    from repro.core.pipeline import AcceleratorPipeline
+    from repro.errors import ConfigError
+    from repro.units import ticks_to_us
+
+    for name in args.workloads:
+        _resolve_workload(args, name)
+    design = DesignPoint(
+        lanes=args.lanes, partitions=args.partitions,
+        mem_interface="dma" if args.handoff == "dma" else "cache")
+    checker = _checker_from_args(args)
+    events = []
+    with _debug_flags(args) as trace:
+        if args.trace:
+            trace.start_recording()
+        try:
+            try:
+                pipe = AcceleratorPipeline(
+                    [(w, design) for w in args.workloads],
+                    handoff=args.handoff, buffer_bytes=args.buffer_bytes,
+                    double_buffer=args.double_buffer,
+                    cfg=config_from_args(args),
+                    check=checker if checker is not None else False)
+            except ConfigError as exc:
+                raise SystemExit(str(exc))
+            result = pipe.run()
+        finally:
+            if args.trace:
+                events = trace.stop_recording()
+
+    out(f"pipeline : {' -> '.join(args.workloads)}")
+    ring = (f", {args.buffer_bytes} B ring"
+            f"{' x2 (double buffered)' if args.double_buffer else ''}"
+            if args.handoff == "dma" else ", aliased regions")
+    out(f"handoff  : {args.handoff}{ring}")
+    out(f"makespan : {ticks_to_us(result.makespan_ticks):.2f} us")
+    out("")
+    rows = [[f"stage{i}", r.workload, f"{r.time_us:.2f}",
+             f"{r.power_mw:.3f}"]
+            for i, r in enumerate(result.stage_results)]
+    out(format_table(["stage", "workload", "time_us", "power_mW"], rows))
+    out("")
+    rows = [[f"link{l['link']}", f"{l['producer']}->{l['consumer']}",
+             l["handoffs"], l["producer_stalls"], l["consumer_parks"],
+             f"{ticks_to_us(l['producer_stall_ticks']):.2f}",
+             f"{ticks_to_us(l['consumer_park_ticks']):.2f}",
+             "yes" if l["ordering_clean"] else "NO"]
+            for l in result.links]
+    out(format_table(["link", "stages", "handoffs", "stalls", "parks",
+                      "stall_us", "park_us", "ordered"], rows))
+    if args.solo_baseline:
+        out("")
+        out(f"speedup  : {pipe.speedup_vs_serial():.3f}x vs serial "
+            f"offloads (sum of solo runs / pipeline makespan)")
+    if checker is not None:
+        audit = checker.last_audit or {}
+        out("")
+        out(f"check    : clean ({checker.invariant_checks} invariant "
+            f"checks, {audit.get('components_audited', 0)} components "
+            f"audited, 0 leaks)")
+        if args.check_report:
+            checker.dump_json(args.check_report)
+            out(f"wrote health report to {args.check_report}")
+    if args.trace:
+        from repro.obs.timeline import pipeline_timeline
+        builder = pipeline_timeline(pipe, trace_events=events)
+        num_events = builder.write(args.trace)
+        out(f"timeline : {len(builder.rows())} rows, {num_events} events "
+            f"({len(events)} trace markers) -> {args.trace}")
+    if args.json:
+        payload = json_mod.dumps(result.to_dict(), indent=2,
+                                 sort_keys=True)
+        if args.json == "-":
+            out(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            out(f"wrote {args.json}")
     return 0
 
 
@@ -976,6 +1095,7 @@ COMMANDS = {
     "workloads": cmd_workloads,
     "trace-kernel": cmd_trace_kernel,
     "run": cmd_run,
+    "pipeline": cmd_pipeline,
     "profile": cmd_profile,
     "stats": cmd_stats,
     "trace": cmd_trace,

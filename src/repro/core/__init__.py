@@ -9,6 +9,7 @@ evaluation (see DESIGN.md section 3 for the experiment index).
 from repro.core.config import DesignPoint, SoCConfig, PARAMETER_TABLE
 from repro.core.soc import Platform, SoC, run_design
 from repro.core.multi import MultiAcceleratorSoC
+from repro.core.pipeline import AcceleratorPipeline, PipelineStage
 from repro.core.metrics import RunResult, classify_breakdown
 from repro.core.sweep import (
     dma_design_space,
@@ -30,6 +31,8 @@ __all__ = [
     "Platform",
     "SoC",
     "MultiAcceleratorSoC",
+    "AcceleratorPipeline",
+    "PipelineStage",
     "run_design",
     "RunResult",
     "classify_breakdown",

@@ -43,6 +43,7 @@ class MultiAcceleratorSoC:
         self.jobs = list(jobs)
         self._results = None
         self._solo_results = None
+        self._solo_key = None
 
     def run(self):
         """Launch every accelerator at tick 0 and run to completion.
@@ -72,9 +73,14 @@ class MultiAcceleratorSoC:
     def solo_results(self, on_error="raise", retries=0):
         """Each job re-run alone on an identical (private) platform.
 
-        Memoized: the solo runs are deterministic functions of (job, cfg),
-        so repeated calls — e.g. ``contention_slowdowns()`` after
-        ``makespan_ticks()`` analyses — re-simulate nothing.
+        Memoized per fault-handling policy: the solo runs are
+        deterministic functions of (job, cfg, on_error, retries), so
+        repeated calls with the same knobs — e.g.
+        ``contention_slowdowns()`` after ``makespan_ticks()`` analyses —
+        re-simulate nothing, while a call with *different* knobs re-runs
+        rather than silently serving results computed under the old
+        policy (a first ``on_error="raise"`` call must not pin the memo
+        for a later ``on_error="collect"`` one, and vice versa).
 
         The solo re-runs go through the sweep engine's fault handling:
         ``on_error="collect"`` turns a failing solo run into a
@@ -82,13 +88,15 @@ class MultiAcceleratorSoC:
         extra attempts first) instead of aborting the whole contention
         analysis.
         """
-        if self._solo_results is None:
+        key = (on_error, retries)
+        if self._solo_results is None or self._solo_key != key:
             from repro.core.sweep import run_sweep
             solo = []
             for workload, design in self.jobs:
                 solo.extend(run_sweep(workload, [design], self.cfg,
                                       on_error=on_error, retries=retries))
             self._solo_results = solo
+            self._solo_key = key
         return self._solo_results
 
     def contention_slowdowns(self, on_error="raise", retries=0):
@@ -97,11 +105,13 @@ class MultiAcceleratorSoC:
         This is the direct measurement of the paper's shared-resource-
         contention effect: how much each accelerator's offload stretches
         because its neighbours occupy the bus and DRAM.  A job whose solo
-        re-run failed (``on_error="collect"``) yields ``None`` in its
-        slot rather than poisoning the other ratios.
+        re-run failed (``on_error="collect"``) or completed in zero ticks
+        (a degenerate workload with no ratio to take) yields ``None`` in
+        its slot rather than poisoning the other ratios.
         """
         solo = self.solo_results(on_error=on_error, retries=retries)
         return [None if getattr(alone, "is_failure", False)
+                or not alone.total_ticks
                 else shared.total_ticks / alone.total_ticks
                 for shared, alone in zip(self.results, solo)]
 
@@ -110,9 +120,16 @@ class MultiAcceleratorSoC:
         return self.platform.bus.utilization(0, self.makespan_ticks())
 
 
-def run_pair(workload_a, design_a, workload_b, design_b, cfg=None):
-    """Convenience: two accelerators side by side; returns the Multi SoC."""
+def run_pair(workload_a, design_a, workload_b, design_b, cfg=None,
+             check=None):
+    """Convenience: two accelerators side by side; returns the Multi SoC.
+
+    ``check`` reaches the shared platform exactly as it would via
+    :class:`MultiAcceleratorSoC` directly — a ``run_pair(...,
+    check=True)`` caller gets MOESI checking and the leak audit, not a
+    silently unchecked run.
+    """
     soc = MultiAcceleratorSoC([(workload_a, design_a),
-                               (workload_b, design_b)], cfg)
+                               (workload_b, design_b)], cfg, check=check)
     soc.run()
     return soc

@@ -191,3 +191,85 @@ def edp_improvement(workload, scenario, density="standard", base_cfg=None,
         "naive_result": naive_result,
         "sweep": results,
     }
+
+
+def run_pipeline_family(workloads, depths=(2, 3), buffer_bytes=(512, 4096),
+                        handoffs=("dma", "cache"), traffic=(False,),
+                        double_buffer=(False,), base_cfg=None, check=None,
+                        progress=None):
+    """The streaming-pipeline design-space family.
+
+    Chains the first ``depth`` entries of ``workloads`` for every
+    combination of chain depth × handoff buffer size × handoff mode
+    (scratchpad-DMA vs coherent cache) × background traffic ×
+    double-buffering, and records per-combination makespan, back-pressure
+    behaviour, and speedup over running the same stages serially through
+    the CPU.  Buffer size is a DMA-handoff knob; cache handoffs collapse
+    it (memory is the buffer), so those rows are generated once per
+    (depth, traffic, ...) with ``buffer_bytes=None``.
+
+    Returns a list of plain dicts, one per combination, ready for
+    tabulation or JSON dumping.
+    """
+    from repro.core.pipeline import AcceleratorPipeline
+
+    base_cfg = base_cfg or SoCConfig()
+    rows = []
+    combos = []
+    for depth in depths:
+        if depth > len(workloads):
+            continue
+        for traf in traffic:
+            for dbuf in double_buffer:
+                for handoff in handoffs:
+                    if handoff == "cache":
+                        if dbuf:
+                            continue  # double buffering is a DMA-ring knob
+                        combos.append((depth, traf, dbuf, handoff, None))
+                    else:
+                        for buf in buffer_bytes:
+                            combos.append((depth, traf, dbuf, handoff, buf))
+
+    solo_cache = {}
+    for idx, (depth, traf, dbuf, handoff, buf) in enumerate(combos):
+        chain = list(workloads[:depth])
+        cfg = base_cfg.replace(background_traffic=traf)
+        pipe = AcceleratorPipeline(
+            chain, handoff=handoff,
+            buffer_bytes=buf if buf is not None else 4096,
+            double_buffer=dbuf, cfg=cfg, check=check)
+        result = pipe.run()
+        # Serial baseline: memoized per (workload, handoff, traffic) —
+        # identical across the buffer-size axis.
+        serial = 0
+        for spec in pipe.specs:
+            key = (spec.workload, handoff, traf)
+            if key not in solo_cache:
+                solo_cache[key] = run_design(spec.workload, spec.design,
+                                             cfg)
+            serial += solo_cache[key].total_ticks
+        rows.append({
+            "depth": depth,
+            "workloads": list(chain),
+            "handoff": handoff,
+            "buffer_bytes": buf,
+            "double_buffer": dbuf,
+            "background_traffic": traf,
+            "makespan_ticks": result.makespan_ticks,
+            "serial_ticks": serial,
+            "speedup_vs_serial": serial / result.makespan_ticks,
+            "stage_ticks": [r.total_ticks for r in result.stage_results],
+            "handoffs": sum(l["handoffs"] for l in result.links),
+            "producer_stalls": sum(l["producer_stalls"]
+                                   for l in result.links),
+            "consumer_parks": sum(l["consumer_parks"]
+                                  for l in result.links),
+            "producer_stall_ticks": sum(l["producer_stall_ticks"]
+                                        for l in result.links),
+            "consumer_park_ticks": sum(l["consumer_park_ticks"]
+                                       for l in result.links),
+            "ordering_clean": result.ordering_clean(),
+        })
+        if progress is not None:
+            progress(idx + 1, len(combos), rows[-1])
+    return rows

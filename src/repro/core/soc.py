@@ -97,6 +97,9 @@ class Platform:
         self._next_offset = 0
         self._num_accels = 0
         self.socs = []  # every SoC built on this platform registers here
+        # Streaming handoff buffers between pipeline stages
+        # (repro.core.pipeline); the leak audit walks these too.
+        self.handoff_links = []
         # Runtime correctness checking (repro.check): ``check`` may be a
         # Checker, a bool, or None (= honor $REPRO_CHECK).  Detached, the
         # per-transition hooks cost one ``is None`` test.
@@ -182,21 +185,7 @@ class SoC:
         self.domain = plat.domain
         self.cpu_cache = plat.cpu_cache
 
-        # Shared-memory layout: page-aligned physical region per array.
-        self.phys_base = {}
-        self.virt_base = {}
-        for name, decl in self.trace.arrays.items():
-            if decl.kind == "internal":
-                continue
-            offset = plat.alloc_region(decl.size_bytes)
-            self.phys_base[name] = PHYS_BASE + offset
-            self.virt_base[name] = VIRT_BASE + offset
-
-        # CPU side: cache full of the (dirty) input data it just generated,
-        # plus stale copies of the return region.
-        for name, decl in self.trace.arrays.items():
-            if decl.kind != "internal":
-                self.cpu_cache.preload(self.phys_base[name], decl.size_bytes)
+        self._map_shared_regions()
 
         self.driver = plat.make_driver(f"cpu{self.accel_id}")
         self.assignment = assign_lanes(self.trace, design.lanes)
@@ -263,6 +252,34 @@ class SoC:
         self._signaled = False
         self._flow_done = False
         self._end_tick = None
+
+    def _map_shared_regions(self):
+        """Lay out this accelerator's shared-memory windows.
+
+        One page-aligned physical region per non-internal array, then the
+        CPU side: cache full of the (dirty) input data it just generated,
+        plus stale copies of the return region.  Pipeline stages override
+        :meth:`_cpu_generated` — arrays fed by an upstream accelerator
+        were never touched by the CPU, so they must not be preloaded.
+        """
+        plat = self.platform
+        self.phys_base = {}
+        self.virt_base = {}
+        for name, decl in self.trace.arrays.items():
+            if decl.kind == "internal":
+                continue
+            offset = plat.alloc_region(decl.size_bytes)
+            self.phys_base[name] = PHYS_BASE + offset
+            self.virt_base[name] = VIRT_BASE + offset
+        for name, decl in self.trace.arrays.items():
+            if decl.kind != "internal" and self._cpu_generated(name):
+                self.cpu_cache.preload(self.phys_base[name], decl.size_bytes)
+
+    def _cpu_generated(self, _array):
+        """True when the CPU's cache holds (stale or dirty) copies of the
+        array before the offload.  Standalone offloads: every shared
+        array."""
+        return True
 
     def _make_spad(self, kinds):
         design = self.design
@@ -373,12 +390,18 @@ class SoC:
     def _invalidate_outputs(self, idx):
         outputs = [r for r in self._output_regions()]
         if idx >= len(outputs):
-            if not self.design.pipelined_dma:
-                self.driver.ioctl_invoke(self._program_bulk_dma)
+            self._after_output_invalidates()
             return
         _name, phys, size = outputs[idx]
         self.driver.invalidate_region(
             phys, size, lambda: self._invalidate_outputs(idx + 1))
+
+    def _after_output_invalidates(self):
+        """CPU-side setup finished.  Non-pipelined DMA invokes the
+        accelerator now; pipelined DMA already has per-block transfers in
+        flight (the last one signals :meth:`_dma_in_done`)."""
+        if not self.design.pipelined_dma:
+            self.driver.ioctl_invoke(self._program_bulk_dma)
 
     def _program_bulk_dma(self):
         descs = [DMADescriptor(phys, name, 0, size, to_accel=True)
@@ -393,16 +416,26 @@ class SoC:
 
     def _on_compute_done(self):
         if self.design.is_dma:
-            descs = [DMADescriptor(phys, name, 0, size, to_accel=False)
-                     for name, phys, size in self._output_regions()]
-            if descs:
-                self.dma.enqueue(descs, on_done=self._signal_completion)
-            else:
-                self._signal_completion()
+            self._start_output_dma()
         else:
             # mfence: order the final stores, then signal.
             self.sim.schedule(ns_to_ticks(self.cfg.fence_ns),
-                              self._signal_completion)
+                              self._after_fence)
+
+    def _start_output_dma(self):
+        """DMA the return regions back to shared memory, then signal.
+        Pipeline stages interpose chunked, credit-gated pushes here."""
+        descs = [DMADescriptor(phys, name, 0, size, to_accel=False)
+                 for name, phys, size in self._output_regions()]
+        if descs:
+            self.dma.enqueue(descs, on_done=self._signal_completion)
+        else:
+            self._signal_completion()
+
+    def _after_fence(self):
+        """The cache flow's mfence retired; the final stores are ordered.
+        Pipeline stages commit their handoff flags here."""
+        self._signal_completion()
 
     # Cache mode ------------------------------------------------------------
 

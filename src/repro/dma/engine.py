@@ -25,15 +25,16 @@ from repro.sim.stats import IntervalTracker
 
 class _Transaction:
     __slots__ = ("descriptors", "on_done", "bursts", "next_burst",
-                 "completed_bursts", "label")
+                 "completed_bursts", "label", "gate")
 
-    def __init__(self, descriptors, on_done, label):
+    def __init__(self, descriptors, on_done, label, gate=None):
         self.descriptors = descriptors
         self.on_done = on_done
         self.bursts = []
         self.next_burst = 0
         self.completed_bursts = 0
         self.label = label
+        self.gate = gate
 
 
 class DMAEngine:
@@ -54,14 +55,25 @@ class DMAEngine:
         self._in_flight = 0
         self.bytes_moved = 0
         self.transactions = 0
+        self.gated_starts = 0
+        self.gate_wait_ticks = 0
         # array name -> ReadyBits, installed by the SoC when DMA-triggered
         # compute is enabled.
         self.ready_bits = {}
         self._trace = trace.tracer("dma", name)
 
-    def enqueue(self, descriptors, on_done=None, label=""):
-        """Queue one transaction (a descriptor chain)."""
-        txn = _Transaction(list(descriptors), on_done, label)
+    def enqueue(self, descriptors, on_done=None, label="", gate=None):
+        """Queue one transaction (a descriptor chain).
+
+        ``gate`` — a :class:`~repro.memory.fullempty.DescriptorGate` —
+        defers the transaction's *start*: when it reaches the head of the
+        channel queue the engine parks (channel reserved but not busy)
+        until the gate's full/empty-bit condition holds.  Streaming
+        pipelines use this for ready-bit-gated pulls and back-pressured
+        pushes; later transactions wait behind a parked head in FIFO
+        order, as on a real single-channel engine.
+        """
+        txn = _Transaction(list(descriptors), on_done, label, gate)
         for desc in txn.descriptors:
             offset = 0
             while offset < desc.size:
@@ -73,28 +85,51 @@ class DMAEngine:
             self._start_next()
 
     def idle(self):
-        """True when no transaction is active or queued."""
+        """True when no transaction is active, parked, or queued."""
         return self._active is None and not self._queue
 
     def _start_next(self):
         if not self._queue:
             return
-        self._active = self._queue.pop(0)
+        txn = self._active = self._queue.pop(0)
+        gate = txn.gate
+        if gate is not None and not gate.satisfied():
+            self.gated_starts += 1
+            parked_at = self.sim.now
+            if gate.tracker is not None:
+                gate.tracker.begin(parked_at)
+            if self._trace is not None:
+                self._trace(parked_at, "txn parked on %s gate%s",
+                            gate.until,
+                            f" [{txn.label}]" if txn.label else "")
+
+            def opened():
+                now = self.sim.now
+                self.gate_wait_ticks += now - parked_at
+                if gate.tracker is not None:
+                    gate.tracker.end(now)
+                self._begin(txn)
+
+            gate.wait(opened)
+            return
+        self._begin(txn)
+
+    def _begin(self, txn):
         self.transactions += 1
         self.busy.begin(self.sim.now)
+        if txn.gate is not None:
+            txn.gate.notify_open(self.sim.now)
         setup = self.clock.cycles_to_ticks(self.setup_cycles)
         if self._trace is not None:
-            txn = self._active
             self._trace(self.sim.now,
                         "txn %d start: %d descriptor(s), %d burst(s)%s",
                         self.transactions, len(txn.descriptors),
                         len(txn.bursts),
                         f" [{txn.label}]" if txn.label else "")
-        self.sim.schedule(setup, self._pump)
+        self.sim.schedule(setup, lambda: self._pump(txn))
 
-    def _pump(self):
+    def _pump(self, txn):
         """Keep up to ``max_outstanding`` bursts on the bus, in order."""
-        txn = self._active
         if not txn.bursts:
             # Empty descriptor chain (or all descriptors zero-size): there
             # is no data to move, so no _burst_done will ever fire.  The
@@ -112,12 +147,11 @@ class DMAEngine:
                 is_write=not desc.to_accel,
                 requester=self.name,
                 callback=lambda req, d=desc, o=offset, c=chunk:
-                    self._burst_done(d, o, c),
+                    self._burst_done(txn, d, o, c),
             )
             self.bus.request(req)
 
-    def _burst_done(self, desc, offset, chunk):
-        txn = self._active
+    def _burst_done(self, txn, desc, offset, chunk):
         self._in_flight -= 1
         txn.completed_bursts += 1
         self.bytes_moved += chunk
@@ -128,7 +162,7 @@ class DMAEngine:
         if txn.completed_bursts == len(txn.bursts):
             self._finish_active(txn)
         else:
-            self._pump()
+            self._pump(txn)
 
     def _finish_active(self, txn):
         """Complete the active transaction and start the next queued one."""
@@ -140,7 +174,11 @@ class DMAEngine:
         on_done = txn.on_done
         if on_done is not None:
             on_done()
-        self._start_next()
+        # on_done may have enqueued (and thereby started) the next
+        # transaction already; starting again here would pop a second
+        # transaction onto the single channel and orphan the first.
+        if self._active is None:
+            self._start_next()
 
     def reg_stats(self, stats, prefix="accel0.dma"):
         """Mirror this engine's counters into a stats registry."""
@@ -150,3 +188,8 @@ class DMAEngine:
                      desc="bytes transferred")
         stats.scalar(f"{prefix}.busy_ticks", lambda: self.busy.total_busy(),
                      desc="ticks with a transaction in flight")
+        stats.scalar(f"{prefix}.gated_starts", lambda: self.gated_starts,
+                     desc="transactions parked on a full/empty gate")
+        stats.scalar(f"{prefix}.gate_wait_ticks",
+                     lambda: self.gate_wait_ticks,
+                     desc="ticks the channel head waited behind a gate")

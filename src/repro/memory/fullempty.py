@@ -1,9 +1,17 @@
-"""Full/empty ("ready") bits for DMA-triggered computation.
+"""Full/empty ("ready") bits for DMA-triggered computation and handoff.
 
 Section IV-B2: the accelerator starts executing as soon as the DMA is
 *programmed*; every scratchpad load first checks a full/empty bit tracked at
 cache-line granularity.  If the bit is clear, only that load's lane stalls;
 the DMA engine sets bits as data lands and wakes the stalled loads.
+
+Streaming pipelines (:mod:`repro.core.pipeline`) use the same bits in both
+directions: a *full* bit means a producer committed that chunk of a shared
+handoff buffer and the consumer may read it; clearing the bit returns the
+buffer credit, waking a producer stalled on a full buffer.  The range
+waiters (:meth:`ReadyBits.wait_range` / :meth:`ReadyBits.wait_empty_range`)
+and :class:`DescriptorGate` implement that back-pressured protocol on top
+of the line-granularity state.
 """
 
 from repro.errors import SimulationError
@@ -18,8 +26,10 @@ class ReadyBits:
         self.granularity = granularity
         self.num_bits = -(-size_bytes // granularity) if size_bytes else 0
         self._ready = bytearray(self.num_bits)
-        self._waiters = {}  # bit index -> list of callbacks
+        self._waiters = {}  # bit index -> list of callbacks (wake on fill)
+        self._empty_waiters = {}  # bit index -> callbacks (wake on clear)
         self.stalls = 0
+        self.lines_cleared = 0
 
     def _bit(self, offset):
         if not 0 <= offset < self.size_bytes:
@@ -84,10 +94,132 @@ class ReadyBits:
         """Mark the whole array ready (preloaded scratchpads)."""
         self.set_range(0, self.size_bytes)
 
+    def clear_range(self, offset, size):
+        """Mark [offset, offset+size) empty again and wake space waiters.
+
+        The consumer half of a handoff buffer: clearing a chunk's bits
+        returns its buffer credit, waking any producer stalled on a full
+        buffer.  Boundary rules mirror :meth:`set_range`.
+        """
+        if size <= 0 or not self.num_bits or offset == self.size_bytes:
+            return
+        first = self._bit(offset)
+        last = self._bit(min(offset + size, self.size_bytes) - 1)
+        for bit in range(first, last + 1):
+            if self._ready[bit]:
+                self._ready[bit] = 0
+                self.lines_cleared += 1
+                for callback in self._empty_waiters.pop(bit, ()):
+                    callback()
+
     def all_ready(self):
         """True when every line has arrived."""
         return all(self._ready) if self.num_bits else True
 
+    def range_ready(self, offset, size):
+        """True when every line of [offset, offset+size) is full."""
+        first, last = self._range_bits(offset, size)
+        return all(self._ready[first:last + 1])
+
+    def range_empty(self, offset, size):
+        """True when every line of [offset, offset+size) is empty."""
+        first, last = self._range_bits(offset, size)
+        return not any(self._ready[first:last + 1])
+
+    def _range_bits(self, offset, size):
+        if size <= 0 or not self.num_bits:
+            return 0, -1  # vacuous range: slices to ()
+        first = self._bit(offset)
+        last = self._bit(min(offset + size, self.size_bytes) - 1)
+        return first, last
+
+    def _wait_on(self, offset, size, callback, table, want_set):
+        """Fire ``callback`` once every bit of the range matches the
+        wanted state, tracking partially satisfied ranges bit by bit."""
+        first, last = self._range_bits(offset, size)
+        missing = [bit for bit in range(first, last + 1)
+                   if bool(self._ready[bit]) != want_set]
+        if not missing:
+            callback()
+            return False
+        self.stalls += 1
+        remaining = [len(missing)]
+
+        def one_arrived():
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                callback()
+
+        for bit in missing:
+            table.setdefault(bit, []).append(one_arrived)
+        return True
+
+    def wait_range(self, offset, size, callback):
+        """Invoke ``callback`` once every line of the range is full.
+
+        Fires immediately (returning False) when the range is already
+        ready; otherwise returns True and the caller is parked until the
+        last covering line is set.
+        """
+        return self._wait_on(offset, size, callback, self._waiters, True)
+
+    def wait_empty_range(self, offset, size, callback):
+        """Invoke ``callback`` once every line of the range is empty.
+
+        The producer half of back-pressure: a full buffer slot parks the
+        producer until the consumer clears it.  Fires immediately
+        (returning False) when the range is already clear.
+        """
+        return self._wait_on(offset, size, callback, self._empty_waiters,
+                             False)
+
     def pending_waiters(self):
         """Number of callbacks still blocked on unfilled lines."""
         return sum(len(v) for v in self._waiters.values())
+
+    def pending_empty_waiters(self):
+        """Number of callbacks still blocked waiting for lines to clear."""
+        return sum(len(v) for v in self._empty_waiters.values())
+
+
+class DescriptorGate:
+    """Gates a DMA transaction's start on a full/empty-bit condition.
+
+    Passed to :meth:`repro.dma.engine.DMAEngine.enqueue` as ``gate=``:
+    when the transaction reaches the head of the channel queue the engine
+    starts it only once the gated range is in the wanted state —
+    ``until="full"`` parks a consumer's pull until the producer committed
+    the chunk, ``until="empty"`` parks a producer's push until the buffer
+    slot was drained (back-pressure).  ``tracker`` (an
+    :class:`~repro.sim.stats.IntervalTracker`) records the park window;
+    ``opened_tick`` records when the gate let the transaction through.
+    """
+
+    def __init__(self, bits, offset, size, until="full", tracker=None):
+        if until not in ("full", "empty"):
+            raise SimulationError(f"unknown gate condition {until!r}")
+        self.bits = bits
+        self.offset = offset
+        self.size = size
+        self.until = until
+        self.tracker = tracker
+        self.opened_tick = None
+        self.waited = False
+
+    def satisfied(self):
+        """True when the gated range is in the wanted state."""
+        if self.until == "full":
+            return self.bits.range_ready(self.offset, self.size)
+        return self.bits.range_empty(self.offset, self.size)
+
+    def wait(self, callback):
+        """Register ``callback`` for when the condition becomes true."""
+        self.waited = True
+        if self.until == "full":
+            self.bits.wait_range(self.offset, self.size, callback)
+        else:
+            self.bits.wait_empty_range(self.offset, self.size, callback)
+
+    def notify_open(self, tick):
+        """Record the tick the engine actually started the transaction."""
+        self.opened_tick = tick

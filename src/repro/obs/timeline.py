@@ -122,3 +122,57 @@ def soc_timeline(soc, trace_events=None, process_name=None):
     if trace_events:
         builder.add_trace_events(trace_events)
     return builder
+
+
+def pipeline_timeline(pipeline, trace_events=None, process_name=None):
+    """A :class:`TimelineBuilder` for a finished
+    :class:`~repro.core.pipeline.AcceleratorPipeline` run.
+
+    Per stage k: ``stage<k>.<workload>`` cpu / flush / dma / compute rows,
+    so the producer-consumer overlap is visible as staggered compute
+    windows.  Per handoff link: a ``link<k>.stall`` row (producer waiting
+    for buffer credit — back-pressure) and a ``link<k>.park`` row
+    (consumer waiting for committed data), plus ``commit``/``drain``
+    instants at each chunk's produced/consumed tick.  Shared rows: the
+    system bus and every DRAM bank that saw traffic.
+    """
+    builder = TimelineBuilder(
+        process_name=process_name
+        or "repro-pipeline:" + "+".join(s.workload for s in pipeline.stages))
+    for stage in pipeline.stages:
+        row = f"stage{stage.stage_index}.{stage.workload}"
+        builder.add_track(f"{row}.cpu", stage.driver.busy.merged(),
+                          label="cpu")
+        builder.add_track(f"{row}.flush", stage.driver.flush_busy.merged(),
+                          label="flush")
+        if stage.dma is not None:
+            builder.add_track(f"{row}.dma", stage.dma.busy.merged(),
+                              label="dma")
+        builder.add_track(f"{row}.datapath", stage.scheduler.busy.merged(),
+                          label="compute")
+    for link in pipeline.links:
+        stall_row = f"{link.name}.stall"
+        park_row = f"{link.name}.park"
+        builder.add_track(stall_row, link.producer_stall.merged(),
+                          label="producer stalled (buffer full)",
+                          cat="backpressure")
+        builder.add_track(park_row, link.consumer_park.merged(),
+                          label="consumer parked (buffer empty)",
+                          cat="backpressure")
+        for j, tick in enumerate(link.produced_tick):
+            if tick is not None:
+                builder.add_instant(stall_row, tick, f"commit chunk {j}",
+                                    cat="handoff")
+        for j, tick in enumerate(link.consumed_tick):
+            if tick is not None:
+                builder.add_instant(park_row, tick, f"drain chunk {j}",
+                                    cat="handoff")
+    platform = pipeline.platform
+    builder.add_track("bus", platform.bus.busy.merged(), label="bus")
+    for bank, tracker in enumerate(platform.dram.bank_busy):
+        if tracker.intervals:
+            builder.add_track(f"dram.bank{bank}", tracker.merged(),
+                              label=f"bank{bank}")
+    if trace_events:
+        builder.add_trace_events(trace_events)
+    return builder

@@ -143,3 +143,71 @@ class TestHealthReport:
         assert doc["check.invariant_checks"] > 0
         assert doc["check.audits"] == 1
         assert doc["check.violations"] == 0
+
+
+class TestHandoffLinkAudit:
+    """Pipeline handoff buffers join the leak audit."""
+
+    def _pipe(self, **kwargs):
+        from repro.core.pipeline import AcceleratorPipeline
+        kwargs.setdefault("buffer_bytes", 512)
+        return AcceleratorPipeline(["aes-aes", "kmp"], check=False,
+                                   **kwargs)
+
+    def test_clean_pipeline_audits_clean(self):
+        pipe = self._pipe()
+        pipe.run()
+        report = audit_platform(pipe.platform)
+        assert report["clean"]
+        # The link was walked as its own component.
+        assert report["components_audited"] >= 15
+
+    def test_unconsumed_chunk_is_a_leak(self):
+        pipe = self._pipe()
+        pipe.run()
+        link = pipe.links[0]
+        link.bits.set_range(0, link.chunk_bytes)  # forge leftover data
+        report = audit_platform(pipe.platform)
+        assert not report["clean"]
+        kinds = {leak["kind"] for leak in report["leaks"]}
+        assert "unconsumed_handoff_data" in kinds
+
+    def test_parked_consumer_is_a_leak(self):
+        pipe = self._pipe()
+        pipe.run()
+        link = pipe.links[0]
+        link.bits.wait_range(0, link.chunk_bytes, lambda: None)
+        report = audit_platform(pipe.platform)
+        kinds = {leak["kind"] for leak in report["leaks"]}
+        assert "consumer_parked" in kinds
+
+    def test_stalled_producer_is_a_leak(self):
+        pipe = self._pipe()
+        pipe.run()
+        link = pipe.links[0]
+        link.bits.set_range(0, link.chunk_bytes)
+        link.bits.wait_empty_range(0, link.chunk_bytes, lambda: None)
+        report = audit_platform(pipe.platform)
+        kinds = {leak["kind"] for leak in report["leaks"]}
+        assert "producer_stalled" in kinds
+
+    def test_open_stall_interval_is_a_leak(self):
+        pipe = self._pipe()
+        pipe.run()
+        pipe.links[0].producer_stall.begin(pipe.platform.sim.now)
+        report = audit_platform(pipe.platform)
+        kinds = {leak["kind"] for leak in report["leaks"]}
+        assert "open_busy_interval" in kinds
+
+    def test_checker_raises_on_link_leak(self):
+        """A consumer that never drains the handoff flags fails the
+        checked run instead of reporting optimistic numbers.  Cache
+        handoff: the drain is the consumer's consume_all at its fence."""
+        from repro.check import Checker
+        checker = Checker()
+        pipe = self._pipe(handoff="cache")
+        # Swap in a real checker post-construction so run() audits.
+        pipe.platform.checker = checker
+        pipe.links[0].consume_all = lambda: None  # "forgets" to drain
+        with pytest.raises(LeakError):
+            pipe.run()

@@ -28,10 +28,10 @@ class TestDeadlockDiagnosis:
         dma = soc.dma
         original = dma._pump
 
-        def buggy_pump():
-            if not dma._active.bursts:
+        def buggy_pump(txn):
+            if not txn.bursts:
                 return  # pre-fix behavior: nothing in flight, no finish
-            original()
+            original(txn)
 
         dma._pump = buggy_pump
         dma.enqueue([], label="empty-chain")

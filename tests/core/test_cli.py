@@ -480,3 +480,46 @@ class TestQueryCLI:
             run_cli(["query", "sweep", "aes-aes", "--fidelity", "fast",
                      "--space", "dma", "--density", "quick",
                      "--server", live_server])
+
+
+class TestPipelineCommand:
+    def test_pipeline_dma(self, tmp_path):
+        trace_path = tmp_path / "pipe.json"
+        code, text = run_cli(["pipeline", "aes-aes", "kmp",
+                              "--buffer-bytes", "512", "--check",
+                              "--solo-baseline",
+                              "--trace", str(trace_path)])
+        assert code == 0
+        assert "aes-aes -> kmp" in text
+        assert "makespan" in text
+        assert "link0" in text
+        assert "speedup" in text
+        assert "check    : clean" in text
+        assert trace_path.exists()
+
+    def test_pipeline_cache(self):
+        code, text = run_cli(["pipeline", "aes-aes", "kmp",
+                              "--handoff", "cache"])
+        assert code == 0
+        assert "aliased regions" in text
+
+    def test_pipeline_json_export(self, tmp_path):
+        import json
+        path = tmp_path / "result.json"
+        code, _text = run_cli(["pipeline", "aes-aes", "kmp", "viterbi",
+                               "--buffer-bytes", "256",
+                               "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["depth"] == 3
+        assert len(payload["links"]) == 2
+        assert all(l["ordering_clean"] for l in payload["links"])
+
+    def test_pipeline_needs_two_stages(self):
+        with pytest.raises(SystemExit, match="at least 2"):
+            run_cli(["pipeline", "aes-aes"])
+
+    def test_pipeline_rejects_tiny_buffer(self):
+        with pytest.raises(SystemExit, match="buffer_bytes"):
+            run_cli(["pipeline", "aes-aes", "kmp",
+                     "--buffer-bytes", "16"])

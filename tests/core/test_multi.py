@@ -111,6 +111,59 @@ class TestSoloMemoization:
         b = run_pair("aes-aes", small_dma(), "kmp", small_dma())
         assert a.contention_slowdowns() == b.contention_slowdowns()
 
+    def test_memo_keyed_on_fault_policy(self, monkeypatch):
+        """Regression: solo_results() memoized unconditionally on the
+        first call, so a later call with different on_error/retries knobs
+        silently got results computed under the *old* policy.  The memo
+        must be keyed on the knobs."""
+        import repro.core.sweep as sweep_mod
+        soc = run_pair("aes-aes", small_dma(), "kmp", small_dma())
+        calls = []
+        real_run_sweep = sweep_mod.run_sweep
+
+        def spying(workload, designs, cfg=None, **kwargs):
+            calls.append((kwargs.get("on_error"), kwargs.get("retries")))
+            return real_run_sweep(workload, designs, cfg, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "run_sweep", spying)
+        soc.solo_results(on_error="raise", retries=0)
+        assert calls == [("raise", 0)] * 2
+        # Different knobs: must re-run, not serve the stale memo.
+        soc.solo_results(on_error="collect", retries=1)
+        assert calls[2:] == [("collect", 1)] * 2
+        # Same knobs again: memoized, no new sweep calls.
+        soc.solo_results(on_error="collect", retries=1)
+        assert len(calls) == 4
+
+    def test_zero_tick_solo_yields_none_slot(self):
+        """Regression: a zero-tick solo run (degenerate workload) crashed
+        contention_slowdowns() with ZeroDivisionError; it must yield None
+        for that slot and leave the other ratios intact."""
+        from types import SimpleNamespace
+
+        from repro.core.metrics import RunResult
+        soc = run_pair("aes-aes", small_dma(), "kmp", small_dma())
+        real = soc.solo_results()
+        zero = RunResult("aes-aes", small_dma(), 0, 0,
+                         {"flush_only": 0, "dma_flush": 0,
+                          "compute_dma": 0, "compute_only": 0, "other": 0},
+                         SimpleNamespace(total_pj=0.0))
+        soc._solo_results = [zero, real[1]]
+        slowdowns = soc.contention_slowdowns()
+        assert slowdowns[0] is None
+        assert slowdowns[1] is not None and slowdowns[1] > 0
+
+    def test_run_pair_threads_check_through(self):
+        """Regression: run_pair() dropped its caller's check= on the
+        floor, so 'checked' pair runs were silently unchecked."""
+        from repro.check import Checker
+        checker = Checker()
+        soc = run_pair("aes-aes", small_dma(), "kmp", small_dma(),
+                       check=checker)
+        assert soc.platform.checker is checker
+        assert checker.audits == 1
+        assert checker.last_audit["clean"]
+
     def test_checked_multi_soc_audits_clean(self):
         from repro.check import Checker
         checker = Checker()

@@ -1,0 +1,220 @@
+"""Streaming pipelines: back-pressured producer->consumer handoff."""
+
+import pytest
+
+from repro.core.config import DesignPoint, SoCConfig
+from repro.core.pipeline import AcceleratorPipeline, PipelineStage
+from repro.core.soc import run_design
+from repro.errors import ConfigError
+
+CHAIN2 = ["aes-aes", "kmp"]
+CHAIN3 = ["aes-aes", "kmp", "viterbi"]
+
+
+def stream_chain():
+    """stencil's 4 KB output into kmp's 512 B text input: a link wide
+    enough to split into several chunks (kmp's *default* first input is
+    the 4-byte pattern, which would collapse to a single chunk)."""
+    return ["stencil-stencil2d", PipelineStage("kmp", in_array="input")]
+
+
+def run_pipeline(workloads=CHAIN2, **kwargs):
+    kwargs.setdefault("check", True)
+    pipe = AcceleratorPipeline(workloads, **kwargs)
+    return pipe, pipe.run()
+
+
+class TestValidation:
+    def test_needs_two_stages(self):
+        with pytest.raises(ConfigError):
+            AcceleratorPipeline(["aes-aes"])
+
+    def test_unknown_handoff_rejected(self):
+        with pytest.raises(ConfigError):
+            AcceleratorPipeline(CHAIN2, handoff="smoke-signals")
+
+    def test_mismatched_interface_rejected(self):
+        """A DMA handoff cannot include a cache-coupled stage (and vice
+        versa): coherent-DMA mixing would need a flush protocol the model
+        does not have."""
+        cache_design = DesignPoint(mem_interface="cache")
+        with pytest.raises(ConfigError):
+            AcceleratorPipeline([("aes-aes", cache_design), "kmp"],
+                                handoff="dma")
+        with pytest.raises(ConfigError):
+            AcceleratorPipeline(["aes-aes", ("kmp", DesignPoint())],
+                                handoff="cache")
+
+    def test_tiny_buffer_rejected(self):
+        with pytest.raises(ConfigError):
+            AcceleratorPipeline(CHAIN2, buffer_bytes=32)
+        with pytest.raises(ConfigError):
+            AcceleratorPipeline(CHAIN2, buffer_bytes=64,
+                                double_buffer=True)
+
+    def test_explicit_link_array_must_exist(self):
+        spec = PipelineStage("kmp", in_array="no-such-array")
+        with pytest.raises(ConfigError):
+            AcceleratorPipeline(["aes-aes", spec])
+
+
+class TestDmaHandoff:
+    def test_depth2_completes_clean(self):
+        pipe, result = run_pipeline(CHAIN2, buffer_bytes=512)
+        assert result.makespan_ticks > 0
+        assert result.depth == 2
+        assert result.ordering_clean()
+        link = result.links[0]
+        assert link["handoffs"] == link["chunks"]
+
+    def test_depth3_completes_clean(self):
+        pipe, result = run_pipeline(CHAIN3, buffer_bytes=512)
+        assert result.depth == 3
+        assert len(result.links) == 2
+        assert result.ordering_clean()
+        for link in result.links:
+            assert link["handoffs"] == link["chunks"]
+
+    def test_consumer_never_reads_ahead_of_producer(self):
+        """The ReadyBits ordering invariant: every chunk's pull opened at
+        or after the tick its producer committed it."""
+        _pipe, result = run_pipeline(CHAIN3, buffer_bytes=256)
+        for link in result.links:
+            for produced, started in zip(link["produced_ticks"],
+                                         link["consume_start_ticks"]):
+                assert produced is not None
+                assert started is not None
+                assert started >= produced
+
+    def test_handoff_buffer_drained_at_end(self):
+        """check=True runs the leak audit: committed-but-unconsumed chunks
+        or parked waiters would have raised.  Belt and braces, inspect the
+        bits directly too."""
+        pipe, _result = run_pipeline(CHAIN2, buffer_bytes=512)
+        for link in pipe.links:
+            assert not any(link.bits._ready)
+            assert link.bits.pending_waiters() == 0
+            assert link.bits.pending_empty_waiters() == 0
+
+    def test_back_pressure_buffer_size_changes_makespan(self):
+        """Halving the handoff buffer must change the timing: chunk
+        granularity and back-pressure stalls are modeled, not cosmetic."""
+        _p1, big = run_pipeline(stream_chain(), buffer_bytes=512)
+        _p2, small = run_pipeline(stream_chain(), buffer_bytes=256)
+        assert small.makespan_ticks != big.makespan_ticks
+        assert small.links[0]["chunks"] > big.links[0]["chunks"]
+
+    def test_small_buffer_stalls_producer(self):
+        """A buffer much smaller than the linked array forces the producer
+        to wait for credit at least once."""
+        _pipe, result = run_pipeline(stream_chain(), buffer_bytes=64)
+        link = result.links[0]
+        assert link["chunks"] > 1
+        assert link["producer_stalls"] > 0
+        assert link["producer_stall_ticks"] > 0
+
+    def test_double_buffer_splits_ring(self):
+        pipe, result = run_pipeline(stream_chain(), buffer_bytes=512,
+                                    double_buffer=True)
+        link = result.links[0]
+        assert link["slots"] == 2
+        assert link["chunk_bytes"] == 256
+        assert result.ordering_clean()
+
+    def test_consumer_park_is_measured(self):
+        """Stage 1 launches at tick 0 but its linked input cannot arrive
+        before stage 0 computes: the first pull must park."""
+        _pipe, result = run_pipeline(CHAIN2, buffer_bytes=512)
+        link = result.links[0]
+        assert link["consumer_parks"] >= 1
+        assert link["consumer_park_ticks"] > 0
+
+
+class TestCacheHandoff:
+    def test_depth2_completes_clean(self):
+        _pipe, result = run_pipeline(CHAIN2, handoff="cache")
+        assert result.ordering_clean()
+        assert result.links[0]["mode"] == "cache"
+
+    def test_depth3_completes_clean(self):
+        _pipe, result = run_pipeline(CHAIN3, handoff="cache")
+        assert result.depth == 3
+        assert result.ordering_clean()
+
+    def test_regions_are_aliased(self):
+        """Zero-copy: the consumer's linked input window is the producer's
+        output window."""
+        pipe, _result = run_pipeline(CHAIN2, handoff="cache")
+        producer, consumer = pipe.stages
+        out = producer._linked_out
+        inp = consumer._linked_in
+        assert consumer.phys_base[inp] == producer.phys_base[out]
+        assert consumer.virt_base[inp] == producer.virt_base[out]
+
+    def test_consumer_gated_on_producer_fence(self):
+        """The consumer's ioctl is held until the producer committed, so
+        its compute cannot overlap stale data."""
+        _pipe, result = run_pipeline(CHAIN2, handoff="cache")
+        link = result.links[0]
+        assert link["consumer_parks"] == 1
+        assert link["consumer_park_ticks"] > 0
+
+
+class TestResults:
+    def test_makespan_is_slowest_stage(self):
+        _pipe, result = run_pipeline(CHAIN2, buffer_bytes=512)
+        assert result.makespan_ticks == max(
+            r.total_ticks for r in result.stage_results)
+
+    def test_stage_results_in_chain_order(self):
+        _pipe, result = run_pipeline(CHAIN3, buffer_bytes=512)
+        assert [r.workload for r in result.stage_results] == CHAIN3
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+        _pipe, result = run_pipeline(CHAIN2, buffer_bytes=512)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["depth"] == 2
+        assert payload["links"][0]["ordering_clean"] is True
+
+    def test_speedup_vs_serial_defined(self):
+        pipe, _result = run_pipeline(CHAIN2, buffer_bytes=512)
+        speedup = pipe.speedup_vs_serial()
+        assert speedup > 0
+        # Memoized solo runs: second call computes nothing new.
+        assert pipe.solo_results() is pipe.solo_results()
+
+    def test_results_property_requires_run(self):
+        pipe = AcceleratorPipeline(CHAIN2, check=False)
+        with pytest.raises(RuntimeError):
+            pipe.results
+
+    def test_reg_stats_exposes_link_counters(self):
+        from repro.obs.stats import StatRegistry
+        pipe, _result = run_pipeline(CHAIN2, buffer_bytes=512)
+        stats = pipe.reg_stats(StatRegistry())
+        assert stats.value("pipeline.link0.handoffs") >= 1
+        assert "pipeline.link0.producer_stall_ticks" in stats
+
+    def test_deterministic_makespan(self):
+        _p1, a = run_pipeline(CHAIN2, buffer_bytes=512)
+        _p2, b = run_pipeline(CHAIN2, buffer_bytes=512)
+        assert a.makespan_ticks == b.makespan_ticks
+
+
+class TestAgainstSolo:
+    def test_stage_zero_matches_solo_run_shape(self):
+        """Stage 0 has no upstream; its offload flow is the standard one,
+        so its result must be in the same ballpark as a solo run (it still
+        shares the bus with downstream stages)."""
+        pipe, result = run_pipeline(CHAIN2, buffer_bytes=512)
+        solo = run_design("aes-aes", pipe.specs[0].design)
+        first = result.stage_results[0]
+        assert first.total_ticks >= solo.total_ticks * 0.5
+        assert first.total_ticks <= solo.total_ticks * 3
+
+    def test_background_traffic_slows_pipeline(self):
+        cfg = SoCConfig(background_traffic=True)
+        _p1, loaded = run_pipeline(CHAIN2, buffer_bytes=512, cfg=cfg)
+        _p2, quiet = run_pipeline(CHAIN2, buffer_bytes=512)
+        assert loaded.makespan_ticks > quiet.makespan_ticks

@@ -87,3 +87,49 @@ class TestOptimaAndImprovement:
         imp = edp_improvement("spmv-crs", SCENARIOS["cache32"],
                               density="quick")
         assert imp["improvement"] > 1.0
+
+
+class TestPipelineFamily:
+    def test_family_covers_the_grid(self):
+        from repro.core.scenarios import run_pipeline_family
+        rows = run_pipeline_family(["aes-aes", "kmp", "viterbi"],
+                                   depths=(2, 3),
+                                   buffer_bytes=(256, 512),
+                                   handoffs=("dma", "cache"),
+                                   check=True)
+        # Per depth: 2 DMA buffer sizes + 1 cache row.
+        assert len(rows) == 2 * 3
+        assert {r["depth"] for r in rows} == {2, 3}
+        assert all(r["ordering_clean"] for r in rows)
+        assert all(r["makespan_ticks"] > 0 for r in rows)
+        cache_rows = [r for r in rows if r["handoff"] == "cache"]
+        assert all(r["buffer_bytes"] is None for r in cache_rows)
+
+    def test_family_records_backpressure_and_speedup(self):
+        from repro.core.scenarios import run_pipeline_family
+        rows = run_pipeline_family(["aes-aes", "kmp"], depths=(2,),
+                                   buffer_bytes=(512,), handoffs=("dma",))
+        row = rows[0]
+        assert row["speedup_vs_serial"] == pytest.approx(
+            row["serial_ticks"] / row["makespan_ticks"])
+        assert len(row["stage_ticks"]) == 2
+        assert row["consumer_parks"] >= 1
+
+    def test_family_progress_callback(self):
+        from repro.core.scenarios import run_pipeline_family
+        seen = []
+        run_pipeline_family(["aes-aes", "kmp"], depths=(2,),
+                            buffer_bytes=(256,), handoffs=("dma",),
+                            progress=lambda i, n, row: seen.append((i, n)))
+        assert seen == [(1, 1)]
+
+    def test_double_buffer_axis_skips_cache(self):
+        from repro.core.scenarios import run_pipeline_family
+        rows = run_pipeline_family(["aes-aes", "kmp"], depths=(2,),
+                                   buffer_bytes=(512,),
+                                   handoffs=("dma", "cache"),
+                                   double_buffer=(False, True))
+        dma = [r for r in rows if r["handoff"] == "dma"]
+        cache = [r for r in rows if r["handoff"] == "cache"]
+        assert {r["double_buffer"] for r in dma} == {False, True}
+        assert {r["double_buffer"] for r in cache} == {False}

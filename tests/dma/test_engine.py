@@ -189,3 +189,120 @@ class TestBusyTracking:
             sim.queue.step()
         assert bus.next_free - sim.now <= 3 * bus.occupancy_ticks(64)
         sim.run()
+
+
+class TestGatedStart:
+    """Descriptor-gated transactions (streaming-pipeline handoffs)."""
+
+    def _gate(self, until="full"):
+        from repro.memory.fullempty import DescriptorGate
+        bits = ReadyBits("buf", 256, granularity=64)
+        return bits, DescriptorGate(bits, 0, 64, until=until)
+
+    def test_gated_txn_waits_for_condition(self):
+        sim, engine, _bus, _c = make_engine()
+        bits, gate = self._gate(until="full")
+        done = []
+        engine.enqueue([DMADescriptor(0x1000, "a", 0, 64, True)],
+                       on_done=lambda: done.append(sim.now), gate=gate)
+        sim.run()
+        assert done == []  # parked: nothing ever set the bits
+        assert engine.gated_starts == 1
+        assert not engine.idle()
+
+    def test_gated_txn_proceeds_once_opened(self):
+        sim, engine, _bus, _c = make_engine()
+        bits, gate = self._gate(until="full")
+        done = []
+        engine.enqueue([DMADescriptor(0x1000, "a", 0, 64, True)],
+                       on_done=lambda: done.append(sim.now), gate=gate)
+        sim.schedule(5_000_000, lambda: bits.set_range(0, 64))
+        sim.run()
+        assert len(done) == 1
+        assert done[0] > 5_000_000
+        assert engine.gate_wait_ticks >= 5_000_000
+        assert gate.opened_tick >= 5_000_000
+        assert engine.idle()
+
+    def test_satisfied_gate_starts_immediately(self):
+        sim, engine, _bus, _c = make_engine()
+        bits, gate = self._gate(until="empty")  # fresh bits are empty
+        done = []
+        engine.enqueue([DMADescriptor(0x1000, "a", 0, 64, True)],
+                       on_done=lambda: done.append(True), gate=gate)
+        sim.run()
+        assert done == [True]
+        assert engine.gated_starts == 0
+        assert not gate.waited
+
+    def test_fifo_order_preserved_behind_parked_head(self):
+        """A parked gated head blocks later transactions, as on a real
+        single-channel engine."""
+        sim, engine, _bus, _c = make_engine()
+        bits, gate = self._gate(until="full")
+        order = []
+        engine.enqueue([DMADescriptor(0x1000, "a", 0, 64, True)],
+                       on_done=lambda: order.append("gated"), gate=gate)
+        engine.enqueue([DMADescriptor(0x2000, "b", 0, 64, True)],
+                       on_done=lambda: order.append("plain"))
+        sim.schedule(1_000_000, lambda: bits.set_range(0, 64))
+        sim.run()
+        assert order == ["gated", "plain"]
+
+    def test_gate_tracker_records_park_window(self):
+        from repro.sim.stats import IntervalTracker
+        from repro.memory.fullempty import DescriptorGate
+        sim, engine, _bus, _c = make_engine()
+        bits = ReadyBits("buf", 256, granularity=64)
+        tracker = IntervalTracker("park")
+        gate = DescriptorGate(bits, 0, 64, until="full", tracker=tracker)
+        engine.enqueue([DMADescriptor(0x1000, "a", 0, 64, True)],
+                       on_done=None, gate=gate)
+        sim.schedule(2_000_000, lambda: bits.set_range(0, 64))
+        sim.run()
+        assert tracker.total_busy() >= 2_000_000
+        assert not tracker.busy
+
+
+class TestOnDoneReentrancy:
+    """Regression: _finish_active set _active=None, ran on_done, then
+    unconditionally started the next queued transaction.  An on_done that
+    enqueues (pipeline pulls chain this way) already started it through
+    enqueue(), so the old code popped a SECOND transaction onto the single
+    channel and orphaned the first — its bursts never moved and any
+    waiter on them deadlocked."""
+
+    def test_enqueue_from_on_done_does_not_orphan_queued_txn(self):
+        sim, engine, _bus, _c = make_engine()
+        done = []
+
+        def chain_another():
+            done.append("first")
+            engine.enqueue([DMADescriptor(0x3000, "c", 0, 64, True)],
+                           on_done=lambda: done.append("chained"))
+
+        engine.enqueue([DMADescriptor(0x1000, "a", 0, 64, True)],
+                       on_done=chain_another)
+        engine.enqueue([DMADescriptor(0x2000, "b", 0, 128, True)],
+                       on_done=lambda: done.append("queued"))
+        sim.run()
+        assert sorted(done) == ["chained", "first", "queued"]
+        assert engine.idle()
+        assert engine.bytes_moved == 64 + 128 + 64
+        assert engine.transactions == 3
+
+    def test_ready_bits_set_for_every_transaction(self):
+        """The orphaned transaction's bursts never landed, so its array's
+        full/empty bits stayed clear forever."""
+        sim, engine, _bus, _c = make_engine()
+        bits_b = ReadyBits("b", 128, granularity=64)
+        engine.ready_bits = {"b": bits_b}
+
+        def chain_another():
+            engine.enqueue([DMADescriptor(0x3000, "c", 0, 64, True)])
+
+        engine.enqueue([DMADescriptor(0x1000, "a", 0, 64, True)],
+                       on_done=chain_another)
+        engine.enqueue([DMADescriptor(0x2000, "b", 0, 128, True)])
+        sim.run()
+        assert bits_b.all_ready()

@@ -152,3 +152,147 @@ class TestWaiters:
         for line in range(8):
             bits.set_range(line * 64, 64)
         assert order == list(range(8))
+
+
+class TestClearRange:
+    """The consumer half of a handoff buffer: clearing returns credit."""
+
+    def test_clear_range_empties_lines(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_all()
+        bits.clear_range(0, 128)
+        assert not bits.is_ready(0)
+        assert not bits.is_ready(127)
+        assert bits.is_ready(128)
+
+    def test_clear_counts_lines(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_all()
+        bits.clear_range(0, 128)
+        bits.clear_range(0, 128)  # already clear: no double count
+        assert bits.lines_cleared == 2
+
+    def test_clear_wakes_empty_waiters(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_all()
+        fired = []
+        stalled = bits.wait_empty_range(0, 64, lambda: fired.append(1))
+        assert stalled
+        bits.clear_range(0, 64)
+        assert fired == [1]
+        assert bits.pending_empty_waiters() == 0
+
+    def test_clear_boundary_rules_mirror_set(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_all()
+        bits.clear_range(256, 64)  # at end: no-op, not an error
+        bits.clear_range(0, 0)
+        assert bits.all_ready()
+
+
+class TestRangeQueries:
+    def test_range_ready_and_empty(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        assert bits.range_empty(0, 256)
+        assert not bits.range_ready(0, 256)
+        bits.set_range(0, 128)
+        assert bits.range_ready(0, 128)
+        assert not bits.range_ready(0, 256)
+        assert bits.range_empty(128, 128)
+        assert not bits.range_empty(0, 256)
+
+    def test_vacuous_ranges(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        assert bits.range_ready(0, 0)
+        assert bits.range_empty(0, 0)
+
+
+class TestRangeWaiters:
+    def test_wait_range_fires_when_last_line_lands(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        fired = []
+        stalled = bits.wait_range(0, 256, lambda: fired.append(1))
+        assert stalled
+        bits.set_range(0, 192)
+        assert fired == []
+        bits.set_range(192, 64)
+        assert fired == [1]
+
+    def test_wait_range_immediate_when_already_full(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_all()
+        fired = []
+        stalled = bits.wait_range(0, 256, lambda: fired.append(1))
+        assert not stalled
+        assert fired == [1]
+
+    def test_wait_range_partially_satisfied(self):
+        """Only the missing lines are waited on."""
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_range(0, 128)
+        fired = []
+        bits.wait_range(0, 256, lambda: fired.append(1))
+        bits.set_range(128, 128)
+        assert fired == [1]
+
+    def test_wait_empty_range_fires_when_drained(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        bits.set_all()
+        fired = []
+        stalled = bits.wait_empty_range(0, 128, lambda: fired.append(1))
+        assert stalled
+        bits.clear_range(0, 64)
+        assert fired == []
+        bits.clear_range(64, 64)
+        assert fired == [1]
+
+    def test_range_waiter_fires_exactly_once(self):
+        bits = ReadyBits("a", 256, granularity=64)
+        fired = []
+        bits.wait_range(0, 128, lambda: fired.append(1))
+        bits.set_range(0, 128)
+        bits.clear_range(0, 128)
+        bits.set_range(0, 128)
+        assert fired == [1]
+
+
+class TestDescriptorGate:
+    def _bits(self):
+        from repro.memory.fullempty import DescriptorGate
+        return DescriptorGate, ReadyBits("buf", 256, granularity=64)
+
+    def test_full_gate(self):
+        DescriptorGate, bits = self._bits()
+        gate = DescriptorGate(bits, 0, 128, until="full")
+        assert not gate.satisfied()
+        bits.set_range(0, 128)
+        assert gate.satisfied()
+
+    def test_empty_gate(self):
+        DescriptorGate, bits = self._bits()
+        bits.set_all()
+        gate = DescriptorGate(bits, 0, 128, until="empty")
+        assert not gate.satisfied()
+        bits.clear_range(0, 256)
+        assert gate.satisfied()
+
+    def test_wait_marks_gate_and_fires(self):
+        DescriptorGate, bits = self._bits()
+        gate = DescriptorGate(bits, 0, 64, until="full")
+        fired = []
+        gate.wait(lambda: fired.append(1))
+        assert gate.waited
+        bits.set_range(0, 64)
+        assert fired == [1]
+
+    def test_notify_open_records_tick(self):
+        DescriptorGate, bits = self._bits()
+        gate = DescriptorGate(bits, 0, 64, until="full")
+        assert gate.opened_tick is None
+        gate.notify_open(1234)
+        assert gate.opened_tick == 1234
+
+    def test_unknown_condition_rejected(self):
+        DescriptorGate, bits = self._bits()
+        with pytest.raises(SimulationError):
+            DescriptorGate(bits, 0, 64, until="sideways")

@@ -119,3 +119,67 @@ class TestSoCTimeline:
         assert "trace.dma" in rows
         assert "trace.sched" in rows
         assert builder.num_events("i") == len(events)
+
+
+class TestPipelineTimeline:
+    def _run(self, **kwargs):
+        from repro.core.pipeline import AcceleratorPipeline
+        from repro.obs.timeline import pipeline_timeline
+        pipe = AcceleratorPipeline(["aes-aes", "kmp"], check=False,
+                                   **kwargs)
+        pipe.run()
+        return pipe, pipeline_timeline(pipe)
+
+    def test_per_stage_rows_present(self):
+        _pipe, builder = self._run(buffer_bytes=512)
+        rows = builder.rows()
+        for stage_row in ("stage0.aes-aes", "stage1.kmp"):
+            assert f"{stage_row}.cpu" in rows
+            assert f"{stage_row}.dma" in rows
+            assert f"{stage_row}.datapath" in rows
+        assert "bus" in rows
+
+    def test_link_stall_and_park_rows_present(self):
+        _pipe, builder = self._run(buffer_bytes=512)
+        rows = builder.rows()
+        assert "link0.stall" in rows
+        assert "link0.park" in rows
+
+    def test_park_window_rendered_as_complete_event(self):
+        """Stage 1's first pull parks until stage 0 commits; that window
+        must appear as an X event on the link's park row."""
+        pipe, builder = self._run(buffer_bytes=512)
+        park_tid = None
+        events = builder.to_dict()["traceEvents"]
+        for e in events:
+            if e["ph"] == "M" and e["name"] == "thread_name" \
+                    and e["args"]["name"] == "link0.park":
+                park_tid = e["tid"]
+        assert park_tid is not None
+        xs = [e for e in events if e["ph"] == "X"
+              and e["tid"] == park_tid]
+        assert len(xs) >= 1
+        assert xs[0]["dur"] > 0
+
+    def test_handoff_instants_mark_commit_and_drain(self):
+        _pipe, builder = self._run(buffer_bytes=512)
+        events = builder.to_dict()["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "i"}
+        assert "commit chunk 0" in names
+        assert "drain chunk 0" in names
+
+    def test_cache_handoff_timeline(self):
+        _pipe, builder = self._run(handoff="cache")
+        rows = builder.rows()
+        assert "link0.stall" in rows
+        # Cache stages have no DMA engine, hence no dma rows.
+        assert not any(r.endswith(".dma") for r in rows
+                       if r.startswith("stage"))
+
+    def test_writes_valid_json(self, tmp_path):
+        _pipe, builder = self._run(buffer_bytes=512)
+        path = tmp_path / "pipe.json"
+        count = builder.write(str(path))
+        payload = json.loads(path.read_text())
+        assert count > 0
+        assert payload["traceEvents"]

@@ -1,0 +1,87 @@
+"""Property-based tests for streaming accelerator pipelines.
+
+Random chain shapes (depth 2-4, random handoff buffer geometry, both
+handoff modes) must always complete with the checker's leak audit clean,
+and the consumer must never read a chunk its producer has not committed —
+the full/empty-bit ordering invariant, verified from the per-chunk tick
+accounting every link records.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import AcceleratorPipeline
+
+# Small, fast workloads: property runs simulate dozens of full chains.
+POOL = ("aes-aes", "kmp", "viterbi")
+
+chains = st.lists(st.sampled_from(POOL), min_size=2, max_size=4)
+# Multiples of one cache line, from one line up to 8 KB; >= 2 lines so
+# double buffering's two slots always fit.
+buffers = st.integers(2, 128).map(lambda n: n * 64)
+handoffs = st.sampled_from(("dma", "cache"))
+
+
+@given(chains, buffers, handoffs, st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_random_pipelines_complete_with_clean_audit(workloads, buffer_bytes,
+                                                    handoff, double_buffer):
+    """Any chain shape completes; check=True would raise on a leaked
+    handoff buffer, parked consumer, or stalled producer."""
+    pipe = AcceleratorPipeline(workloads, handoff=handoff,
+                               buffer_bytes=buffer_bytes,
+                               double_buffer=double_buffer, check=True)
+    result = pipe.run()
+    assert result.makespan_ticks > 0
+    assert len(result.stage_results) == len(workloads)
+    for link in pipe.links:
+        assert not any(link.bits._ready), "committed chunk never drained"
+        assert link.bits.pending_waiters() == 0
+        assert link.bits.pending_empty_waiters() == 0
+
+
+@given(chains, buffers, handoffs, st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_consumer_never_reads_ahead_of_producer(workloads, buffer_bytes,
+                                                handoff, double_buffer):
+    """ReadyBits ordering: every chunk's consume started at or after the
+    tick its producer committed it, on every link of every random shape."""
+    pipe = AcceleratorPipeline(workloads, handoff=handoff,
+                               buffer_bytes=buffer_bytes,
+                               double_buffer=double_buffer, check=True)
+    result = pipe.run()
+    assert result.ordering_clean()
+    for link in result.links:
+        for j, (produced, started, consumed) in enumerate(zip(
+                link["produced_ticks"], link["consume_start_ticks"],
+                link["consumed_ticks"])):
+            assert produced is not None, f"chunk {j} never committed"
+            assert started >= produced
+            assert consumed >= started
+
+
+@given(chains, st.integers(1, 16).map(lambda n: n * 64))
+@settings(max_examples=10, deadline=None)
+def test_handoff_accounting_conserved(workloads, buffer_bytes):
+    """Every link hands off exactly its chunk count, no matter how the
+    buffer divides the linked window."""
+    pipe = AcceleratorPipeline(workloads, buffer_bytes=buffer_bytes,
+                               check=True)
+    pipe.run()
+    for link in pipe.links:
+        assert link.handoffs == link.num_chunks
+        assert link.num_chunks == -(-link.link_bytes // link.chunk_bytes)
+
+
+@given(st.sampled_from(POOL), st.sampled_from(POOL), buffers)
+@settings(max_examples=8, deadline=None)
+def test_pipeline_is_deterministic(first, second, buffer_bytes):
+    """Same shape, same ticks — chunked handoffs must not introduce any
+    ordering nondeterminism."""
+    runs = [
+        AcceleratorPipeline([first, second],
+                            buffer_bytes=buffer_bytes, check=True).run()
+        for _ in range(2)
+    ]
+    assert runs[0].makespan_ticks == runs[1].makespan_ticks
+    assert runs[0].links[0]["produced_ticks"] == \
+        runs[1].links[0]["produced_ticks"]
