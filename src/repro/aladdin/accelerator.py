@@ -13,6 +13,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.clock import ClockDomain, ACCEL_CLOCK_MHZ
 from repro.memory.sram import ArraySpec, Scratchpad
 from repro.aladdin.ddg import DDDG
+from repro.aladdin.modulo import plan_ii
 from repro.aladdin.transforms import assign_lanes
 from repro.aladdin.scheduler import DatapathScheduler, SpadInterface
 from repro.aladdin.area import AreaModel
@@ -58,7 +59,7 @@ class Accelerator:
 
     def __init__(self, trace, lanes, partitions, ports_per_partition=1,
                  clock_mhz=ACCEL_CLOCK_MHZ, fu_per_lane=None,
-                 round_barriers=True):
+                 round_barriers=True, pipelining=None, ii="auto"):
         self.trace = trace
         self.ddg = DDDG(trace)
         self.lanes = lanes
@@ -66,8 +67,20 @@ class Accelerator:
         self.ports_per_partition = ports_per_partition
         self.clock = ClockDomain(clock_mhz)
         self.fu_per_lane = fu_per_lane
-        self.round_barriers = round_barriers
+        # ``pipelining`` supersedes the legacy ``round_barriers`` boolean
+        # (None = derive: True -> "barriers", False -> "off").
+        if pipelining is None:
+            pipelining = "barriers" if round_barriers else "off"
+        self.pipelining = pipelining
+        self.round_barriers = pipelining == "barriers"
+        self.ii = ii
         self.assignment = assign_lanes(trace, lanes)
+        self.ii_plan = None
+        if pipelining == "modulo":
+            self.ii_plan = plan_ii(
+                self.ddg, self.assignment, fu_per_lane=fu_per_lane,
+                mem_slots_per_cycle=partitions * ports_per_partition,
+                ii=ii)
 
     def run_isolated(self):
         """Schedule the DDDG with preloaded scratchpads and no system."""
@@ -75,9 +88,13 @@ class Accelerator:
         spad = make_scratchpad(self.trace, self.partitions,
                                self.ports_per_partition)
         mem_if = SpadInterface(sim, self.clock, spad)
+        plan = self.ii_plan
         sched = DatapathScheduler(sim, self.clock, self.ddg, self.assignment,
                                   mem_if, fu_per_lane=self.fu_per_lane,
-                                  round_barriers=self.round_barriers)
+                                  pipelining=self.pipelining,
+                                  ii=plan.ii if plan else 0,
+                                  rec_mii=plan.rec_mii if plan else 0,
+                                  res_mii=plan.res_mii if plan else 0)
         sim.add_done_dependency(lambda: sched.done)
         sched.start()
         sim.run()

@@ -86,3 +86,40 @@ MEMORY_OPS = (Op.LOAD, Op.STORE)
 def is_memory(op):
     """True for load/store opcodes."""
     return op == Op.LOAD or op == Op.STORE
+
+
+# -- resource tables for modulo scheduling ------------------------------------
+#
+# The II search (repro.aladdin.modulo) needs two static maps over FU
+# classes, in the style of polyphony's PipelineScheduler resource tables:
+# per-class issue capacity (reservation-table width per lane per cycle)
+# and the min/max operation latency bound per class.
+
+#: Per-lane, per-cycle issue slots for each FU class (reservation-table
+#: width).  Every class is a single pipelined unit (II = 1) per lane by
+#: default; schedulers accept ``fu_per_lane`` overrides.
+FU_CAPACITY = {fu: 1 for fu in FuClass.ALL}
+
+
+def _latency_bounds():
+    bounds = {}
+    for info in OP_INFO.values():
+        lo, hi = bounds.get(info.fu, (info.latency, info.latency))
+        bounds[info.fu] = (min(lo, info.latency), max(hi, info.latency))
+    return bounds
+
+
+#: ``{fu_class: (min_latency, max_latency)}`` in accelerator cycles,
+#: derived from :data:`OP_INFO` so it can never drift from the opcode set.
+FU_LATENCY = _latency_bounds()
+
+
+def fu_capacities(fu_per_lane=None):
+    """Effective per-lane issue capacities: defaults plus overrides."""
+    caps = dict(FU_CAPACITY)
+    if fu_per_lane:
+        for fu, width in fu_per_lane.items():
+            if fu not in caps:
+                raise KeyError(f"unknown FU class {fu!r}")
+            caps[fu] = width
+    return caps

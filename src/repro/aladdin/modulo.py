@@ -1,0 +1,341 @@
+"""Initiation-interval analysis for modulo-scheduled loop pipelining.
+
+Classic modulo scheduling (Rau's iterative modulo scheduling, and
+polyphony's ``PipelineScheduler`` with its per-class reservation tables)
+bounds the initiation interval from below by two static quantities:
+
+* **RecMII** — the recurrence constraint.  Any dependence cycle that
+  crosses iterations forces ``II >= ceil(sum(latency) / sum(distance))``
+  over the cycle.  We fold the dynamic trace onto one *round* body
+  (a round = ``lanes`` consecutive iterations, the unit our schedulers
+  gate on) and find the smallest II admitting no positive cycle under
+  edge weights ``latency - II * distance`` (Bellman-Ford feasibility,
+  binary-searched).
+* **ResMII** — the resource constraint.  A round body with ``n_c`` ops of
+  FU class ``c`` on one lane, against a per-lane per-cycle reservation
+  width ``cap_c`` (:data:`repro.aladdin.ir.FU_CAPACITY`), needs
+  ``II >= ceil(n_c / cap_c)``; memory ops are additionally bounded by the
+  aggregate memory slots per cycle (scratchpad ``partitions x ports`` or
+  cache ports).
+
+``II = max(RecMII, ResMII)`` is a lower bound, not necessarily
+achievable: :func:`plan_ii` searches upward from it, checking each
+candidate with a light placement pass (ASAP times folded modulo II into
+per-``(lane, fu)`` reservation tables) until the body fits, capped at the
+round schedule length — at that II rounds no longer overlap, so the
+schedule degenerates to barrier cadence and is trivially feasible.
+
+The numbers here are *planning* quantities: enforcement stays dynamic in
+:class:`repro.aladdin.scheduler.DatapathScheduler` (round ``r + 1`` may
+not issue before round ``r``'s first issue plus II, and the per-cycle
+FU/port budgets bound overlap), so variable-latency memory never
+invalidates the schedule — it just stretches it.
+"""
+
+from repro.aladdin.ir import FU_LATENCY, OP_INFO, fu_capacities, is_memory
+
+#: Cap on remembered (source-position, source-round) entries per serial
+#: node during recurrence folding.  Serial chains between rounds are
+#: normally short (reduction tails); dropping the excess only weakens the
+#: RecMII lower bound, never the dynamic schedule.
+_SERIAL_FANIN_CAP = 32
+
+
+class IIPlan:
+    """Resolved initiation interval (in cycles) plus its lower bounds."""
+
+    __slots__ = ("ii", "rec_mii", "res_mii", "round_length", "num_rounds",
+                 "uniform")
+
+    def __init__(self, ii, rec_mii, res_mii, round_length, num_rounds,
+                 uniform):
+        self.ii = ii                    # enforced II, cycles (0 = no gating)
+        self.rec_mii = rec_mii
+        self.res_mii = res_mii
+        self.round_length = round_length  # one round's schedule length
+        self.num_rounds = num_rounds
+        self.uniform = uniform          # round bodies identical?
+
+    def __repr__(self):
+        return (f"IIPlan(ii={self.ii} rec={self.rec_mii} "
+                f"res={self.res_mii} round_len={self.round_length})")
+
+
+def _fold_round_body(trace, assignment):
+    """Positions, uniformity, and folded dependence edges of the round body.
+
+    Returns ``(positions, num_positions, uniform, edges, round_length)``:
+    ``positions[node]`` is the node's index within its round (in trace
+    order; -1 for serial nodes), ``edges`` maps ``(pu, pv, d)`` to the
+    maximum latency of any trace edge folding onto it (``d`` = round
+    distance), and ``round_length`` is the latency-weighted critical path
+    of the round-0 body over its intra-round edges.
+    """
+    rounds = assignment.round
+    lanes_of = assignment.lane
+    node_ops = trace.node_op
+    n = trace.num_nodes
+    positions = [-1] * n
+    counters = [0] * assignment.num_rounds
+    # Round-0 signature for the uniformity check: (op, lane) per position.
+    signature = []
+    uniform = True
+    for node in range(n):
+        r = rounds[node]
+        if r < 0:
+            continue
+        pos = counters[r]
+        counters[r] = pos + 1
+        positions[node] = pos
+        if r == 0:
+            signature.append((node_ops[node], lanes_of[node]))
+        elif uniform:
+            if pos >= len(signature) and counters[0] == len(signature):
+                uniform = False
+            elif pos < len(signature) and \
+                    signature[pos] != (node_ops[node], lanes_of[node]):
+                uniform = False
+    body = len(signature)
+    if uniform and any(c != body for c in counters):
+        # A short trailing round still folds consistently as long as its
+        # prefix matches; only flag bodies whose op pattern diverges.
+        uniform = all(c <= body for c in counters)
+    # Folded edges, plus single-chain contraction through serial nodes:
+    # a recurrence that routes through a reduction tail (round -> serial
+    # ... serial -> round) still constrains the cadence.
+    edges = {}
+    serial_in = {}  # serial node -> {(src_pos, src_round): max latency sum}
+    op_lat = {op: OP_INFO[op].latency for op in set(node_ops)}
+    deps = trace.deps
+    for node in range(n):
+        r = rounds[node]
+        if r < 0:
+            lat_s = op_lat[node_ops[node]]
+            fanin = {}
+            for pred in deps[node]:
+                rp = rounds[pred]
+                if rp >= 0:
+                    key = (positions[pred], rp)
+                    w = op_lat[node_ops[pred]] + lat_s
+                    if fanin.get(key, -1) < w:
+                        fanin[key] = w
+                else:
+                    for key, w0 in serial_in.get(pred, {}).items():
+                        w = w0 + lat_s
+                        if fanin.get(key, -1) < w:
+                            fanin[key] = w
+            if len(fanin) > _SERIAL_FANIN_CAP:
+                fanin = dict(sorted(fanin.items(), key=lambda kv: -kv[1])
+                             [:_SERIAL_FANIN_CAP])
+            if fanin:
+                serial_in[node] = fanin
+            continue
+        pv = positions[node]
+        for pred in deps[node]:
+            rp = rounds[pred]
+            if rp >= 0:
+                # Clamp backward (later-round) dependences to distance 0:
+                # they only make the fold *more* conservative, and a
+                # negative distance would break the II monotonicity the
+                # binary search relies on.
+                key = (positions[pred], pv, max(r - rp, 0))
+                w = op_lat[node_ops[pred]]
+                if edges.get(key, -1) < w:
+                    edges[key] = w
+            else:
+                for (pu, ru), w in serial_in.get(pred, {}).items():
+                    key = (pu, pv, max(r - ru, 0))
+                    if edges.get(key, -1) < w:
+                        edges[key] = w
+    # Critical path of one round body over intra-round (d == 0) edges.
+    finish = [0] * body
+    round_length = 0
+    for (pu, pv, d), lat in sorted(edges.items(), key=lambda kv: kv[0][1]):
+        if d or pu >= body or pv >= body:
+            continue
+        t = finish[pu] + lat
+        if t > finish[pv]:
+            finish[pv] = t
+    for node in range(n):
+        if rounds[node] == 0:
+            pos = positions[node]
+            t = finish[pos] + op_lat[node_ops[node]]
+            if t > round_length:
+                round_length = t
+    num_positions = max(body, max(counters) if counters else 0)
+    return positions, num_positions, uniform, edges, round_length
+
+
+def _has_positive_cycle(num_positions, edges, ii):
+    """Bellman-Ford feasibility: True if some cycle has positive weight
+    under ``weight = latency - ii * distance`` (i.e. II is infeasible)."""
+    dist = [0.0] * num_positions
+    edge_list = [(pu, pv, lat - ii * d) for (pu, pv, d), lat in edges.items()
+                 if pu < num_positions and pv < num_positions]
+    for _ in range(num_positions):
+        changed = False
+        for pu, pv, w in edge_list:
+            t = dist[pu] + w
+            if t > dist[pv]:
+                dist[pv] = t
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def _rec_mii(num_positions, edges):
+    """Smallest II admitting no positive-weight folded cycle."""
+    if not any(d for (_pu, _pv, d) in edges):
+        return 1
+    # Any simple cycle's mean is bounded by the total folded latency
+    # (every cycle crosses >= 1 round), so binary search below that.
+    hi = max(1, sum(edges.values()))
+    if not _has_positive_cycle(num_positions, edges, 1):
+        return 1
+    lo = 1  # infeasible
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _has_positive_cycle(num_positions, edges, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def _res_mii(trace, assignment, caps, mem_slots_per_cycle):
+    """Resource lower bound on the round cadence, in cycles."""
+    rounds = assignment.round
+    lanes_of = assignment.lane
+    node_ops = trace.node_op
+    per_round_lane_fu = {}
+    per_round_mem = {}
+    for node in range(trace.num_nodes):
+        r = rounds[node]
+        if r < 0:
+            continue
+        op = node_ops[node]
+        fu = OP_INFO[op].fu
+        key = (r, lanes_of[node], fu)
+        per_round_lane_fu[key] = per_round_lane_fu.get(key, 0) + 1
+        if is_memory(op):
+            per_round_mem[r] = per_round_mem.get(r, 0) + 1
+    res = 1
+    for (_r, _lane, fu), count in per_round_lane_fu.items():
+        need = -(-count // max(caps[fu], 1))
+        if need > res:
+            res = need
+    if mem_slots_per_cycle:
+        for count in per_round_mem.values():
+            need = -(-count // mem_slots_per_cycle)
+            if need > res:
+                res = need
+    return res
+
+
+def _placement_feasible(trace, assignment, positions, edges, caps,
+                        mem_slots_per_cycle, ii, round_length):
+    """Light modulo-reservation check: can the round body be placed?
+
+    ASAP times under the folded constraints (cross-round edges relaxed by
+    ``ii * distance``), then greedy placement of each op into the first of
+    ``ii`` candidate slots whose ``(lane, fu)`` reservation row — and the
+    aggregate memory row — still has width.  A failed placement means
+    this II cannot sustain the cadence statically.
+    """
+    rounds = assignment.round
+    lanes_of = assignment.lane
+    node_ops = trace.node_op
+    body = [node for node in range(trace.num_nodes) if rounds[node] == 0]
+    if not body:
+        return True
+    asap = {positions[node]: 0 for node in body}
+    # Fixpoint over folded edges restricted to body positions; bounded
+    # passes — a positive cycle was already excluded by RecMII <= ii.
+    for _ in range(len(body)):
+        changed = False
+        for (pu, pv, d), lat in edges.items():
+            if pu not in asap or pv not in asap:
+                continue
+            t = asap[pu] + lat - ii * d
+            if t > asap[pv]:
+                asap[pv] = t
+                changed = True
+        if not changed:
+            break
+    table = {}   # (lane, fu, slot) -> uses
+    mem_table = [0] * ii
+    order = sorted(body, key=lambda node: (asap[positions[node]],
+                                           positions[node]))
+    for node in order:
+        op = node_ops[node]
+        fu = OP_INFO[op].fu
+        lane = lanes_of[node]
+        cap = max(caps[fu], 1)
+        mem = is_memory(op)
+        t0 = max(asap[positions[node]], 0)
+        for offset in range(ii):
+            slot = (t0 + offset) % ii
+            key = (lane, fu, slot)
+            if table.get(key, 0) >= cap:
+                continue
+            if mem and mem_slots_per_cycle and \
+                    mem_table[slot] >= mem_slots_per_cycle:
+                continue
+            table[key] = table.get(key, 0) + 1
+            if mem:
+                mem_table[slot] += 1
+            break
+        else:
+            return False
+    return True
+
+
+def plan_ii(ddg, assignment, fu_per_lane=None, mem_slots_per_cycle=None,
+            ii="auto"):
+    """Resolve the initiation interval for one (graph, datapath) pair.
+
+    Returns an :class:`IIPlan` whose ``ii`` is the enforced round cadence
+    in accelerator cycles.  Degenerate graphs — a single round, or no
+    parallel iterations at all — get ``ii = 0`` (nothing to gate; the
+    schedule is serial / single-round and modulo mode reduces to barrier
+    behavior).  ``ii="auto"`` searches upward from
+    ``max(RecMII, ResMII)`` for the smallest statically placeable II,
+    capped at the round length; an explicit integer is enforced verbatim
+    (the bounds are still computed and reported).
+    """
+    trace = ddg.trace
+    caps = fu_capacities(fu_per_lane)
+    key = ("ii", assignment.lanes, tuple(sorted(caps.items())),
+           mem_slots_per_cycle, ii, trace.num_nodes)
+    memo = getattr(ddg, "_ii_memo", None)
+    if memo is None:
+        memo = ddg._ii_memo = {}
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    num_rounds = assignment.num_rounds
+    if num_rounds <= 1:
+        plan = IIPlan(0, 0, 0, 0, num_rounds, True)
+        memo[key] = plan
+        return plan
+    positions, num_positions, uniform, edges, round_length = \
+        _fold_round_body(trace, assignment)
+    rec = _rec_mii(num_positions, edges)
+    res = _res_mii(trace, assignment, caps, mem_slots_per_cycle)
+    cap_ii = max(round_length, rec, res, 1)
+    if ii == "auto":
+        candidate = max(rec, res, 1)
+        if uniform:
+            while candidate < cap_ii and not _placement_feasible(
+                    trace, assignment, positions, edges, caps,
+                    mem_slots_per_cycle, candidate, round_length):
+                candidate += 1
+        resolved = candidate
+    else:
+        resolved = int(ii)
+        if resolved < 1:
+            raise ValueError(f"ii must be >= 1, got {ii!r}")
+    plan = IIPlan(resolved, rec, res, round_length, num_rounds, uniform)
+    memo[key] = plan
+    return plan

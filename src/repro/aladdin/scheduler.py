@@ -33,7 +33,8 @@ class DatapathScheduler:
 
     def __init__(self, sim, clock, ddg, assignment, mem_if,
                  fu_per_lane=None, on_done=None, name="accel",
-                 round_barriers=True):
+                 round_barriers=True, pipelining=None, ii=0,
+                 rec_mii=0, res_mii=0):
         self.sim = sim
         self.clock = clock
         self.ddg = ddg
@@ -44,27 +45,50 @@ class DatapathScheduler:
         self.name = name
         self.lanes = assignment.lanes
         self.fu_per_lane = dict(fu_per_lane or {})
-        # Aladdin's loop pipelining: with barriers off, a node is ready as
-        # soon as its dependences complete, letting iteration rounds
-        # overlap (at the cost of deeper control logic in real hardware).
-        self.round_barriers = round_barriers
+        # Round-release discipline.  ``pipelining`` names the mode:
+        #   "barriers" — rounds synchronize (Section IV-D);
+        #   "off"      — free overlap, the classic-Aladdin loop pipelining;
+        #   "modulo"   — round r+1 opens II cycles after round r's first
+        #                issue, or when round r fully completes, whichever
+        #                comes first (see repro.aladdin.modulo).  The
+        #                completion fallback makes barriers the degenerate
+        #                case: an II at or above the dynamic round duration
+        #                reproduces barrier timing instead of throttling
+        #                below it, so the gate can only add overlap.
+        # ``round_barriers`` remains as the legacy boolean spelling of the
+        # first two and is honored when ``pipelining`` is not given.
+        if pipelining is None:
+            pipelining = "barriers" if round_barriers else "off"
+        elif pipelining not in ("off", "barriers", "modulo"):
+            raise SimulationError(
+                f"{name}: unknown pipelining mode {pipelining!r}")
+        self.pipelining = pipelining
+        self.round_barriers = pipelining == "barriers"
+        self.ii = int(ii or 0)           # enforced II, accelerator cycles
+        self.rec_mii = int(rec_mii or 0)
+        self.res_mii = int(res_mii or 0)
+        if self.ii < 0:
+            raise SimulationError(f"{name}: ii must be >= 0, got {ii!r}")
+        # A degenerate modulo schedule (single round, no rounds, or II 0)
+        # has nothing to gate and behaves like barriers trivially.
+        self._ii_gated = (pipelining == "modulo" and self.ii > 0
+                          and assignment.num_rounds > 1)
+        self._ii_ticks = clock.cycles_to_ticks(self.ii) if self._ii_gated \
+            else 0
+        # First-issue tick per round (modulo mode): the anchor for the
+        # round r+1 gate at first_issue[r] + II.
+        self._round_started = ([False] * assignment.num_rounds
+                               if self._ii_gated else None)
+        self.reservation_conflicts = 0
         self._indegree = list(ddg.indegree)
         # Per-lane ready queues are plain lists: the issue pass rebuilds
         # each scanned lane (preserving order) rather than popping.
         self._ready = [[] for _ in range(self.lanes)]
         self._round_parked = {}
-        # Nodes-per-round template: computed once per (memoized) assignment,
-        # copied here because the countdown mutates during the run.
-        base = assignment.round_base
-        if base is None or len(base) != assignment.num_rounds:
-            base = [0] * assignment.num_rounds
-            rounds = assignment.round
-            for node in range(ddg.num_nodes):
-                r = rounds[node]
-                if r >= 0:
-                    base[r] += 1
-            assignment.round_base = base
-        self._round_remaining = list(base)
+        # Nodes-per-round template: shared read-only on the (memoized)
+        # assignment, copied here because the countdown mutates during
+        # the run.
+        self._round_remaining = list(assignment.ensure_round_base())
         self._current_round = 0
         self._completed = 0
         self._in_flight = 0
@@ -168,13 +192,13 @@ class DatapathScheduler:
         node_fu = self._node_fu
         ready = self._ready
         ready_counts = self._ready_counts
-        barriers = self.round_barriers
+        gated = self.round_barriers or self._ii_gated
         current_round = self._current_round
         parked = self._round_parked
         num_ready = self._num_ready
         for node in self.ddg.roots:
             r = node_round[node]
-            if barriers and r > current_round:
+            if gated and r > current_round:
                 if r in parked:
                     parked[r].append(node)
                 else:
@@ -209,7 +233,8 @@ class DatapathScheduler:
 
     def _make_ready(self, node):
         r = self._node_round[node]
-        if self.round_barriers and r > self._current_round:
+        if (self.round_barriers or self._ii_gated) \
+                and r > self._current_round:
             self._round_parked.setdefault(r, []).append(node)
             return
         self._enqueue_ready(node)
@@ -309,6 +334,18 @@ class DatapathScheduler:
         last_delay = -1
         last_entry = None
         num_ready = self._num_ready
+        conflicts = 0
+        # Modulo gating: the first issue of round r anchors the gate that
+        # opens round r+1 at now + II.  ``round_started`` is None outside
+        # modulo mode, so the other modes pay one local None test per
+        # issued node.
+        round_started = self._round_started
+        if round_started is not None:
+            node_round = self._node_round
+            ii_ticks = self._ii_ticks
+            open_gate = self._open_gate
+            num_rounds = len(round_started)
+            schedule_at = evq.schedule_at
         for lane in range(self.lanes):
             queue = ready[lane]
             if not queue:
@@ -335,6 +372,7 @@ class DatapathScheduler:
                 node = queue[i]
                 fu = node_fu[node]
                 if used[fu] >= limits[fu]:
+                    conflicts += 1
                     rem_append(node)
                     continue
                 kind = node_kind[node]
@@ -381,6 +419,13 @@ class DatapathScheduler:
                         if in_flight == 0:
                             busy_begin(now)
                         in_flight += 1
+                        if round_started is not None:
+                            rr = node_round[node]
+                            if rr >= 0 and not round_started[rr]:
+                                round_started[rr] = True
+                                if rr + 1 < num_rounds:
+                                    schedule_at(now + ii_ticks, open_gate,
+                                                rr + 1)
                         if kind == 1:
                             loads += 1
                         else:
@@ -411,6 +456,13 @@ class DatapathScheduler:
                     if in_flight == 0:
                         busy_begin(now)
                     in_flight += 1
+                    if round_started is not None:
+                        rr = node_round[node]
+                        if rr >= 0 and not round_started[rr]:
+                            round_started[rr] = True
+                            if rr + 1 < num_rounds:
+                                schedule_at(now + ii_ticks, open_gate,
+                                            rr + 1)
                     delay = node_ticks[node]
                     if delay == last_delay and last_entry[1] == evq._seq:
                         last_entry[0].append(node)
@@ -445,6 +497,7 @@ class DatapathScheduler:
         self._in_flight = in_flight
         self.issued_loads += loads
         self.issued_stores += stores
+        self.reservation_conflicts += conflicts
         # Anything still queued retries next cycle (edge_after inlined).
         if num_ready:
             period = self._period
@@ -479,6 +532,7 @@ class DatapathScheduler:
         ready = self._ready
         ready_counts = self._ready_counts
         barriers = self.round_barriers
+        gated = barriers or self._ii_gated
         parked = self._round_parked
         remaining = self._round_remaining
         num_rounds = len(remaining)
@@ -497,7 +551,7 @@ class DatapathScheduler:
                     indegree[succ] -= 1
                     if indegree[succ] == 0:
                         r = node_round[succ]
-                        if barriers and r > current_round:
+                        if gated and r > current_round:
                             if r in parked:
                                 parked[r].append(succ)
                             else:
@@ -509,7 +563,7 @@ class DatapathScheduler:
                             num_ready += 1
                 self._num_ready = num_ready
             r = node_round[node]
-            if r >= 0 and barriers:
+            if r >= 0 and gated:
                 remaining[r] -= 1
                 current = self._current_round
                 if current < num_rounds and remaining[current] == 0:
@@ -542,6 +596,7 @@ class DatapathScheduler:
         if in_flight == 0:
             self.busy.end(self._queue.now)
         barriers = self.round_barriers
+        gated = barriers or self._ii_gated
         current_round = self._current_round
         succs = self._successors[node]
         if succs:
@@ -557,7 +612,7 @@ class DatapathScheduler:
                 indegree[succ] -= 1
                 if indegree[succ] == 0:
                     r = node_round[succ]
-                    if barriers and r > current_round:
+                    if gated and r > current_round:
                         if r in parked:
                             parked[r].append(succ)
                         else:
@@ -569,7 +624,7 @@ class DatapathScheduler:
                         num_ready += 1
             self._num_ready = num_ready
         r = self._node_round[node]
-        if r >= 0 and barriers:
+        if r >= 0 and gated:
             remaining = self._round_remaining
             remaining[r] -= 1
             if current_round < len(remaining) and remaining[current_round] == 0:
@@ -599,6 +654,25 @@ class DatapathScheduler:
             for node in self._round_parked.pop(self._current_round, ()):
                 self._enqueue_ready(node)
 
+    def _open_gate(self, target):
+        """Modulo-mode round gate: II cycles elapsed since round
+        ``target - 1``'s first issue — open round ``target`` and release
+        its parked nodes.  Gates fire in round order (each round schedules
+        exactly one, anchored on its own first issue), but completion of
+        the previous round releases ``target`` early when it beats the
+        gate, in which case the late gate is a no-op."""
+        if self._current_round >= target:
+            return
+        self._current_round = target
+        if self._obs_trace is not None:
+            self._obs_trace(self._queue.now, "II gate: round %d/%d open",
+                            target, len(self._round_remaining))
+        parked = self._round_parked.pop(target, None)
+        if parked:
+            for node in parked:
+                self._enqueue_ready(node)
+            self._kick()
+
     def reg_stats(self, stats, prefix="accel0.sched"):
         """Mirror this datapath's counters into a stats registry."""
         stats.scalar(f"{prefix}.nodes", lambda: self._num_nodes,
@@ -615,6 +689,17 @@ class DatapathScheduler:
         stats.scalar(f"{prefix}.compute_ticks",
                      lambda: self.compute_ticks,
                      desc="ticks from start to last completion")
+        stats.scalar(f"{prefix}.ii", lambda: self.ii,
+                     desc="enforced initiation interval (cycles; 0 = "
+                          "not modulo-gated)")
+        stats.scalar(f"{prefix}.rec_mii", lambda: self.rec_mii,
+                     desc="recurrence-constrained minimum II (cycles)")
+        stats.scalar(f"{prefix}.res_mii", lambda: self.res_mii,
+                     desc="resource-constrained minimum II (cycles)")
+        stats.scalar(f"{prefix}.reservation_conflicts",
+                     lambda: self.reservation_conflicts,
+                     desc="issue attempts blocked by a saturated "
+                          "per-cycle FU reservation row")
 
 
 # Issue plan for nodes with no array (never legitimately issued): slot

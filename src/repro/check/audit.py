@@ -20,7 +20,10 @@ Audited resources:
 * DMA engine — channel idle, no queued transactions, no bursts in flight,
   busy interval closed;
 * accelerator TLB — no pending page-table walks;
-* datapath scheduler — finished, nothing in flight, ready or parked;
+* datapath scheduler — finished, nothing in flight, no nodes stranded in
+  the per-lane ready queues (checked against the actual queue contents,
+  with counter drift reported separately), none parked behind round or
+  modulo-II gates, no unopened modulo gates;
 * CPU driver — busy/flush intervals closed;
 * system bus — ``next_free`` not beyond the final tick;
 * cache/scratchpad port accounting — per-cycle counters within bounds;
@@ -42,25 +45,50 @@ def _audit_cache(leaks, name, cache):
               f"{mshrs.in_use} unreleased MSHR entrie(s): {lines}")
 
 
+def _audit_scheduler(leaks, name, sched):
+    """Datapath scheduler: finished, nothing in flight, queued or parked.
+
+    The ready audit inspects the *actual* per-lane queues, not just the
+    ``_num_ready`` counter: with round barriers off (or modulo-gated)
+    a wedged pipelined schedule can strand nodes in the lane queues, and
+    a counter bug could report zero while queues still hold work.  Both
+    the stranded nodes and any counter drift are separate findings.
+    """
+    if not sched.done:
+        _leak(leaks, name, "datapath_unfinished",
+              f"{sched._completed}/{sched._num_nodes} nodes completed")
+    if sched._in_flight:
+        _leak(leaks, name, "nodes_in_flight",
+              f"{sched._in_flight} node(s) still in flight")
+    queued = sum(len(lane_queue) for lane_queue in sched._ready)
+    if queued:
+        _leak(leaks, name, "nodes_ready_unissued",
+              f"{queued} ready node(s) never issued")
+    if queued != sched._num_ready:
+        _leak(leaks, name, "ready_counter_drift",
+              f"_num_ready reads {sched._num_ready} but the lane queues "
+              f"hold {queued} node(s)")
+    if sched._round_parked:
+        parked = sum(len(v) for v in sched._round_parked.values())
+        rounds = ", ".join(str(r) for r in sorted(sched._round_parked)[:8])
+        _leak(leaks, name, "nodes_parked",
+              f"{parked} node(s) parked behind round gate(s) {rounds}")
+    started = sched._round_started
+    if started is not None and not sched.done:
+        unopened = started.count(False)
+        if unopened:
+            _leak(leaks, name, "ii_gates_unopened",
+                  f"{unopened} of {len(started)} modulo round gate(s) "
+                  f"never opened (II={sched.ii})")
+    return 1
+
+
 def _audit_soc(leaks, soc):
     prefix = f"accel{soc.accel_id}"
     count = 0
 
     sched = soc.scheduler
-    count += 1
-    if not sched.done:
-        _leak(leaks, f"{prefix}.sched", "datapath_unfinished",
-              f"{sched._completed}/{sched._num_nodes} nodes completed")
-    if sched._in_flight:
-        _leak(leaks, f"{prefix}.sched", "nodes_in_flight",
-              f"{sched._in_flight} node(s) still in flight")
-    if sched._num_ready:
-        _leak(leaks, f"{prefix}.sched", "nodes_ready_unissued",
-              f"{sched._num_ready} ready node(s) never issued")
-    if sched._round_parked:
-        parked = sum(len(v) for v in sched._round_parked.values())
-        _leak(leaks, f"{prefix}.sched", "nodes_parked",
-              f"{parked} node(s) parked behind round barriers")
+    count += _audit_scheduler(leaks, f"{prefix}.sched", sched)
 
     if soc.dma is not None:
         count += 1

@@ -206,7 +206,8 @@ def build_parser():
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
     fig_p.add_argument("name",
                        choices=("fig1", "fig2a", "fig2b", "fig4", "fig6a",
-                                "fig6b", "fig7", "fig8", "fig9", "fig10"))
+                                "fig6b", "fig7", "fig8", "fig9", "fig10",
+                                "fig11"))
     fig_p.add_argument("--density", default="standard",
                        choices=("quick", "standard", "full"))
     _add_sweep_engine_args(fig_p)
@@ -305,6 +306,21 @@ def _resolve_workload(args, name=None):
     return name
 
 
+def _ii_value(text):
+    """Parse --ii: 'auto' or a positive integer."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be 'auto' or an integer >= 1, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be 'auto' or an integer >= 1, got {text!r}")
+    return value
+
+
 def _add_design_args(parser):
     parser.add_argument("--lanes", type=int, default=4)
     parser.add_argument("--partitions", type=int, default=4)
@@ -319,6 +335,18 @@ def _add_design_args(parser):
     parser.add_argument("--cache-assoc", type=int, default=4)
     parser.add_argument("--prefetcher", choices=("none", "stride"),
                         default="stride")
+    parser.add_argument("--pipelining",
+                        choices=("off", "barriers", "modulo"),
+                        default="barriers",
+                        help="loop-pipelining discipline: synchronizing "
+                             "round barriers (default), free overlap "
+                             "(off), or modulo scheduling at an "
+                             "initiation interval (modulo)")
+    parser.add_argument("--ii", type=_ii_value, default="auto",
+                        metavar="II",
+                        help="initiation interval for --pipelining=modulo: "
+                             "'auto' searches for the minimal feasible II "
+                             "(default), an integer forces one")
 
 
 def _add_platform_args(parser):
@@ -446,7 +474,8 @@ def design_from_args(args):
         double_buffer=args.double_buffer,
         cache_size_kb=args.cache_size, cache_line=args.cache_line,
         cache_ports=args.cache_ports, cache_assoc=args.cache_assoc,
-        prefetcher=args.prefetcher)
+        prefetcher=args.prefetcher,
+        pipelining=args.pipelining, ii=args.ii)
 
 
 def config_from_args(args):
@@ -990,6 +1019,21 @@ def _render_figure(name, data):
                             for k in per)
             lines.append(f"{w:20s} {vals}")
         lines.append(f"averages: {data['averages']}")
+        return "\n".join(lines)
+    if name == "fig11":
+        lines = [f"Figure 11: II-vs-EDP, {data['workload']}"]
+        pareto = {id(r) for r in data["pareto"]}
+        for row in data["rows"]:
+            mode = row["pipelining"]
+            if mode == "modulo":
+                mode = (f"modulo ii={row['ii']} "
+                        f"(req {row['ii_requested']}, "
+                        f"rec {row['rec_mii']}, res {row['res_mii']})")
+            mark = " *" if id(row["result"]) in pareto else ""
+            lines.append(f"  {mode:40s} time={row['time_us']:.2f}us "
+                         f"edp={row['edp_js']:.3e}{mark}")
+        lines.append(f"pareto points: {len(data['pareto'])} "
+                     f"(* marks frontier)")
         return "\n".join(lines)
     return repr(data)
 

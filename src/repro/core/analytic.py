@@ -102,7 +102,8 @@ def predict_phases(workload, design, cfg=None):
     else:
         txns = 1
     accel = Accelerator(trace, design.lanes, design.partitions,
-                        design.spad_ports)
+                        design.spad_ports,
+                        pipelining=design.pipelining, ii=design.ii)
     compute = accel.run_isolated().ticks
     return AnalyticPhases(
         flush=ns_to_ticks(flush_lines * cfg.flush_ns_per_line),

@@ -61,7 +61,7 @@ from repro.units import (
 from repro.workloads import cached_trace
 
 #: Bump when fit features or the persisted schema change.
-CALIBRATION_VERSION = 2
+CALIBRATION_VERSION = 3
 
 #: Subdirectory of the sweep cache root holding calibration files.
 CALIBRATION_DIR = "calibrations"
@@ -109,11 +109,17 @@ def design_class(design):
     across lines roughly doubles the in-sample error (measured on
     bfs-bulk: pooled 0.19, split 0.08).
     """
+    # The pipelining mode changes the compute-phase shape wholesale
+    # (barrier-synchronized vs II-overlapped rounds), so non-default
+    # modes get their own buckets.  Barrier-mode class names keep the
+    # historic spelling so existing calibrations map over unchanged.
+    suffix = "" if design.pipelining == "barriers" \
+        else f":{design.pipelining}"
     if design.is_dma:
         return (f"dma:p{int(design.pipelined_dma)}"
                 f"t{int(design.dma_triggered_compute)}"
-                f"b{int(design.double_buffer)}")
-    return f"cache:l{design.cache_line}"
+                f"b{int(design.double_buffer)}{suffix}")
+    return f"cache:l{design.cache_line}{suffix}"
 
 
 # -- workload profiles (trace-derived, design-independent) --------------------
@@ -278,26 +284,45 @@ def _cache_counts(workload, design):
                                      prefetcher=design.prefetcher))
 
 
-def _combo_key(lanes, partitions, spad_ports):
-    return f"{lanes}x{partitions}x{spad_ports}"
+def _combo_key(lanes, partitions, spad_ports,
+               pipelining="barriers", ii="auto"):
+    # Barrier-mode keys keep the historic "LxPxS" spelling so persisted
+    # calibrations stay readable; other modes append ":mode:ii".
+    key = f"{lanes}x{partitions}x{spad_ports}"
+    if pipelining != "barriers":
+        key += f":{pipelining}:{ii}"
+    return key
+
+
+def _norm_combo(combo):
+    """Normalize a combo to (lanes, partitions, ports, pipelining, ii)."""
+    combo = tuple(combo)
+    if len(combo) == 3:
+        combo += ("barriers", "auto")
+    return combo
 
 
 def tabulate_compute(workload, combos, progress=None):
-    """Isolated-run table over distinct (lanes, partitions, spad_ports).
+    """Isolated-run table over the distinct datapath combinations.
 
-    The fast tier's compute phase is a lookup into this table — an
-    isolated run costs a sizable fraction of an exact co-simulation, so
-    paying it once per combination at calibration time (instead of per
-    design point per sweep) is what makes fast predictions cheap.
+    A combination is (lanes, partitions, spad_ports) — optionally
+    extended with (pipelining, ii) for non-barrier designs.  The fast
+    tier's compute phase is a lookup into this table — an isolated run
+    costs a sizable fraction of an exact co-simulation, so paying it
+    once per combination at calibration time (instead of per design
+    point per sweep) is what makes fast predictions cheap.
     """
     trace = cached_trace(workload)
     hist = trace.op_histogram()
     table = {}
-    combos = sorted(set(combos))
-    for i, (lanes, partitions, spad_ports) in enumerate(combos):
-        res = Accelerator(trace, lanes, partitions, spad_ports).run_isolated()
+    combos = sorted({_norm_combo(c) for c in combos})
+    for i, combo in enumerate(combos):
+        lanes, partitions, spad_ports, pipelining, ii = combo
+        ii_val = ii if ii == "auto" else int(ii)
+        res = Accelerator(trace, lanes, partitions, spad_ports,
+                          pipelining=pipelining, ii=ii_val).run_isolated()
         model = PowerModel(lanes, hist)
-        table[_combo_key(lanes, partitions, spad_ports)] = {
+        table[_combo_key(*combo)] = {
             "ticks": res.ticks,
             "spad_dynamic_pj": model.spad_dynamic_pj(res.spad),
             "spad_leak_mw": model.spad_leakage_mw(res.spad),
@@ -621,11 +646,17 @@ class Calibration:
             rows, targets = [], {"ticks": [], "spad_dynamic_pj": [],
                                  "spad_leak_mw": [], "area_mm2": []}
             for key, entry in self.compute_table.items():
+                if ":" in key:
+                    # Non-barrier entries have their own compute shape;
+                    # pooling them would corrupt the hyperbolic fit.
+                    continue
                 lanes, parts, _ports = (int(v) for v in key.split("x"))
                 rows.append([1.0, 1.0 / lanes, 1.0 / parts,
                              1.0 / (lanes * parts)])
                 for field in targets:
                     targets[field].append(float(entry[field]))
+            if not rows:
+                return None
             self._fallback = {
                 field: _rel_lstsq(rows, ys, free=(0,))
                 for field, ys in targets.items()
@@ -633,12 +664,23 @@ class Calibration:
         return self._fallback
 
     def compute_entry(self, design):
-        """Tabulated (or interpolated) isolated-run quantities."""
+        """Tabulated (or interpolated) isolated-run quantities.
+
+        ``None`` for an uncovered non-barrier combination: the
+        hyperbolic interpolation is fitted on barrier-mode schedules
+        only, so extrapolating it to a pipelined compute shape would be
+        silently wrong — the caller falls back to exact simulation.
+        """
         entry = self.compute_table.get(
-            _combo_key(design.lanes, design.partitions, design.spad_ports))
+            _combo_key(design.lanes, design.partitions, design.spad_ports,
+                       design.pipelining, str(design.ii)))
         if entry is not None:
             return entry
+        if design.pipelining != "barriers":
+            return None
         coeffs = self._fallback_coeffs()
+        if coeffs is None:
+            return None
         feats = [1.0, 1.0 / design.lanes, 1.0 / design.partitions,
                  1.0 / (design.lanes * design.partitions)]
         return {field: max(_dot(c, feats), 0.0)
@@ -654,6 +696,8 @@ class Calibration:
             return None
         profile = _workload_profile(self.workload)
         entry = self.compute_entry(design)
+        if entry is None:
+            return None
         compute = max(int(round(entry["ticks"])), 1)
         time_counts = energy_counts = None
         if not design.is_dma:
@@ -919,7 +963,8 @@ def calibrate_workload(workload, cfg=None, density="standard",
     class_grids = {}
     for design in designs:
         class_grids.setdefault(design_class(design), []).append(design)
-    combos = {(d.lanes, d.partitions, d.spad_ports)
+    combos = {(d.lanes, d.partitions, d.spad_ports,
+               d.pipelining, str(d.ii))
               for designs in class_grids.values() for d in designs}
     table = tabulate_compute(workload, combos, progress=progress)
     cal = Calibration(workload, config_hash(cfg), density, table, {},

@@ -38,7 +38,8 @@ class DesignPoint:
                  double_buffer=False, loop_pipelining=False,
                  cache_size_kb=8, cache_line=64,
                  cache_ports=2, cache_assoc=4, prefetcher="stride",
-                 spad_ports=1, perfect_memory=False):
+                 spad_ports=1, perfect_memory=False,
+                 pipelining=None, ii="auto"):
         self.lanes = lanes
         self.partitions = partitions
         self.mem_interface = mem_interface
@@ -47,10 +48,23 @@ class DesignPoint:
         # Section IV-B2: double buffering = full/empty bits tracked at
         # half-array granularity instead of cache-line granularity.
         self.double_buffer = double_buffer
-        # Aladdin's loop pipelining: iteration rounds overlap instead of
-        # synchronizing at round boundaries (Section IV-D describes the
-        # synchronizing variant; pipelining is the classic-Aladdin mode).
-        self.loop_pipelining = loop_pipelining
+        # Loop-pipelining discipline of the datapath (Section IV-D
+        # describes the synchronizing variant):
+        #   "barriers" — iteration rounds synchronize (default);
+        #   "off"      — rounds overlap freely (classic Aladdin);
+        #   "modulo"   — rounds overlap at a modulo-scheduled initiation
+        #                interval (see repro.aladdin.modulo); ``ii`` is
+        #                "auto" (search for the minimal feasible II) or a
+        #                forced cycle count.
+        # ``loop_pipelining`` is the legacy boolean spelling (True ->
+        # "off"); it is honored when ``pipelining`` is not given and
+        # remains readable as a property.
+        if pipelining is None:
+            pipelining = "off" if loop_pipelining else "barriers"
+        self.pipelining = pipelining
+        # ``ii`` only means something under modulo; canonicalize it away
+        # otherwise so design keys/caches never split on a dead knob.
+        self.ii = ii if pipelining == "modulo" else "auto"
         self.cache_size_kb = cache_size_kb
         self.cache_line = cache_line
         self.cache_ports = cache_ports
@@ -69,6 +83,15 @@ class DesignPoint:
             raise ConfigError(
                 f"mem_interface must be 'dma' or 'cache', "
                 f"got {self.mem_interface!r}")
+        if self.pipelining not in ("off", "barriers", "modulo"):
+            raise ConfigError(
+                f"pipelining must be 'off', 'barriers' or 'modulo', "
+                f"got {self.pipelining!r}")
+        if self.ii != "auto" and (not isinstance(self.ii, int)
+                                  or isinstance(self.ii, bool)
+                                  or self.ii < 1):
+            raise ConfigError(
+                f"ii must be 'auto' or an integer >= 1, got {self.ii!r}")
         if self.cache_size_kb * 1024 % (self.cache_line * self.cache_assoc):
             raise ConfigError(
                 f"cache {self.cache_size_kb}KB not divisible by "
@@ -82,6 +105,12 @@ class DesignPoint:
     def is_dma(self):
         return self.mem_interface == "dma"
 
+    @property
+    def loop_pipelining(self):
+        """Legacy boolean view of the pipelining mode (True = free
+        overlap, what ``pipelining="off"`` now spells)."""
+        return self.pipelining == "off"
+
     def replace(self, **kwargs):
         """A copy with some fields changed."""
         fields = dict(
@@ -90,24 +119,39 @@ class DesignPoint:
             pipelined_dma=self.pipelined_dma,
             dma_triggered_compute=self.dma_triggered_compute,
             double_buffer=self.double_buffer,
-            loop_pipelining=self.loop_pipelining,
+            pipelining=self.pipelining, ii=self.ii,
             cache_size_kb=self.cache_size_kb, cache_line=self.cache_line,
             cache_ports=self.cache_ports, cache_assoc=self.cache_assoc,
             prefetcher=self.prefetcher, spad_ports=self.spad_ports,
             perfect_memory=self.perfect_memory,
         )
+        if "loop_pipelining" in kwargs and "pipelining" not in kwargs:
+            # Legacy spelling: let the constructor re-derive the mode
+            # from the boolean instead of the copied field shadowing it.
+            fields["pipelining"] = None
         fields.update(kwargs)
         return DesignPoint(**fields)
+
+    def _pipelining_key(self):
+        """The pipelining element of :meth:`key`.
+
+        Off/barriers keep the legacy boolean so existing keys stay
+        stable; modulo designs get a distinct ``("modulo", ii)`` marker.
+        """
+        if self.pipelining == "modulo":
+            return ("modulo", self.ii)
+        return self.loop_pipelining
 
     def key(self):
         """Hashable identity (used by sweeps and caches)."""
         if self.is_dma:
             return ("dma", self.lanes, self.partitions, self.pipelined_dma,
                     self.dma_triggered_compute, self.double_buffer,
-                    self.loop_pipelining, self.spad_ports)
+                    self._pipelining_key(), self.spad_ports)
         return ("cache", self.lanes, self.partitions, self.cache_size_kb,
                 self.cache_line, self.cache_ports, self.cache_assoc,
-                self.prefetcher, self.loop_pipelining, self.perfect_memory)
+                self.prefetcher, self._pipelining_key(),
+                self.perfect_memory)
 
     def __repr__(self):
         if self.is_dma:

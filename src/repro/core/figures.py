@@ -16,6 +16,7 @@ Figure index (see DESIGN.md section 3):
   fig8   power-performance Pareto curves, DMA vs cache
   fig9   Kiviat resource comparison across the four scenarios
   fig10  EDP improvement of co-design over isolated design
+  fig11  initiation-interval (modulo pipelining) EDP study
 """
 
 from repro.core.config import DesignPoint, SoCConfig
@@ -26,7 +27,12 @@ from repro.core.scenarios import (
     run_isolated,
 )
 from repro.core.soc import run_design
-from repro.core.sweep import cache_design_space, dma_design_space, run_sweep
+from repro.core.sweep import (
+    cache_design_space,
+    dma_design_space,
+    ii_design_space,
+    run_sweep,
+)
 from repro.core.kiviat import kiviat_normalized, overprovision_summary
 from repro.core.validation import validate_suite
 from repro.workloads import ALL_WORKLOADS, CORE_EIGHT
@@ -348,6 +354,41 @@ def fig10(workloads=None, density="standard"):
     return {"rows": rows, "averages": averages, "maxima": maxima,
             "paper_averages": {"dma32": 1.2, "cache32": 2.2, "cache64": 2.0},
             "paper_max": 7.4}
+
+
+def fig11(workload="md-knn", iis=("auto", 1, 2, 4, 8, 16),
+          base_design=None):
+    """Initiation-interval study: EDP along the modulo-pipelining axis.
+
+    Sweeps one design across pipelining modes (barriers, free overlap,
+    and modulo at each II — see
+    :func:`repro.core.sweep.ii_design_space`), full co-simulation per
+    point.  Returns the per-point results plus the EDP-vs-time Pareto
+    frontier over the axis; ``rec_mii``/``res_mii``/``ii`` come from the
+    modulo planner's stats.
+    """
+    designs = ii_design_space(base_design, iis=iis)
+    results = _sweep(workload, designs)
+    rows = []
+    for design, result in zip(designs, results):
+        rows.append({
+            "pipelining": design.pipelining,
+            "ii_requested": design.ii,
+            "ii": result.stats.get("ii"),
+            "rec_mii": result.stats.get("rec_mii"),
+            "res_mii": result.stats.get("res_mii"),
+            "time_us": result.time_us,
+            "energy_pj": result.energy_pj,
+            "edp_js": result.edp,
+            "result": result,
+        })
+    frontier = pareto_frontier(results)
+    return {
+        "workload": workload,
+        "rows": rows,
+        "pareto": frontier,
+        "edp_optimum": edp_optimal(results),
+    }
 
 
 def _geomean(values):

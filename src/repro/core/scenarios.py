@@ -66,16 +66,23 @@ def run_isolated(workload, design):
     """Evaluate one design in isolation (classic Aladdin) as a RunResult."""
     trace = cached_trace(workload)
     accel = Accelerator(trace, design.lanes, design.partitions,
-                        design.spad_ports)
+                        design.spad_ports,
+                        pipelining=design.pipelining, ii=design.ii)
     res = accel.run_isolated()
     breakdown = {
         "flush_only": 0, "dma_flush": 0, "compute_dma": 0,
         "compute_only": res.ticks, "other": 0,
     }
+    stats = {"isolated": True}
+    if accel.ii_plan is not None:
+        stats["ii"] = accel.ii_plan.ii
+        stats["rec_mii"] = accel.ii_plan.rec_mii
+        stats["res_mii"] = accel.ii_plan.res_mii
+        stats["reservation_conflicts"] = res.scheduler.reservation_conflicts
     return RunResult(workload, design, res.ticks,
                      accel.clock.ticks_to_cycles(res.ticks),
                      breakdown, res.energy,
-                     stats={"isolated": True})
+                     stats=stats)
 
 
 def isolated_sweep(workload, density="standard"):

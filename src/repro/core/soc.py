@@ -28,6 +28,7 @@ ACCEL0 and ACCEL1 on one bus; see :mod:`repro.core.multi`.
 from repro.aladdin.area import AreaModel
 from repro.aladdin.power import PowerModel
 from repro.check import resolve_check
+from repro.aladdin.modulo import plan_ii
 from repro.aladdin.scheduler import (
     CacheInterface,
     DatapathScheduler,
@@ -236,11 +237,26 @@ class SoC:
                 ports=design.cache_ports, spad=self.spad,
                 internal_arrays=internal, perfect=design.perfect_memory)
 
+        self.ii_plan = None
+        if design.pipelining == "modulo":
+            # Memory issue bandwidth seen by the datapath: scratchpad
+            # ports for DMA designs, cache ports for cache designs.
+            if design.is_dma:
+                mem_slots = design.partitions * design.spad_ports
+            else:
+                mem_slots = design.cache_ports
+            self.ii_plan = plan_ii(self.ddg, self.assignment,
+                                   mem_slots_per_cycle=mem_slots,
+                                   ii=design.ii)
+        plan = self.ii_plan
         self.scheduler = DatapathScheduler(
             self.sim, self.accel_clock, self.ddg, self.assignment, mem_if,
             on_done=self._on_compute_done,
             name=f"{self.workload}-accel{self.accel_id}",
-            round_barriers=not design.loop_pipelining)
+            pipelining=design.pipelining,
+            ii=plan.ii if plan else 0,
+            rec_mii=plan.rec_mii if plan else 0,
+            res_mii=plan.res_mii if plan else 0)
 
         self.traffic = None
         if cfg.background_traffic:
@@ -491,6 +507,12 @@ class SoC:
             "lines_invalidated": self.driver.lines_invalidated,
             "compute_ticks": self.scheduler.compute_ticks,
         }
+        if self.ii_plan is not None:
+            stats["ii"] = self.ii_plan.ii
+            stats["rec_mii"] = self.ii_plan.rec_mii
+            stats["res_mii"] = self.ii_plan.res_mii
+            stats["reservation_conflicts"] = \
+                self.scheduler.reservation_conflicts
         if self.dma is not None:
             stats["dma_bytes"] = self.dma.bytes_moved
             stats["dma_transactions"] = self.dma.transactions

@@ -54,6 +54,29 @@ def dma_design_space(density="standard", pipelined=True, triggered=True):
     ]
 
 
+def ii_design_space(base_design=None, iis=("auto", 1, 2, 4, 8, 16)):
+    """Modulo-pipelining II axis around one base design.
+
+    One barrier-mode anchor, one free-overlap ("off") anchor, then the
+    base design under modulo scheduling at each requested initiation
+    interval (``"auto"`` = the searched minimum).  This is the sweep
+    behind the II-vs-EDP Pareto study: the anchors bound the axis (ii ->
+    round length degenerates to barriers; unconstrained overlap is the
+    throughput ceiling) and the forced IIs trace the trade-off between
+    them.
+    """
+    base = base_design or DesignPoint()
+    points = [base.replace(pipelining="barriers"),
+              base.replace(pipelining="off")]
+    seen = {p.key() for p in points}
+    for ii in iis:
+        d = base.replace(pipelining="modulo", ii=ii)
+        if d.key() not in seen:
+            seen.add(d.key())
+            points.append(d)
+    return points
+
+
 def cache_design_space(density="standard"):
     """Cache design points: lanes x size x ports x assoc."""
     g = _grid(density)

@@ -74,7 +74,8 @@ from repro.errors import SweepError
 #: Bump when the simulator's timing/energy models change in ways that make
 #: previously cached RunResults stale.  v2: canonicalized key payloads
 #: (numeric normalization + interface-irrelevant field masking).
-CACHE_FORMAT_VERSION = 2
+#: v3: ``loop_pipelining`` replaced by the ``pipelining``/``ii`` fields.
+CACHE_FORMAT_VERSION = 3
 
 #: Conventional cache location (the CLI default; gitignored).
 DEFAULT_CACHE_DIR = ".sweep-cache"

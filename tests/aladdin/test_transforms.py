@@ -86,3 +86,106 @@ class TestValidation:
             trace = cached_trace(name)
             for lanes in (1, 3, 16):
                 validate_assignment(trace, assign_lanes(trace, lanes))
+
+    def test_non_topological_trace_detected(self):
+        """Regression: ``effective`` used to be initialized to 0 with -1
+        as the serial sentinel, so a dependence on a *later* node read
+        the untouched entry as "round 0" and a would-deadlock schedule
+        validated silently.  Non-topological traces must raise."""
+        from repro.aladdin.transforms import LaneAssignment
+
+        class FakeTrace:
+            name = "fake"
+            num_nodes = 2
+            deps = [[1], []]  # node 0 depends on node 1: not topological
+
+        assignment = LaneAssignment(1, [0, 0], [0, 1], 2)
+        with pytest.raises(ValueError, match="topologically ordered"):
+            validate_assignment(FakeTrace(), assignment)
+
+
+class TestValidationModulo:
+    """Cross-round dependences are legal under modulo gating as long as
+    every round can issue its first node."""
+
+    def _late_dep_trace(self):
+        # Iteration 0 holds an independent load plus an op depending on
+        # iteration 1: with 1 lane, round 0 partially depends on round 1.
+        tb = TraceBuilder("latedep")
+        tb.array("a", 4, 4, kind="input", init=[0] * 4)
+        with tb.iteration(1):
+            v = tb.load("a", 0)
+        with tb.iteration(0):
+            tb.load("a", 1)
+            tb.fadd(v, 1.0)
+        return tb
+
+    def test_partial_late_dep_legal_under_modulo(self):
+        tb = self._late_dep_trace()
+        a = assign_lanes(tb, 1)
+        with pytest.raises(ValueError, match="deadlock"):
+            validate_assignment(tb, a, pipelining="barriers")
+        validate_assignment(tb, a, pipelining="modulo")  # does not raise
+
+    def test_fully_wedged_round_still_detected(self):
+        # *Every* node of round 0 depends on round 1: the round can
+        # never issue its first node, so even the modulo gate chain
+        # deadlocks.
+        tb = TraceBuilder("wedged")
+        tb.array("a", 4, 4, kind="input", init=[0] * 4)
+        with tb.iteration(1):
+            v = tb.load("a", 0)
+        with tb.iteration(0):
+            tb.fadd(v, 1.0)
+        a = assign_lanes(tb, 1)
+        with pytest.raises(ValueError, match="never issue"):
+            validate_assignment(tb, a, pipelining="modulo")
+
+    def test_off_mode_skips_validation(self):
+        tb = self._late_dep_trace()
+        validate_assignment(tb, assign_lanes(tb, 1), pipelining="off")
+
+    def test_unknown_mode_rejected(self):
+        tb = make_linear_trace(4)
+        with pytest.raises(ValueError, match="unknown pipelining"):
+            validate_assignment(tb, assign_lanes(tb, 4),
+                                pipelining="bogus")
+
+
+class TestRoundBase:
+    """The shared nodes-per-round template must be filled once,
+    idempotently, and never mutated by schedulers."""
+
+    def test_assign_lanes_fills_eagerly(self):
+        tb = make_linear_trace(8)
+        a = assign_lanes(tb, 4)
+        assert a.round_base == [12, 12]  # 4 iterations x 3 nodes each
+
+    def test_ensure_round_base_idempotent(self):
+        tb = make_linear_trace(8)
+        a = assign_lanes(tb, 4)
+        first = a.ensure_round_base()
+        assert a.ensure_round_base() is first
+
+    def test_hand_built_assignment_lazy_fill(self):
+        from repro.aladdin.transforms import LaneAssignment
+        a = LaneAssignment(2, [0, 1, 0], [0, 0, 1], 2)
+        assert a.round_base is None
+        assert a.ensure_round_base() == [2, 1]
+
+    def test_two_schedulers_share_template_unmutated(self):
+        """Regression: the lazy fill used to happen inside the scheduler
+        constructor on the *shared* memoized assignment; two schedulers
+        over the same trace must each consume their own countdown while
+        the template stays intact."""
+        from repro.aladdin.accelerator import Accelerator
+        tb = make_linear_trace(16)
+        a1 = Accelerator(tb, 4, 4)
+        a2 = Accelerator(tb, 4, 4)
+        assert a1.assignment is a2.assignment  # memoized, genuinely shared
+        template = list(a1.assignment.round_base)
+        r1 = a1.run_isolated()
+        assert a1.assignment.round_base == template
+        r2 = a2.run_isolated()
+        assert a2.assignment.round_base == template
+        assert r1.ticks == r2.ticks

@@ -87,6 +87,72 @@ class TestLeakDetection:
             Checker().audit()
 
 
+class TestSchedulerQueueAudit:
+    """The scheduler audit inspects the actual per-lane ready queues and
+    the modulo gate state, not just the ``_num_ready`` counter."""
+
+    def test_stranded_ready_node_is_a_leak(self):
+        checker = Checker()
+        soc = SoC("aes-aes", small_dma(), check=checker)
+        soc.run()
+        soc.scheduler._ready[0].append(0)
+        soc.scheduler._num_ready += 1
+        with pytest.raises(LeakError, match="nodes_ready_unissued"):
+            checker.audit()
+
+    def test_queue_leak_found_without_counter(self):
+        """Regression: the audit used to read only ``_num_ready`` — a
+        node stranded in a lane queue while the counter reads 0 (the
+        wedged-pipelined-schedule shape) went unreported."""
+        checker = Checker()
+        soc = SoC("aes-aes", small_dma(), check=checker)
+        soc.run()
+        soc.scheduler._ready[0].append(0)  # counter left at 0
+        with pytest.raises(LeakError) as exc:
+            checker.audit()
+        kinds = {leak["kind"] for leak in exc.value.leaks}
+        assert "nodes_ready_unissued" in kinds
+        assert "ready_counter_drift" in kinds
+
+    def test_counter_drift_alone_is_a_leak(self):
+        checker = Checker()
+        soc = SoC("aes-aes", small_dma(), check=checker)
+        soc.run()
+        soc.scheduler._num_ready = 3  # queues are empty
+        with pytest.raises(LeakError, match="ready_counter_drift"):
+            checker.audit()
+
+    def test_parked_node_is_a_leak(self):
+        checker = Checker()
+        soc = SoC("aes-aes", small_dma(), check=checker)
+        soc.run()
+        soc.scheduler._round_parked[1] = [0]
+        with pytest.raises(LeakError, match="nodes_parked"):
+            checker.audit()
+
+    def test_unopened_ii_gate_is_a_leak(self):
+        checker = Checker()
+        design = small_dma(lanes=2).replace(pipelining="modulo")
+        soc = SoC("aes-aes", design, check=checker)
+        soc.run()
+        sched = soc.scheduler
+        if sched._round_started is None:
+            pytest.skip("workload degenerated to a single round")
+        sched.done = False  # forge a wedged run
+        sched._round_started[-1] = False
+        with pytest.raises(LeakError) as exc:
+            checker.audit()
+        kinds = {leak["kind"] for leak in exc.value.leaks}
+        assert "ii_gates_unopened" in kinds
+
+    def test_clean_modulo_run_audits_clean(self):
+        checker = Checker()
+        design = small_dma(lanes=2).replace(pipelining="modulo")
+        result = run_design("aes-aes", design, check=checker)
+        assert result.total_ticks > 0
+        assert checker.last_audit["clean"]
+
+
 class TestResolveAndEnv:
     def test_resolve_passthrough_and_bool(self):
         checker = Checker()
